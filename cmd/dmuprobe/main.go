@@ -1,0 +1,145 @@
+// Command dmuprobe drives a standalone Dependence Management Unit with the
+// task/dependence stream of a benchmark (no timing simulation) and dumps the
+// resulting structure occupancies and access counts. It is the tool used to
+// explore DAT index-bit policies and structure sizing interactively.
+//
+// Examples:
+//
+//	dmuprobe -benchmark cholesky
+//	dmuprobe -benchmark qr -dat 512 -index static0
+//	dmuprobe -benchmark histogram -la 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/dmu"
+	"repro/internal/machine"
+	"repro/internal/task"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		benchmark = flag.String("benchmark", "cholesky", "benchmark whose dependence stream to replay")
+		tat       = flag.Int("tat", 2048, "TAT entries")
+		dat       = flag.Int("dat", 2048, "DAT entries")
+		la        = flag.Int("la", 1024, "entries in each list array")
+		index     = flag.String("index", "dynamic", "DAT index policy: dynamic or static<N>")
+		window    = flag.Int("window", 0, "maximum in-flight tasks before retiring the oldest (0 = retire only on structure pressure)")
+	)
+	flag.Parse()
+
+	bench, err := workloads.ByName(*benchmark)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmuprobe:", err)
+		os.Exit(2)
+	}
+	cfg := dmu.DefaultConfig()
+	cfg.TATEntries, cfg.DATEntries = *tat, *dat
+	cfg.SLAEntries, cfg.DLAEntries, cfg.RLAEntries = *la, *la, *la
+	cfg.ReadyQueueEntries = *tat
+	switch {
+	case *index == "dynamic":
+		cfg.DATIndex = dmu.DynamicIndex()
+	case strings.HasPrefix(*index, "static"):
+		bit, err := strconv.Atoi(strings.TrimPrefix(*index, "static"))
+		if err != nil || bit < 0 {
+			fmt.Fprintln(os.Stderr, "dmuprobe: invalid -index", *index)
+			os.Exit(2)
+		}
+		cfg.DATIndex = dmu.StaticIndex(uint(bit))
+	default:
+		fmt.Fprintln(os.Stderr, "dmuprobe: invalid -index", *index)
+		os.Exit(2)
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "dmuprobe:", err)
+		os.Exit(2)
+	}
+
+	prog := bench.GenerateOptimal(true, machine.Default())
+	unit := dmu.New(cfg)
+	if err := replay(unit, prog, *window); err != nil {
+		fmt.Fprintln(os.Stderr, "dmuprobe:", err)
+		os.Exit(1)
+	}
+
+	snap := unit.Snapshot()
+	fmt.Printf("benchmark          %s (%d tasks, %d dependence annotations)\n",
+		prog.Name, prog.NumTasks(), prog.NumDeps())
+	fmt.Printf("configuration      TAT=%d DAT=%d LA=%d index=%s\n", *tat, *dat, *la, cfg.DATIndex)
+	fmt.Printf("ops                create=%d add_dep=%d finish=%d get_ready=%d\n",
+		snap.Ops.CreateOps, snap.Ops.AddDepOps, snap.Ops.FinishOps, snap.Ops.GetReadyOps)
+	fmt.Printf("edges created      %d\n", snap.Ops.EdgesCreated)
+	fmt.Printf("in-flight peaks    tasks=%d deps=%d\n", snap.Ops.MaxInFlightTasks, snap.Ops.MaxInFlightDeps)
+	fmt.Printf("TAT                lookups=%d inserts=%d conflicts=%d max occupancy=%d/%d\n",
+		snap.TAT.Lookups, snap.TAT.Inserts, snap.TAT.SetConflicts, snap.TAT.MaxOccupied, *tat)
+	fmt.Printf("DAT                lookups=%d inserts=%d conflicts=%d max occupancy=%d/%d avg occupied sets=%.1f/%d\n",
+		snap.DAT.Lookups, snap.DAT.Inserts, snap.DAT.SetConflicts, snap.DAT.MaxOccupied, *dat,
+		snap.DAT.AvgOccupiedSets, snap.DAT.NumSets)
+	for _, s := range snap.ListArrays {
+		fmt.Printf("%-18s accesses=%d max in use=%d/%d\n", s.Name, s.Accesses, s.MaxInUse, *la)
+	}
+	fmt.Printf("total accesses     %d\n", snap.TotalAccesses)
+	fmt.Printf("quiescent at end   %v\n", unit.Quiescent())
+}
+
+// replay pushes the program through the DMU in creation order, retiring ready
+// tasks whenever a structure fills (or the in-flight window is reached) and
+// draining everything at the end.
+func replay(unit *dmu.DMU, prog *task.Program, window int) error {
+	desc := func(id task.ID) uint64 { return 0x7f40_0000_0000 + uint64(id)*320 }
+	inFlight := 0
+	retireOne := func() error {
+		rt, _, ok := unit.GetReadyTask()
+		if !ok {
+			return fmt.Errorf("structures full but no ready task to retire")
+		}
+		if _, err := unit.FinishTask(rt.DescAddr); err != nil {
+			return err
+		}
+		inFlight--
+		return nil
+	}
+	for _, spec := range prog.Tasks() {
+		d := desc(spec.ID)
+		for window > 0 && inFlight >= window {
+			if err := retireOne(); err != nil {
+				return err
+			}
+		}
+		for !unit.CanCreateTask(d) {
+			if err := retireOne(); err != nil {
+				return err
+			}
+		}
+		if _, err := unit.CreateTask(d); err != nil {
+			return err
+		}
+		inFlight++
+		for _, dep := range spec.Deps {
+			for !unit.CanAddDependence(d, dep.Addr, dep.Size, dep.Dir) {
+				if err := retireOne(); err != nil {
+					return err
+				}
+			}
+			if _, err := unit.AddDependence(d, dep.Addr, dep.Size, dep.Dir); err != nil {
+				return err
+			}
+		}
+		if _, err := unit.SubmitTask(d); err != nil {
+			return err
+		}
+	}
+	for inFlight > 0 {
+		if err := retireOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

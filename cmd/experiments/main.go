@@ -1,0 +1,101 @@
+// Command experiments regenerates the figures and tables of the paper's
+// evaluation (Sections V and VI). Each experiment prints one or more tables
+// whose rows mirror the corresponding figure's data series.
+//
+// Examples:
+//
+//	experiments -list
+//	experiments -experiment fig12
+//	experiments -all -benchmarks cholesky,qr,dedup
+//	experiments -all -o results.txt -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list the available experiments and exit")
+		experiment = flag.String("experiment", "", "run a single experiment by id (fig2, fig6, ..., tab3)")
+		all        = flag.Bool("all", false, "run every experiment")
+		benchmarks = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all nine)")
+		cores      = flag.Int("cores", 32, "number of cores")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		out        = flag.String("o", "", "write results to a file instead of stdout")
+		verbose    = flag.Bool("v", false, "log per-simulation progress to stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if !*all && *experiment == "" {
+		fmt.Fprintln(os.Stderr, "experiments: pass -all, -experiment <id>, or -list")
+		os.Exit(2)
+	}
+
+	opt := experiments.DefaultOptions()
+	opt.Machine.Cores = *cores
+	if *benchmarks != "" {
+		opt.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+	if *verbose {
+		opt.Log = os.Stderr
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	run := func(e experiments.Experiment) error {
+		fmt.Fprintf(w, "\n######## %s — %s\n\n", e.ID, e.Title)
+		tables, err := e.Run(opt)
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			if *csv {
+				fmt.Fprintf(w, "# %s\n%s\n", t.Title, t.CSV())
+			} else {
+				fmt.Fprintln(w, t.String())
+			}
+		}
+		return nil
+	}
+
+	if *all {
+		for _, e := range experiments.All() {
+			if err := run(e); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	e, err := experiments.ByID(*experiment)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	if err := run(e); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,135 @@
+package area
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dmu"
+)
+
+func findEntry(t *testing.T, r Report, name string) Entry {
+	t.Helper()
+	for _, e := range r.Entries {
+		if e.Name == name {
+			return e
+		}
+	}
+	t.Fatalf("entry %q not found in %+v", name, r.Entries)
+	return Entry{}
+}
+
+func TestTableIIIStorage(t *testing.T) {
+	// Table III of the paper, storage in KB for the selected configuration.
+	want := map[string]float64{
+		"Task Table":       23.00,
+		"Dependence Table": 5.25,
+		"TAT":              18.75,
+		"DAT":              18.75,
+		"SLA":              12.25,
+		"DLA":              12.25,
+		"RLA":              12.25,
+		"Ready Queue":      2.75,
+	}
+	rep := DMUReport(dmu.DefaultConfig())
+	for name, kb := range want {
+		got := findEntry(t, rep, name).StorageKB
+		if math.Abs(got-kb) > 0.01 {
+			t.Errorf("%s storage = %.2f KB, want %.2f KB", name, got, kb)
+		}
+	}
+	if math.Abs(rep.TotalKB-105.25) > 0.01 {
+		t.Errorf("total storage = %.2f KB, want 105.25 KB", rep.TotalKB)
+	}
+}
+
+func TestTableIIIArea(t *testing.T) {
+	// Table III area values (mm^2, 22 nm). The SRAM model is a linear fit
+	// against CACTI, so allow a small absolute tolerance per structure.
+	want := map[string]float64{
+		"Task Table":       0.026,
+		"Dependence Table": 0.013,
+		"TAT":              0.031,
+		"DAT":              0.031,
+		"SLA":              0.019,
+		"DLA":              0.019,
+		"RLA":              0.019,
+		"Ready Queue":      0.012,
+	}
+	rep := DMUReport(dmu.DefaultConfig())
+	for name, mm2 := range want {
+		got := findEntry(t, rep, name).AreaMM2
+		if math.Abs(got-mm2) > 0.002 {
+			t.Errorf("%s area = %.4f mm2, want %.3f mm2", name, got, mm2)
+		}
+	}
+	if math.Abs(rep.TotalMM2-0.17) > 0.01 {
+		t.Errorf("total area = %.3f mm2, want ~0.17 mm2", rep.TotalMM2)
+	}
+}
+
+func TestTaskSuperscalarRatio(t *testing.T) {
+	cfg := dmu.DefaultConfig()
+	tss := TaskSuperscalarReport(cfg)
+	if math.Abs(tss.TotalKB-769) > 1 {
+		t.Errorf("Task Superscalar storage = %.2f KB, want 769 KB", tss.TotalKB)
+	}
+	ratio := StorageRatio(tss, DMUReport(cfg))
+	if math.Abs(ratio-7.3) > 0.15 {
+		t.Errorf("storage ratio = %.2f, want ~7.3x", ratio)
+	}
+}
+
+func TestStorageScalesWithConfig(t *testing.T) {
+	small := dmu.DefaultConfig()
+	small.TATEntries, small.DATEntries = 512, 512
+	small.SLAEntries, small.DLAEntries, small.RLAEntries = 256, 256, 256
+	small.ReadyQueueEntries = 512
+	smallRep := DMUReport(small)
+	bigRep := DMUReport(dmu.DefaultConfig())
+	if smallRep.TotalKB >= bigRep.TotalKB {
+		t.Fatalf("smaller config (%f KB) not smaller than default (%f KB)", smallRep.TotalKB, bigRep.TotalKB)
+	}
+	if smallRep.TotalMM2 >= bigRep.TotalMM2 {
+		t.Fatal("smaller config not smaller in area")
+	}
+}
+
+func TestIDWidthFollowsTableSizes(t *testing.T) {
+	// Halving the TAT halves the task-ID width only when it crosses a
+	// power of two; 1024 entries need 10 bits instead of 11, which shrinks
+	// the SLA and RLA (they store task IDs).
+	small := dmu.DefaultConfig()
+	small.TATEntries = 1024
+	smallRep := DMUReport(small)
+	defRep := DMUReport(dmu.DefaultConfig())
+	if findEntry(t, smallRep, "SLA").StorageKB >= findEntry(t, defRep, "SLA").StorageKB {
+		t.Fatal("SLA storage did not shrink with narrower task IDs")
+	}
+}
+
+func TestCarbonReportSmall(t *testing.T) {
+	carbon := CarbonReport(32, 64)
+	if carbon.TotalKB <= 0 {
+		t.Fatal("carbon storage not positive")
+	}
+	dmuRep := DMUReport(dmu.DefaultConfig())
+	if carbon.TotalKB >= dmuRep.TotalKB {
+		t.Fatalf("Carbon queues (%.2f KB) should be far smaller than the DMU (%.2f KB)",
+			carbon.TotalKB, dmuRep.TotalKB)
+	}
+}
+
+func TestStorageRatioZeroDenominator(t *testing.T) {
+	if StorageRatio(Report{TotalKB: 10}, Report{}) != 0 {
+		t.Fatal("zero denominator not handled")
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{2: 1, 3: 2, 4: 2, 1024: 10, 2048: 11, 2049: 12}
+	for n, want := range cases {
+		if got := log2ceil(n); got != want {
+			t.Errorf("log2ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

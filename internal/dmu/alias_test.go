@@ -1,0 +1,295 @@
+package dmu
+
+import "testing"
+
+func TestAliasInsertLookupRemove(t *testing.T) {
+	at := newAliasTable("TAT", 64, 8, StaticIndex(6))
+	id, ok := at.insert(0x1000, 0)
+	if !ok {
+		t.Fatal("insert failed on empty table")
+	}
+	got, ok := at.lookup(0x1000, 0)
+	if !ok || got != id {
+		t.Fatalf("lookup = (%d,%v), want (%d,true)", got, ok, id)
+	}
+	if _, ok := at.lookup(0x2000, 0); ok {
+		t.Fatal("lookup of absent address succeeded")
+	}
+	if err := at.removeByID(id); err != nil {
+		t.Fatalf("removeByID: %v", err)
+	}
+	if _, ok := at.lookup(0x1000, 0); ok {
+		t.Fatal("lookup succeeded after remove")
+	}
+	if at.occupiedEntries() != 0 {
+		t.Fatalf("occupied = %d, want 0", at.occupiedEntries())
+	}
+}
+
+func TestAliasRemoveUnknownIDFails(t *testing.T) {
+	at := newAliasTable("TAT", 64, 8, StaticIndex(6))
+	if err := at.removeByID(5); err == nil {
+		t.Fatal("removeByID of unmapped ID succeeded")
+	}
+}
+
+func TestAliasIDsAreReused(t *testing.T) {
+	at := newAliasTable("TAT", 16, 4, StaticIndex(0))
+	var ids []int
+	for i := 0; i < 16; i++ {
+		// Addresses 0..15 spread over the 4 sets (index = addr % 4).
+		id, ok := at.insert(uint64(i), 0)
+		if !ok {
+			t.Fatalf("insert %d failed", i)
+		}
+		ids = append(ids, id)
+	}
+	if _, ok := at.insert(0x9999, 0); ok {
+		t.Fatal("insert succeeded with no free IDs")
+	}
+	if at.idExhaustions == 0 && at.setConflicts == 0 {
+		t.Fatal("full-table insert recorded no failure reason")
+	}
+	if err := at.removeByID(ids[3]); err != nil {
+		t.Fatal(err)
+	}
+	// Address 19 maps to the same set as address 3, whose entry was freed.
+	id, ok := at.insert(19, 0)
+	if !ok {
+		t.Fatal("insert failed after freeing an entry")
+	}
+	if id != ids[3] {
+		t.Fatalf("freed ID %d not reused, got %d", ids[3], id)
+	}
+}
+
+func TestAliasSetConflict(t *testing.T) {
+	// 2 sets, 2 ways: addresses mapping to the same set conflict after two
+	// insertions even though free IDs remain.
+	at := newAliasTable("DAT", 4, 2, StaticIndex(0))
+	if _, ok := at.insert(0, 0); !ok {
+		t.Fatal("insert 0 failed")
+	}
+	if _, ok := at.insert(2, 0); !ok {
+		t.Fatal("insert 2 failed")
+	}
+	if at.canInsert(4, 0) {
+		t.Fatal("canInsert reported room in a full set")
+	}
+	if _, ok := at.insert(4, 0); ok {
+		t.Fatal("insert into full set succeeded")
+	}
+	if at.setConflicts != 1 {
+		t.Fatalf("setConflicts = %d, want 1", at.setConflicts)
+	}
+	// The other set still has room.
+	if _, ok := at.insert(1, 0); !ok {
+		t.Fatal("insert into other set failed")
+	}
+}
+
+func TestAliasStaticIndexLowBitsCollide(t *testing.T) {
+	// Dependences on consecutive 4KB blocks share their low 12 bits being
+	// distinct multiples of 4096; with a static index at bit 0 over 256
+	// sets, the index is (addr % 256) which is identical for all of them.
+	at := newAliasTable("DAT", 2048, 8, StaticIndex(0))
+	base := uint64(0x10000000)
+	inserted := 0
+	for i := 0; i < 64; i++ {
+		if _, ok := at.insert(base+uint64(i)*4096*256, 4096); ok {
+			inserted++
+		}
+	}
+	if occupied := at.occupiedSets(); occupied != 1 {
+		t.Fatalf("occupied sets = %d, want 1 (all addresses alias)", occupied)
+	}
+	if inserted != 8 {
+		t.Fatalf("inserted = %d, want 8 (one set of 8 ways)", inserted)
+	}
+}
+
+func TestAliasDynamicIndexSpreadsBlocks(t *testing.T) {
+	// With dynamic index-bit selection the index starts at log2(size), so
+	// consecutive blocks of a vector land in consecutive sets.
+	at := newAliasTable("DAT", 2048, 8, DynamicIndex())
+	base := uint64(0x10000000)
+	for i := 0; i < 64; i++ {
+		if _, ok := at.insert(base+uint64(i)*4096, 4096); !ok {
+			t.Fatalf("dynamic insert %d failed", i)
+		}
+	}
+	if occupied := at.occupiedSets(); occupied != 64 {
+		t.Fatalf("occupied sets = %d, want 64", occupied)
+	}
+}
+
+func TestAliasDynamicIndexNonPowerOfTwoSize(t *testing.T) {
+	at := newAliasTable("DAT", 64, 8, DynamicIndex())
+	// Size 3000 rounds up to 4096 for index purposes (bits.Len64(2999)=12).
+	i1 := at.index(0x0000, 3000)
+	i2 := at.index(0x1000, 3000)
+	if i1 == i2 {
+		t.Fatalf("adjacent 4KB-ish blocks map to the same set %d", i1)
+	}
+}
+
+func TestAliasOccupancyTracking(t *testing.T) {
+	at := newAliasTable("DAT", 64, 8, DynamicIndex())
+	for i := 0; i < 10; i++ {
+		if _, ok := at.insert(uint64(i)*128, 64); !ok {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	if at.maxOccupied != 10 || at.occupiedEntries() != 10 {
+		t.Fatalf("occupancy tracking wrong: max=%d cur=%d", at.maxOccupied, at.occupiedEntries())
+	}
+	if at.avgOccupiedSets() <= 0 {
+		t.Fatal("average occupied sets not sampled")
+	}
+}
+
+func TestListArrayAllocAppendWalk(t *testing.T) {
+	la := newListArray("SLA", 16, 4)
+	head, acc, ok := la.alloc()
+	if !ok || acc != 1 {
+		t.Fatalf("alloc = (%d,%d,%v)", head, acc, ok)
+	}
+	for i := int32(0); i < 10; i++ {
+		if _, ok := la.append(head, i); !ok {
+			t.Fatalf("append %d failed", i)
+		}
+	}
+	vals, _ := la.walk(head)
+	if len(vals) != 10 {
+		t.Fatalf("walk returned %d values, want 10", len(vals))
+	}
+	for i, v := range vals {
+		if v != int32(i) {
+			t.Fatalf("walk order wrong: %v", vals)
+		}
+	}
+	// 10 elements at 4 per entry need 3 entries.
+	if la.inUse != 3 {
+		t.Fatalf("inUse = %d, want 3", la.inUse)
+	}
+	if la.length(head) != 10 {
+		t.Fatalf("length = %d, want 10", la.length(head))
+	}
+}
+
+func TestListArrayAppendCostGrowsWithLength(t *testing.T) {
+	la := newListArray("SLA", 64, 4)
+	head, _, _ := la.alloc()
+	firstCost, _ := la.append(head, 0)
+	for i := int32(1); i < 12; i++ {
+		la.append(head, i)
+	}
+	lastCost, _ := la.append(head, 99)
+	if lastCost <= firstCost {
+		t.Fatalf("append cost did not grow with list length: first=%d last=%d", firstCost, lastCost)
+	}
+}
+
+func TestListArrayRemoveValue(t *testing.T) {
+	la := newListArray("RLA", 16, 4)
+	head, _, _ := la.alloc()
+	for i := int32(0); i < 6; i++ {
+		la.append(head, i)
+	}
+	if _, found := la.removeValue(head, 3); !found {
+		t.Fatal("removeValue did not find 3")
+	}
+	vals, _ := la.walk(head)
+	if len(vals) != 5 {
+		t.Fatalf("len after remove = %d, want 5", len(vals))
+	}
+	for _, v := range vals {
+		if v == 3 {
+			t.Fatal("value 3 still present after remove")
+		}
+	}
+	if _, found := la.removeValue(head, 42); found {
+		t.Fatal("removeValue found a value that was never added")
+	}
+	if _, found := la.removeValue(noList, 1); found {
+		t.Fatal("removeValue on noList found something")
+	}
+}
+
+func TestListArrayFlushKeepsHead(t *testing.T) {
+	la := newListArray("RLA", 16, 2)
+	head, _, _ := la.alloc()
+	for i := int32(0); i < 7; i++ {
+		la.append(head, i)
+	}
+	inUseBefore := la.inUse
+	la.flush(head)
+	if la.inUse != 1 {
+		t.Fatalf("inUse after flush = %d, want 1 (head kept), before was %d", la.inUse, inUseBefore)
+	}
+	vals, _ := la.walk(head)
+	if len(vals) != 0 {
+		t.Fatalf("flushed list still has %d values", len(vals))
+	}
+	// The list must be appendable again after a flush.
+	if _, ok := la.append(head, 42); !ok {
+		t.Fatal("append after flush failed")
+	}
+}
+
+func TestListArrayFreeListReleasesAll(t *testing.T) {
+	la := newListArray("SLA", 8, 2)
+	head, _, _ := la.alloc()
+	for i := int32(0); i < 8; i++ {
+		la.append(head, i)
+	}
+	la.freeList(head)
+	if la.inUse != 0 {
+		t.Fatalf("inUse after freeList = %d, want 0", la.inUse)
+	}
+	if la.freeEntries() != 8 {
+		t.Fatalf("freeEntries = %d, want 8", la.freeEntries())
+	}
+}
+
+func TestListArrayExhaustion(t *testing.T) {
+	la := newListArray("SLA", 2, 2)
+	head, _, _ := la.alloc()
+	la.append(head, 0)
+	la.append(head, 1)
+	la.append(head, 2) // forces a second entry
+	la.append(head, 3)
+	if _, ok := la.append(head, 4); ok {
+		t.Fatal("append succeeded with an exhausted list array")
+	}
+	if la.canAppend(2, 2) {
+		// With elemsPer=2 a length-2 tail is exactly full, so two more
+		// elements need a fresh entry, and none remain.
+		t.Fatal("canAppend(2,2) should be false with zero free entries")
+	}
+}
+
+func TestListArrayCanAppendSlack(t *testing.T) {
+	la := newListArray("SLA", 1, 4)
+	head, _, _ := la.alloc()
+	la.append(head, 1)
+	// One element used, three slots of slack remain, no free entries.
+	if !la.canAppend(1, 3) {
+		t.Fatal("canAppend should allow filling the tail slack")
+	}
+	if la.canAppend(1, 4) {
+		t.Fatal("canAppend should reject growth beyond the slack with no free entries")
+	}
+}
+
+func TestListArrayMaxInUse(t *testing.T) {
+	la := newListArray("SLA", 8, 2)
+	head, _, _ := la.alloc()
+	for i := int32(0); i < 7; i++ {
+		la.append(head, i)
+	}
+	la.freeList(head)
+	if la.maxInUse != 4 {
+		t.Fatalf("maxInUse = %d, want 4", la.maxInUse)
+	}
+}

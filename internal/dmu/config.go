@@ -1,0 +1,154 @@
+// Package dmu implements the Dependence Management Unit (DMU) proposed by
+// the TDM paper (Castillo et al., HPCA 2018): a centralized hardware unit
+// that tracks in-flight tasks and the dependences between them, and exposes
+// ready tasks to a software runtime system.
+//
+// The implementation is a functional model with cycle-cost accounting. Every
+// structure mirrors the paper's Section III design:
+//
+//   - TAT and DAT: set-associative alias tables that rename 64-bit task
+//     descriptor and dependence addresses to small internal IDs, with a free
+//     ID queue each. The DAT selects its index bits dynamically from the
+//     dependence size to avoid conflicts (Section III-B1, Figure 11).
+//   - Task Table and Dependence Table: direct-mapped SRAMs indexed by the
+//     internal IDs.
+//   - Successor, Dependence and Reader List Arrays (SLA, DLA, RLA):
+//     inode-style storage for variable-length lists (Figure 5).
+//   - Ready Queue: a FIFO of task IDs whose predecessor count reached zero.
+//
+// Operations implement Algorithms 1 and 2 of the paper and report the number
+// of structure accesses they performed, which the simulation converts to
+// cycles using the configured access latency. Capacity exhaustion is modelled
+// with conservative pre-checks (CanCreateTask, CanAddDependence): the runtime
+// blocks the issuing thread until an in-flight task finishes, exactly as
+// Section III-D prescribes.
+package dmu
+
+import "fmt"
+
+// IndexPolicy selects how the DAT derives its set index from a dependence
+// address.
+type IndexPolicy struct {
+	// Dynamic selects the index bits starting at log2(size) of the
+	// dependence, the paper's proposal (Section III-B1).
+	Dynamic bool
+	// StaticBit is the fixed lowest index bit used when Dynamic is false.
+	// Figure 11 evaluates static values 0, 4, 8, 12 and 16.
+	StaticBit uint
+}
+
+// DynamicIndex is the paper's dynamic index-bit selection policy.
+func DynamicIndex() IndexPolicy { return IndexPolicy{Dynamic: true} }
+
+// StaticIndex selects a fixed lowest index bit.
+func StaticIndex(bit uint) IndexPolicy { return IndexPolicy{StaticBit: bit} }
+
+func (p IndexPolicy) String() string {
+	if p.Dynamic {
+		return "dynamic"
+	}
+	return fmt.Sprintf("static@%d", p.StaticBit)
+}
+
+// Config sizes every DMU structure. The zero value is not valid; start from
+// DefaultConfig (the configuration selected by the paper's design space
+// exploration, Table I) and override fields as needed.
+type Config struct {
+	// TATEntries and TATAssoc size the Task Alias Table. The Task Table is
+	// sized identically (one entry per task ID).
+	TATEntries int
+	TATAssoc   int
+
+	// DATEntries and DATAssoc size the Dependence Alias Table. The
+	// Dependence Table is sized identically.
+	DATEntries int
+	DATAssoc   int
+
+	// SLAEntries, DLAEntries and RLAEntries size the successor, dependence
+	// and reader list arrays. Each entry holds ListElems elements plus a
+	// next pointer.
+	SLAEntries int
+	DLAEntries int
+	RLAEntries int
+	ListElems  int
+
+	// ReadyQueueEntries bounds the hardware ready queue.
+	ReadyQueueEntries int
+
+	// AccessLatency is the latency in cycles of one access to any DMU
+	// structure (Figure 9 varies it between 1 and 16). Zero models an
+	// idealized DMU with free accesses, used as the normalization baseline
+	// of the design space exploration.
+	AccessLatency int
+
+	// DATIndex selects the DAT index-bit policy.
+	DATIndex IndexPolicy
+
+	// TATIndexBit is the lowest address bit used to index the TAT. Task
+	// descriptors are allocated by the runtime (typically cache-line
+	// aligned), so bit 6 spreads them across sets.
+	TATIndexBit uint
+}
+
+// DefaultConfig returns the configuration selected in Section V (Table I):
+// 2048-entry 8-way TAT and DAT, 1024-entry list arrays with 8 elements per
+// entry, and 1-cycle access latency.
+func DefaultConfig() Config {
+	return Config{
+		TATEntries:        2048,
+		TATAssoc:          8,
+		DATEntries:        2048,
+		DATAssoc:          8,
+		SLAEntries:        1024,
+		DLAEntries:        1024,
+		RLAEntries:        1024,
+		ListElems:         8,
+		ReadyQueueEntries: 2048,
+		AccessLatency:     1,
+		DATIndex:          DynamicIndex(),
+		TATIndexBit:       6,
+	}
+}
+
+// Validate reports configuration errors such as non-power-of-two sizes or
+// associativities that do not divide the entry count.
+func (c Config) Validate() error {
+	check := func(name string, v int) error {
+		if v <= 0 {
+			return fmt.Errorf("dmu: %s must be positive, got %d", name, v)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"TATEntries", c.TATEntries}, {"TATAssoc", c.TATAssoc},
+		{"DATEntries", c.DATEntries}, {"DATAssoc", c.DATAssoc},
+		{"SLAEntries", c.SLAEntries}, {"DLAEntries", c.DLAEntries},
+		{"RLAEntries", c.RLAEntries}, {"ListElems", c.ListElems},
+		{"ReadyQueueEntries", c.ReadyQueueEntries},
+	} {
+		if err := check(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	if c.AccessLatency < 0 {
+		return fmt.Errorf("dmu: AccessLatency must be non-negative, got %d", c.AccessLatency)
+	}
+	if c.TATEntries%c.TATAssoc != 0 {
+		return fmt.Errorf("dmu: TAT associativity %d does not divide %d entries", c.TATAssoc, c.TATEntries)
+	}
+	if c.DATEntries%c.DATAssoc != 0 {
+		return fmt.Errorf("dmu: DAT associativity %d does not divide %d entries", c.DATAssoc, c.DATEntries)
+	}
+	if !isPowerOfTwo(c.TATEntries / c.TATAssoc) {
+		return fmt.Errorf("dmu: TAT set count %d is not a power of two", c.TATEntries/c.TATAssoc)
+	}
+	if !isPowerOfTwo(c.DATEntries / c.DATAssoc) {
+		return fmt.Errorf("dmu: DAT set count %d is not a power of two", c.DATEntries/c.DATAssoc)
+	}
+	return nil
+}
+
+func isPowerOfTwo(v int) bool { return v > 0 && v&(v-1) == 0 }

@@ -1,0 +1,697 @@
+package dmu
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/task"
+)
+
+// descAddr returns a synthetic task-descriptor address for task id, mimicking
+// runtime allocations that are cache-line aligned.
+func descAddr(id task.ID) uint64 { return 0x7f00_0000_0000 + uint64(id)*64 }
+
+// driveProgram pushes a whole program through the DMU: tasks are created and
+// submitted in program order, and whenever the Ready Queue has tasks they are
+// drained and "executed" in FIFO order (finish_task). It validates the
+// resulting execution order against the golden graph and returns the order.
+func driveProgram(t *testing.T, d *DMU, p *task.Program) []task.ID {
+	t.Helper()
+	g := task.BuildProgramGraph(p)
+	v := task.NewOrderValidator(g)
+	specByDesc := make(map[uint64]*task.Spec)
+	var order []task.ID
+
+	execute := func(rt ReadyTask) {
+		spec := specByDesc[rt.DescAddr]
+		if spec == nil {
+			t.Fatalf("ready task with unknown descriptor 0x%x", rt.DescAddr)
+		}
+		v.Start(spec.ID)
+		v.Finish(spec.ID)
+		order = append(order, spec.ID)
+		if _, err := d.FinishTask(rt.DescAddr); err != nil {
+			t.Fatalf("FinishTask(%d): %v", spec.ID, err)
+		}
+	}
+	drain := func() {
+		for {
+			rt, _, ok := d.GetReadyTask()
+			if !ok {
+				return
+			}
+			execute(rt)
+		}
+	}
+
+	for _, spec := range p.Tasks() {
+		desc := descAddr(spec.ID)
+		specByDesc[desc] = spec
+		// Block on capacity exactly like the runtime would: drain ready
+		// tasks (finishing them frees entries) until the create fits.
+		for !d.CanCreateTask(desc) {
+			rt, _, ok := d.GetReadyTask()
+			if !ok {
+				t.Fatalf("DMU full and no ready tasks to retire (task %d)", spec.ID)
+			}
+			execute(rt)
+		}
+		if _, err := d.CreateTask(desc); err != nil {
+			t.Fatalf("CreateTask(%d): %v", spec.ID, err)
+		}
+		for _, dep := range spec.Deps {
+			for !d.CanAddDependence(desc, dep.Addr, dep.Size, dep.Dir) {
+				rt, _, ok := d.GetReadyTask()
+				if !ok {
+					t.Fatalf("DMU full and no ready tasks to retire (dep of task %d)", spec.ID)
+				}
+				execute(rt)
+			}
+			if _, err := d.AddDependence(desc, dep.Addr, dep.Size, dep.Dir); err != nil {
+				t.Fatalf("AddDependence(%d, %v): %v", spec.ID, dep, err)
+			}
+		}
+		if _, err := d.SubmitTask(desc); err != nil {
+			t.Fatalf("SubmitTask(%d): %v", spec.ID, err)
+		}
+	}
+	drain()
+
+	if err := v.Err(); err != nil {
+		t.Fatalf("execution order invalid: %v", err)
+	}
+	if !d.Quiescent() {
+		t.Fatalf("DMU not quiescent after full program: %+v", d.Snapshot())
+	}
+	return order
+}
+
+func smallConfig() Config {
+	c := DefaultConfig()
+	c.TATEntries, c.TATAssoc = 64, 8
+	c.DATEntries, c.DATAssoc = 64, 8
+	c.SLAEntries, c.DLAEntries, c.RLAEntries = 64, 64, 64
+	c.ReadyQueueEntries = 64
+	return c
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+}
+
+func TestConfigValidateRejectsBadValues(t *testing.T) {
+	c := DefaultConfig()
+	c.TATEntries = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero TATEntries accepted")
+	}
+	c = DefaultConfig()
+	c.TATAssoc = 3
+	if err := c.Validate(); err == nil {
+		t.Error("non-dividing associativity accepted")
+	}
+	c = DefaultConfig()
+	c.DATEntries, c.DATAssoc = 96, 8 // 12 sets: not a power of two
+	if err := c.Validate(); err == nil {
+		t.Error("non-power-of-two set count accepted")
+	}
+	c = DefaultConfig()
+	c.AccessLatency = -1
+	if err := c.Validate(); err == nil {
+		t.Error("negative access latency accepted")
+	}
+	c = DefaultConfig()
+	c.AccessLatency = 0
+	if err := c.Validate(); err != nil {
+		t.Errorf("zero access latency (idealized DMU) rejected: %v", err)
+	}
+}
+
+func TestCreateSubmitReadyRoot(t *testing.T) {
+	d := New(smallConfig())
+	desc := descAddr(0)
+	if _, err := d.CreateTask(desc); err != nil {
+		t.Fatal(err)
+	}
+	if d.ReadyCount() != 0 {
+		t.Fatal("task ready before submit")
+	}
+	res, err := d.SubmitTask(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ready != 1 || d.ReadyCount() != 1 {
+		t.Fatalf("root task not ready after submit: res=%+v ready=%d", res, d.ReadyCount())
+	}
+	rt, _, ok := d.GetReadyTask()
+	if !ok || rt.DescAddr != desc || rt.NumSuccs != 0 {
+		t.Fatalf("GetReadyTask = %+v, %v", rt, ok)
+	}
+	if _, err := d.FinishTask(desc); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Quiescent() {
+		t.Fatal("DMU not quiescent after single task")
+	}
+}
+
+func TestCreateDuplicateDescriptorFails(t *testing.T) {
+	d := New(smallConfig())
+	desc := descAddr(0)
+	if _, err := d.CreateTask(desc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CreateTask(desc); !errors.Is(err, ErrTaskExists) {
+		t.Fatalf("duplicate create error = %v, want ErrTaskExists", err)
+	}
+}
+
+func TestOpsOnUnknownTaskFail(t *testing.T) {
+	d := New(smallConfig())
+	if _, err := d.AddDependence(0xdead, 0x1000, 64, task.In); !errors.Is(err, ErrUnknownTask) {
+		t.Errorf("AddDependence on unknown task: %v", err)
+	}
+	if _, err := d.FinishTask(0xdead); !errors.Is(err, ErrUnknownTask) {
+		t.Errorf("FinishTask on unknown task: %v", err)
+	}
+	if _, err := d.SubmitTask(0xdead); !errors.Is(err, ErrUnknownTask) {
+		t.Errorf("SubmitTask on unknown task: %v", err)
+	}
+	if _, _, err := d.PredecessorCount(0xdead); !errors.Is(err, ErrUnknownTask) {
+		t.Errorf("PredecessorCount on unknown task: %v", err)
+	}
+	if _, _, err := d.SuccessorCount(0xdead); !errors.Is(err, ErrUnknownTask) {
+		t.Errorf("SuccessorCount on unknown task: %v", err)
+	}
+}
+
+func TestGetReadyTaskEmpty(t *testing.T) {
+	d := New(smallConfig())
+	if _, _, ok := d.GetReadyTask(); ok {
+		t.Fatal("GetReadyTask returned a task from an empty queue")
+	}
+}
+
+func TestRAWDependence(t *testing.T) {
+	d := New(smallConfig())
+	writer, reader := descAddr(0), descAddr(1)
+	mustCreate(t, d, writer)
+	mustAddDep(t, d, writer, 0xA000, 64, task.Out)
+	mustSubmit(t, d, writer)
+
+	mustCreate(t, d, reader)
+	mustAddDep(t, d, reader, 0xA000, 64, task.In)
+	mustSubmit(t, d, reader)
+
+	if n, _, _ := d.PredecessorCount(reader); n != 1 {
+		t.Fatalf("reader preds = %d, want 1", n)
+	}
+	if n, _, _ := d.SuccessorCount(writer); n != 1 {
+		t.Fatalf("writer succs = %d, want 1", n)
+	}
+	// Only the writer is ready.
+	rt, _, ok := d.GetReadyTask()
+	if !ok || rt.DescAddr != writer {
+		t.Fatalf("first ready = %+v, want writer", rt)
+	}
+	if rt.NumSuccs != 1 {
+		t.Fatalf("writer NumSuccs = %d, want 1", rt.NumSuccs)
+	}
+	if _, _, ok := d.GetReadyTask(); ok {
+		t.Fatal("reader ready before writer finished")
+	}
+	res, err := d.FinishTask(writer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ready != 1 {
+		t.Fatalf("finish produced %d ready tasks, want 1", res.Ready)
+	}
+	rt, _, ok = d.GetReadyTask()
+	if !ok || rt.DescAddr != reader {
+		t.Fatalf("second ready = %+v, want reader", rt)
+	}
+}
+
+func TestWARDependence(t *testing.T) {
+	d := New(smallConfig())
+	r1, r2, w := descAddr(0), descAddr(1), descAddr(2)
+	for _, desc := range []uint64{r1, r2} {
+		mustCreate(t, d, desc)
+		mustAddDep(t, d, desc, 0xB000, 64, task.In)
+		mustSubmit(t, d, desc)
+	}
+	mustCreate(t, d, w)
+	mustAddDep(t, d, w, 0xB000, 64, task.Out)
+	mustSubmit(t, d, w)
+
+	if n, _, _ := d.PredecessorCount(w); n != 2 {
+		t.Fatalf("writer preds = %d, want 2 (WAR on both readers)", n)
+	}
+	// Readers are both ready immediately (no prior writer).
+	if d.ReadyCount() != 2 {
+		t.Fatalf("ready = %d, want 2", d.ReadyCount())
+	}
+	d.GetReadyTask()
+	d.GetReadyTask()
+	if _, err := d.FinishTask(r1); err != nil {
+		t.Fatal(err)
+	}
+	if d.ReadyCount() != 0 {
+		t.Fatal("writer became ready after only one reader finished")
+	}
+	if _, err := d.FinishTask(r2); err != nil {
+		t.Fatal(err)
+	}
+	if d.ReadyCount() != 1 {
+		t.Fatal("writer not ready after both readers finished")
+	}
+}
+
+func TestWAWDependence(t *testing.T) {
+	d := New(smallConfig())
+	w1, w2 := descAddr(0), descAddr(1)
+	mustCreate(t, d, w1)
+	mustAddDep(t, d, w1, 0xC000, 64, task.InOut)
+	mustSubmit(t, d, w1)
+	mustCreate(t, d, w2)
+	mustAddDep(t, d, w2, 0xC000, 64, task.InOut)
+	mustSubmit(t, d, w2)
+	if n, _, _ := d.PredecessorCount(w2); n != 1 {
+		t.Fatalf("w2 preds = %d, want 1", n)
+	}
+}
+
+func TestSubmitGatePreventsPrematureReady(t *testing.T) {
+	// A task whose first dependence's producer finishes before the task's
+	// remaining dependences are declared must not become ready early.
+	d := New(smallConfig())
+	p1, p2, consumer := descAddr(0), descAddr(1), descAddr(2)
+	for _, p := range []uint64{p1, p2} {
+		mustCreate(t, d, p)
+	}
+	mustAddDep(t, d, p1, 0xD000, 64, task.Out)
+	mustAddDep(t, d, p2, 0xD100, 64, task.Out)
+	mustSubmit(t, d, p1)
+	mustSubmit(t, d, p2)
+
+	mustCreate(t, d, consumer)
+	mustAddDep(t, d, consumer, 0xD000, 64, task.In)
+	// p1 finishes while the consumer is still being declared.
+	drainReady(d)
+	if _, err := d.FinishTask(p1); err != nil {
+		t.Fatal(err)
+	}
+	if d.ReadyCount() != 0 {
+		t.Fatal("consumer entered the ready queue before SubmitTask")
+	}
+	mustAddDep(t, d, consumer, 0xD100, 64, task.In)
+	mustSubmit(t, d, consumer)
+	if d.ReadyCount() != 0 {
+		t.Fatal("consumer ready while p2 still in flight")
+	}
+	if _, err := d.FinishTask(p2); err != nil {
+		t.Fatal(err)
+	}
+	if d.ReadyCount() != 1 {
+		t.Fatal("consumer not ready after both producers finished")
+	}
+}
+
+func TestReadyQueueIsFIFO(t *testing.T) {
+	d := New(smallConfig())
+	var descs []uint64
+	for i := 0; i < 5; i++ {
+		desc := descAddr(task.ID(i))
+		descs = append(descs, desc)
+		mustCreate(t, d, desc)
+		mustSubmit(t, d, desc)
+	}
+	for i := 0; i < 5; i++ {
+		rt, _, ok := d.GetReadyTask()
+		if !ok || rt.DescAddr != descs[i] {
+			t.Fatalf("ready order violated at %d: got 0x%x", i, rt.DescAddr)
+		}
+	}
+}
+
+func TestOpResultCostsScaleWithLatency(t *testing.T) {
+	run := func(latency int) int64 {
+		c := smallConfig()
+		c.AccessLatency = latency
+		d := New(c)
+		desc := descAddr(0)
+		var total int64
+		r, _ := d.CreateTask(desc)
+		total += r.Cycles
+		r, _ = d.AddDependence(desc, 0xE000, 64, task.InOut)
+		total += r.Cycles
+		r, _ = d.SubmitTask(desc)
+		total += r.Cycles
+		r, _ = d.FinishTask(desc)
+		total += r.Cycles
+		return total
+	}
+	oneCycle := run(1)
+	sixteen := run(16)
+	if sixteen != 16*oneCycle {
+		t.Fatalf("latency scaling wrong: 1-cycle=%d 16-cycle=%d", oneCycle, sixteen)
+	}
+}
+
+func TestCreateBlocksWhenTATFull(t *testing.T) {
+	c := smallConfig()
+	c.TATEntries, c.TATAssoc = 8, 8
+	c.ReadyQueueEntries = 8
+	d := New(c)
+	for i := 0; i < 8; i++ {
+		mustCreate(t, d, descAddr(task.ID(i)))
+	}
+	extra := descAddr(100)
+	if d.CanCreateTask(extra) {
+		t.Fatal("CanCreateTask true with full TAT")
+	}
+	if _, err := d.CreateTask(extra); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("CreateTask with full TAT: %v, want ErrNoSpace", err)
+	}
+	// Finishing one task frees an entry.
+	mustSubmit(t, d, descAddr(0))
+	drainReady(d)
+	if _, err := d.FinishTask(descAddr(0)); err != nil {
+		t.Fatal(err)
+	}
+	if !d.CanCreateTask(extra) {
+		t.Fatal("CanCreateTask still false after a task retired")
+	}
+	if _, err := d.CreateTask(extra); err != nil {
+		t.Fatalf("CreateTask after retire: %v", err)
+	}
+}
+
+func TestAddDependenceBlocksWhenDATFull(t *testing.T) {
+	c := smallConfig()
+	c.DATEntries, c.DATAssoc = 8, 8
+	d := New(c)
+	desc := descAddr(0)
+	mustCreate(t, d, desc)
+	for i := 0; i < 8; i++ {
+		mustAddDep(t, d, desc, uint64(0x1000+i*64), 64, task.Out)
+	}
+	if d.CanAddDependence(desc, 0x9000, 64, task.Out) {
+		t.Fatal("CanAddDependence true with full DAT")
+	}
+	if _, err := d.AddDependence(desc, 0x9000, 64, task.Out); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("AddDependence with full DAT: %v, want ErrNoSpace", err)
+	}
+}
+
+func TestChainProgramThroughDMU(t *testing.T) {
+	b := task.NewBuilder("chain")
+	b.Region(0)
+	for i := 0; i < 40; i++ {
+		b.Task("step", 10).InOut(0x5000, 256).Add()
+	}
+	p := b.Build()
+	d := New(smallConfig())
+	order := driveProgram(t, d, p)
+	for i, id := range order {
+		if id != task.ID(i) {
+			t.Fatalf("chain executed out of order: %v", order)
+		}
+	}
+}
+
+func TestForkJoinProgramThroughDMU(t *testing.T) {
+	b := task.NewBuilder("forkjoin")
+	b.Region(0)
+	src := b.Task("source", 10).Out(0xF000, 64).Add()
+	for i := 0; i < 20; i++ {
+		b.Task("work", 10).In(0xF000, 64).Out(uint64(0x20000+i*64), 64).Add()
+	}
+	sink := b.Task("sink", 10)
+	for i := 0; i < 20; i++ {
+		sink.In(uint64(0x20000+i*64), 64)
+	}
+	sinkID := sink.Add()
+	p := b.Build()
+	d := New(smallConfig())
+	order := driveProgram(t, d, p)
+	if order[0] != src {
+		t.Fatalf("source not first: %v", order)
+	}
+	if order[len(order)-1] != sinkID {
+		t.Fatalf("sink not last: %v", order)
+	}
+	stats := d.Stats()
+	if stats.EdgesCreated != 40 {
+		t.Fatalf("edges = %d, want 40", stats.EdgesCreated)
+	}
+}
+
+func TestTinyDMUStillCompletesLargeProgram(t *testing.T) {
+	// A DMU far smaller than the number of tasks must still complete the
+	// program correctly thanks to capacity blocking.
+	c := smallConfig()
+	c.TATEntries, c.TATAssoc = 16, 8
+	c.DATEntries, c.DATAssoc = 16, 8
+	c.SLAEntries, c.DLAEntries, c.RLAEntries = 16, 16, 16
+	c.ReadyQueueEntries = 16
+	d := New(c)
+
+	b := task.NewBuilder("big")
+	b.Region(0)
+	for i := 0; i < 300; i++ {
+		addr := uint64(0x10000 + (i%7)*4096)
+		decl := b.Task("t", 10)
+		if i%3 == 0 {
+			decl.InOut(addr, 4096)
+		} else {
+			decl.In(addr, 4096)
+		}
+		decl.Add()
+	}
+	driveProgram(t, d, b.Build())
+	if d.Stats().TasksRetired != 300 {
+		t.Fatalf("retired = %d, want 300", d.Stats().TasksRetired)
+	}
+}
+
+func TestStatsAndSnapshot(t *testing.T) {
+	d := New(smallConfig())
+	b := task.NewBuilder("p")
+	b.Region(0)
+	b.Task("a", 10).Out(0x100, 64).Add()
+	b.Task("b", 10).In(0x100, 64).Add()
+	driveProgram(t, d, b.Build())
+	s := d.Stats()
+	if s.CreateOps != 2 || s.FinishOps != 2 || s.AddDepOps != 2 || s.SubmitOps != 2 {
+		t.Fatalf("op counts wrong: %+v", s)
+	}
+	if s.TasksCreated != 2 || s.TasksRetired != 2 {
+		t.Fatalf("task lifecycle wrong: %+v", s)
+	}
+	if s.DepsTracked != 1 || s.DepsRetired != 1 {
+		t.Fatalf("dep lifecycle wrong: %+v", s)
+	}
+	if s.EdgesCreated != 1 {
+		t.Fatalf("edges = %d, want 1", s.EdgesCreated)
+	}
+	snap := d.Snapshot()
+	if snap.TotalAccesses == 0 {
+		t.Fatal("snapshot recorded no accesses")
+	}
+	if snap.TAT.MaxOccupied < 1 || snap.DAT.MaxOccupied != 1 {
+		t.Fatalf("alias occupancy wrong: %+v", snap)
+	}
+}
+
+func TestDATOccupancyStaticVsDynamic(t *testing.T) {
+	// Figure 11: with block-strided dependences, a bad static index packs
+	// everything into few sets while the dynamic policy spreads them.
+	makeProg := func() *task.Program {
+		b := task.NewBuilder("strided")
+		b.Region(0)
+		for i := 0; i < 128; i++ {
+			b.Task("t", 10).Out(uint64(0x4000_0000+i*16384), 16384).Add()
+		}
+		return b.Build()
+	}
+	run := func(pol IndexPolicy) float64 {
+		c := DefaultConfig()
+		c.DATIndex = pol
+		d := New(c)
+		// driveProgram retires tasks whenever a structure fills, which is
+		// exactly what happens with the conflict-prone static policy.
+		driveProgram(t, d, makeProg())
+		return d.DATAvgOccupiedSets()
+	}
+	static := run(StaticIndex(0))
+	dynamic := run(DynamicIndex())
+	if dynamic <= static {
+		t.Fatalf("dynamic occupancy %v not better than static %v", dynamic, static)
+	}
+	if static > 2 {
+		t.Fatalf("static@0 policy should collapse onto very few sets, got %v", static)
+	}
+	if dynamic < 32 {
+		t.Fatalf("dynamic policy should spread 128 blocks over many sets, got %v", dynamic)
+	}
+}
+
+// Property: any randomly generated creation-order program executed through
+// the DMU respects every dependence, retires every task, and leaves the DMU
+// quiescent.
+func TestPropertyDMUMatchesGoldenGraph(t *testing.T) {
+	f := func(ops []uint16) bool {
+		if len(ops) > 150 {
+			ops = ops[:150]
+		}
+		b := task.NewBuilder("rand")
+		b.Region(0)
+		for _, op := range ops {
+			addr := uint64(op%13)*4096 + 0x100000
+			decl := b.Task("t", 10)
+			switch op % 3 {
+			case 0:
+				decl.In(addr, 4096)
+			case 1:
+				decl.Out(addr, 4096)
+			default:
+				decl.InOut(addr, 4096)
+			}
+			if op%5 == 0 {
+				decl.In(uint64(op%3)*4096+0x200000, 4096)
+			}
+			decl.Add()
+		}
+		p := b.Build()
+		d := New(smallConfig())
+		g := task.BuildProgramGraph(p)
+		v := task.NewOrderValidator(g)
+		specByDesc := make(map[uint64]*task.Spec)
+		finish := func(rt ReadyTask) bool {
+			spec := specByDesc[rt.DescAddr]
+			v.Start(spec.ID)
+			v.Finish(spec.ID)
+			_, err := d.FinishTask(rt.DescAddr)
+			return err == nil
+		}
+		for _, spec := range p.Tasks() {
+			desc := descAddr(spec.ID)
+			specByDesc[desc] = spec
+			for !d.CanCreateTask(desc) {
+				rt, _, ok := d.GetReadyTask()
+				if !ok || !finish(rt) {
+					return false
+				}
+			}
+			if _, err := d.CreateTask(desc); err != nil {
+				return false
+			}
+			for _, dep := range spec.Deps {
+				for !d.CanAddDependence(desc, dep.Addr, dep.Size, dep.Dir) {
+					rt, _, ok := d.GetReadyTask()
+					if !ok || !finish(rt) {
+						return false
+					}
+				}
+				if _, err := d.AddDependence(desc, dep.Addr, dep.Size, dep.Dir); err != nil {
+					return false
+				}
+			}
+			if _, err := d.SubmitTask(desc); err != nil {
+				return false
+			}
+		}
+		for {
+			rt, _, ok := d.GetReadyTask()
+			if !ok {
+				break
+			}
+			if !finish(rt) {
+				return false
+			}
+		}
+		// Golden-graph successor counts must match what the DMU reported.
+		return v.Err() == nil && d.Quiescent()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the number of edges the DMU creates equals the golden graph's
+// edge count for write-heavy programs without duplicate same-address
+// annotations on one task.
+func TestPropertyEdgeCountsMatchGolden(t *testing.T) {
+	f := func(ops []uint8) bool {
+		if len(ops) > 100 {
+			ops = ops[:100]
+		}
+		b := task.NewBuilder("rand")
+		b.Region(0)
+		for _, op := range ops {
+			addr := uint64(op%11)*8192 + 0x300000
+			decl := b.Task("t", 10)
+			if op%2 == 0 {
+				decl.InOut(addr, 8192)
+			} else {
+				decl.In(addr, 8192)
+			}
+			decl.Add()
+		}
+		p := b.Build()
+		g := task.BuildProgramGraph(p)
+		d := New(DefaultConfig())
+		for _, spec := range p.Tasks() {
+			desc := descAddr(spec.ID)
+			if _, err := d.CreateTask(desc); err != nil {
+				return false
+			}
+			for _, dep := range spec.Deps {
+				if _, err := d.AddDependence(desc, dep.Addr, dep.Size, dep.Dir); err != nil {
+					return false
+				}
+			}
+			if _, err := d.SubmitTask(desc); err != nil {
+				return false
+			}
+		}
+		return int(d.Stats().EdgesCreated) == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustCreate(t *testing.T, d *DMU, desc uint64) {
+	t.Helper()
+	if _, err := d.CreateTask(desc); err != nil {
+		t.Fatalf("CreateTask(0x%x): %v", desc, err)
+	}
+}
+
+func mustAddDep(t *testing.T, d *DMU, desc, addr, size uint64, dir task.Dir) {
+	t.Helper()
+	if _, err := d.AddDependence(desc, addr, size, dir); err != nil {
+		t.Fatalf("AddDependence(0x%x, 0x%x): %v", desc, addr, err)
+	}
+}
+
+func mustSubmit(t *testing.T, d *DMU, desc uint64) {
+	t.Helper()
+	if _, err := d.SubmitTask(desc); err != nil {
+		t.Fatalf("SubmitTask(0x%x): %v", desc, err)
+	}
+}
+
+func drainReady(d *DMU) {
+	for {
+		if _, _, ok := d.GetReadyTask(); !ok {
+			return
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package experiments contains one driver per figure and table of the
+// paper's evaluation (Sections V and VI). Each driver runs the required
+// simulations through the public core API and returns stats.Table values
+// whose rows mirror the data series of the original figure, so the output
+// can be compared against the paper (EXPERIMENTS.md records that comparison).
+//
+// The drivers are used by cmd/experiments (text/CSV output) and by the
+// repository-level benchmark harness in bench_test.go.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dmu"
+	"repro/internal/machine"
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/taskrt"
+	"repro/internal/workloads"
+)
+
+// Options parameterizes an experiment run.
+type Options struct {
+	// Machine is the chip configuration (defaults to the paper's 32-core
+	// machine).
+	Machine machine.Config
+	// Power is the energy model.
+	Power power.Config
+	// DMU is the baseline DMU configuration.
+	DMU dmu.Config
+	// Benchmarks restricts the benchmark set (nil or empty means all nine).
+	Benchmarks []string
+	// Log receives progress lines; nil silences progress output.
+	Log io.Writer
+	// Cache shares simulation results between experiments in the same
+	// process (keyed by benchmark/runtime/scheduler/configuration). Use
+	// NewCache; a nil cache disables sharing.
+	Cache map[string]*core.Result
+}
+
+// DefaultOptions returns the paper's evaluation setup.
+func DefaultOptions() Options {
+	return Options{
+		Machine: machine.Default(),
+		Power:   power.DefaultConfig(),
+		DMU:     dmu.DefaultConfig(),
+		Cache:   NewCache(),
+	}
+}
+
+// NewCache creates an empty result cache.
+func NewCache() map[string]*core.Result { return make(map[string]*core.Result) }
+
+// benchmarks resolves the benchmark list.
+func (o Options) benchmarks() ([]*workloads.Benchmark, error) {
+	names := o.Benchmarks
+	if len(names) == 0 {
+		names = workloads.Names()
+	}
+	out := make([]*workloads.Benchmark, 0, len(names))
+	for _, n := range names {
+		b, err := workloads.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// baseConfig builds a core.Config for the given runtime and scheduler.
+func (o Options) baseConfig(kind taskrt.Kind, scheduler string) core.Config {
+	cfg := core.DefaultConfig(kind)
+	cfg.Machine = o.Machine
+	cfg.Power = o.Power
+	cfg.DMU = o.DMU
+	cfg.Scheduler = scheduler
+	return cfg
+}
+
+// runBench simulates one benchmark under a configuration, memoizing the
+// result in the options cache. granularity selects the workload granularity
+// (0 means the Table II optimal for the runtime kind). mutate (optional)
+// customizes the configuration and must be reflected in key for correct
+// caching.
+func (o Options) runBench(bench *workloads.Benchmark, kind taskrt.Kind, scheduler string, granularity int64, key string, mutate func(*core.Config)) (*core.Result, error) {
+	cfg := o.baseConfig(kind, scheduler)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	cacheKey := fmt.Sprintf("%s|%s|%s|%d|%d|%s", bench.Name, kind, cfg.Scheduler, cfg.Machine.Cores, granularity, key)
+	if o.Cache != nil {
+		if res, ok := o.Cache[cacheKey]; ok {
+			return res, nil
+		}
+	}
+	o.logf("running %-14s %-16s sched=%-9s %s", bench.Name, kind, cfg.Scheduler, key)
+	var res *core.Result
+	var err error
+	if granularity == 0 {
+		res, err = core.RunBenchmark(bench.Name, cfg)
+	} else {
+		res, err = core.RunBenchmarkAt(bench.Name, granularity, cfg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s/%s: %w", bench.Name, kind, cfg.Scheduler, err)
+	}
+	if o.Cache != nil {
+		o.Cache[cacheKey] = res
+	}
+	return res, nil
+}
+
+// Experiment is one reproducible figure or table.
+type Experiment struct {
+	// ID is the short identifier used on the command line (fig2, tab3, ...).
+	ID string
+	// Title describes what the experiment reproduces.
+	Title string
+	// Run executes the experiment and returns its tables.
+	Run func(Options) ([]*stats.Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "fig2", Title: "Figure 2: execution time breakdown under the software runtime", Run: Fig2Breakdown},
+		{ID: "fig6", Title: "Figure 6: execution time vs task granularity", Run: Fig6Granularity},
+		{ID: "tab2", Title: "Table II: benchmark characteristics at the optimal granularities", Run: TableII},
+		{ID: "fig7", Title: "Figure 7: performance vs TAT/DAT size", Run: Fig7AliasSizing},
+		{ID: "fig8", Title: "Figure 8: performance vs list array size", Run: Fig8ListArrays},
+		{ID: "fig9", Title: "Figure 9: performance vs DMU access latency", Run: Fig9Latency},
+		{ID: "tab3", Title: "Table III: DMU storage and area", Run: TableIII},
+		{ID: "fig10", Title: "Figure 10: task creation time, software vs TDM", Run: Fig10CreationTime},
+		{ID: "fig11", Title: "Figure 11: DAT occupancy with static vs dynamic index bits", Run: Fig11IndexBits},
+		{ID: "fig12", Title: "Figure 12: speedup and EDP of software schedulers with TDM", Run: Fig12Schedulers},
+		{ID: "fig13", Title: "Figure 13: comparison against Carbon and Task Superscalar", Run: Fig13Comparison},
+		{ID: "area-ratio", Title: "Section VI-C: hardware complexity comparison", Run: AreaComparison},
+		{ID: "extracore", Title: "Section VI-C: adding a 33rd core to the software runtime", Run: ExtraCore},
+	}
+}
+
+// ByID finds an experiment by its identifier.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, ids)
+}
+
+// RunAll executes every experiment, writing the tables to w.
+func RunAll(opt Options, w io.Writer) error {
+	for _, e := range All() {
+		if _, err := fmt.Fprintf(w, "\n######## %s — %s\n\n", e.ID, e.Title); err != nil {
+			return err
+		}
+		tables, err := e.Run(opt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for _, t := range tables {
+			if _, err := fmt.Fprintln(w, t.String()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,485 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dmu"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/taskrt"
+	"repro/internal/workloads"
+)
+
+// aliasSensitiveBenchmarks are the benchmarks Figure 7 shows individually
+// (the others reach full performance with 512 entries already).
+var aliasSensitiveBenchmarks = map[string]bool{
+	"cholesky": true, "ferret": true, "histogram": true, "lu": true, "qr": true,
+}
+
+// indexBitBenchmarks are the benchmarks Figure 11 evaluates.
+var indexBitBenchmarks = map[string]bool{
+	"blackscholes": true, "cholesky": true, "fluidanimate": true, "histogram": true, "qr": true,
+}
+
+// tdmSchedulerColumns is the column order of Figure 12.
+var tdmSchedulerColumns = []string{sched.FIFO, sched.LIFO, sched.Locality, sched.Successor, sched.Age}
+
+// Fig2Breakdown reproduces Figure 2: the execution-time breakdown
+// (DEPS/SCHED/EXEC/IDLE) of the master thread and of the worker threads under
+// the pure software runtime with a FIFO scheduler.
+func Fig2Breakdown(opt Options) ([]*stats.Table, error) {
+	benches, err := opt.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Figure 2: execution time breakdown, software runtime (percent of time)",
+		"benchmark", "thread", "DEPS", "SCHED", "EXEC", "IDLE")
+	var masterAgg, workerAgg []stats.Breakdown
+	for _, b := range benches {
+		res, err := opt.runBench(b, taskrt.Software, sched.FIFO, 0, "base", nil)
+		if err != nil {
+			return nil, err
+		}
+		addRow := func(thread string, bd stats.Breakdown) {
+			t.AddRow(b.Short, thread,
+				stats.Percent(bd.Fraction(stats.Deps)),
+				stats.Percent(bd.Fraction(stats.Sched)),
+				stats.Percent(bd.Fraction(stats.Exec)),
+				stats.Percent(bd.Fraction(stats.Idle)))
+		}
+		addRow("master", res.Master)
+		addRow("workers", res.Workers)
+		masterAgg = append(masterAgg, res.Master)
+		workerAgg = append(workerAgg, res.Workers)
+	}
+	addAvg := func(thread string, bds []stats.Breakdown) {
+		var deps, schd, exec, idle []float64
+		for _, bd := range bds {
+			deps = append(deps, bd.Fraction(stats.Deps))
+			schd = append(schd, bd.Fraction(stats.Sched))
+			exec = append(exec, bd.Fraction(stats.Exec))
+			idle = append(idle, bd.Fraction(stats.Idle))
+		}
+		t.AddRow("AVG", thread,
+			stats.Percent(stats.Mean(deps)), stats.Percent(stats.Mean(schd)),
+			stats.Percent(stats.Mean(exec)), stats.Percent(stats.Mean(idle)))
+	}
+	addAvg("master", masterAgg)
+	addAvg("workers", workerAgg)
+	return []*stats.Table{t}, nil
+}
+
+// Fig6Granularity reproduces Figure 6: execution time of the software runtime
+// across task granularities, normalized to the best granularity of each
+// benchmark.
+func Fig6Granularity(opt Options) ([]*stats.Table, error) {
+	benches, err := opt.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Figure 6: execution time vs task granularity (software runtime, normalized to best)",
+		"benchmark", "granularity", "unit", "tasks", "norm. time")
+	for _, b := range benches {
+		if b.Pipeline {
+			continue
+		}
+		type point struct {
+			gran   int64
+			cycles int64
+			tasks  int
+		}
+		var points []point
+		for _, g := range b.Sweep {
+			res, err := opt.runBench(b, taskrt.Software, sched.FIFO, g, fmt.Sprintf("gran=%d", g), nil)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, point{gran: g, cycles: res.Cycles, tasks: res.Program.NumTasks()})
+		}
+		best := points[0].cycles
+		for _, p := range points {
+			if p.cycles < best {
+				best = p.cycles
+			}
+		}
+		for _, p := range points {
+			t.AddRowValues(b.Short, p.gran, b.Unit, p.tasks, float64(p.cycles)/float64(best))
+		}
+	}
+	return []*stats.Table{t}, nil
+}
+
+// Fig7AliasSizing reproduces Figure 7: TDM performance while sweeping the TAT
+// and DAT sizes, normalized to an idealized DMU with effectively unlimited
+// entries and the same latency.
+func Fig7AliasSizing(opt Options) ([]*stats.Table, error) {
+	benches, err := opt.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	sizes := []int{512, 1024, 2048, 4096}
+	t := stats.NewTable("Figure 7: performance vs TAT/DAT entries (TDM, normalized to ideal DMU)",
+		append([]string{"benchmark", "TAT"}, sizeColumns("DAT", sizes)...)...)
+	perSize := make(map[[2]int][]float64)
+	enlargeLists := func(cfg *core.Config) {
+		cfg.DMU.SLAEntries, cfg.DMU.DLAEntries, cfg.DMU.RLAEntries = 16384, 16384, 16384
+	}
+	for _, b := range benches {
+		if !aliasSensitiveBenchmarks[b.Name] {
+			continue
+		}
+		ideal, err := opt.runBench(b, taskrt.TDM, sched.FIFO, 0, "ideal-alias", func(cfg *core.Config) {
+			enlargeLists(cfg)
+			cfg.DMU.TATEntries, cfg.DMU.DATEntries = 32768, 32768
+			cfg.DMU.ReadyQueueEntries = 32768
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, tat := range sizes {
+			row := []any{b.Short, tat}
+			for _, dat := range sizes {
+				tat, dat := tat, dat
+				res, err := opt.runBench(b, taskrt.TDM, sched.FIFO, 0,
+					fmt.Sprintf("tat=%d dat=%d", tat, dat), func(cfg *core.Config) {
+						enlargeLists(cfg)
+						cfg.DMU.TATEntries, cfg.DMU.DATEntries = tat, dat
+						cfg.DMU.ReadyQueueEntries = tat
+					})
+				if err != nil {
+					return nil, err
+				}
+				perf := float64(ideal.Cycles) / float64(res.Cycles)
+				perSize[[2]int{tat, dat}] = append(perSize[[2]int{tat, dat}], perf)
+				row = append(row, perf)
+			}
+			t.AddRowValues(row...)
+		}
+	}
+	for _, tat := range sizes {
+		row := []any{"AVG", tat}
+		for _, dat := range sizes {
+			row = append(row, stats.GeoMean(perSize[[2]int{tat, dat}]))
+		}
+		t.AddRowValues(row...)
+	}
+	return []*stats.Table{t}, nil
+}
+
+// Fig8ListArrays reproduces Figure 8: TDM performance while sweeping the size
+// of the successor, dependence and reader list arrays (all three together),
+// normalized to an idealized DMU. The paper sweeps the three arrays
+// independently; EXPERIMENTS.md discusses the simplification.
+func Fig8ListArrays(opt Options) ([]*stats.Table, error) {
+	benches, err := opt.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	sizes := []int{128, 256, 512, 1024, 2048}
+	t := stats.NewTable("Figure 8: performance vs list array entries (TDM, normalized to ideal DMU)",
+		append([]string{"benchmark"}, sizeColumns("LA", sizes)...)...)
+	perSize := make(map[int][]float64)
+	for _, b := range benches {
+		if !aliasSensitiveBenchmarks[b.Name] {
+			continue
+		}
+		ideal, err := opt.runBench(b, taskrt.TDM, sched.FIFO, 0, "ideal-lists", func(cfg *core.Config) {
+			cfg.DMU.SLAEntries, cfg.DMU.DLAEntries, cfg.DMU.RLAEntries = 16384, 16384, 16384
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := []any{b.Short}
+		for _, size := range sizes {
+			size := size
+			res, err := opt.runBench(b, taskrt.TDM, sched.FIFO, 0,
+				fmt.Sprintf("la=%d", size), func(cfg *core.Config) {
+					cfg.DMU.SLAEntries, cfg.DMU.DLAEntries, cfg.DMU.RLAEntries = size, size, size
+				})
+			if err != nil {
+				return nil, err
+			}
+			perf := float64(ideal.Cycles) / float64(res.Cycles)
+			perSize[size] = append(perSize[size], perf)
+			row = append(row, perf)
+		}
+		t.AddRowValues(row...)
+	}
+	avg := []any{"AVG"}
+	for _, size := range sizes {
+		avg = append(avg, stats.GeoMean(perSize[size]))
+	}
+	t.AddRowValues(avg...)
+	return []*stats.Table{t}, nil
+}
+
+// Fig9Latency reproduces Figure 9: TDM performance when the access time of
+// every DMU structure grows from 1 to 16 cycles, normalized to a DMU with
+// zero-latency structures.
+func Fig9Latency(opt Options) ([]*stats.Table, error) {
+	benches, err := opt.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	latencies := []int{1, 4, 16}
+	t := stats.NewTable("Figure 9: performance vs DMU access latency (normalized to zero-latency DMU)",
+		append([]string{"benchmark"}, sizeColumns("lat", latencies)...)...)
+	perLat := make(map[int][]float64)
+	for _, b := range benches {
+		ideal, err := opt.runBench(b, taskrt.TDM, sched.FIFO, 0, "lat=0", func(cfg *core.Config) {
+			cfg.DMU.AccessLatency = 0
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := []any{b.Short}
+		for _, lat := range latencies {
+			lat := lat
+			res, err := opt.runBench(b, taskrt.TDM, sched.FIFO, 0,
+				fmt.Sprintf("lat=%d", lat), func(cfg *core.Config) {
+					cfg.DMU.AccessLatency = lat
+				})
+			if err != nil {
+				return nil, err
+			}
+			perf := float64(ideal.Cycles) / float64(res.Cycles)
+			perLat[lat] = append(perLat[lat], perf)
+			row = append(row, perf)
+		}
+		t.AddRowValues(row...)
+	}
+	avg := []any{"AVG"}
+	for _, lat := range latencies {
+		avg = append(avg, stats.GeoMean(perLat[lat]))
+	}
+	t.AddRowValues(avg...)
+	return []*stats.Table{t}, nil
+}
+
+// Fig10CreationTime reproduces Figure 10: the share of execution time the
+// master spends creating tasks and managing dependences, with the software
+// runtime and with TDM.
+func Fig10CreationTime(opt Options) ([]*stats.Table, error) {
+	benches, err := opt.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Figure 10: master task-creation time (percent of execution time)",
+		"benchmark", "software", "TDM", "reduction")
+	var swF, tdmF []float64
+	for _, b := range benches {
+		sw, err := opt.runBench(b, taskrt.Software, sched.FIFO, 0, "base", nil)
+		if err != nil {
+			return nil, err
+		}
+		tdm, err := opt.runBench(b, taskrt.TDM, sched.FIFO, 0, "base", nil)
+		if err != nil {
+			return nil, err
+		}
+		s, d := sw.MasterCreationFraction(), tdm.MasterCreationFraction()
+		swF = append(swF, s)
+		tdmF = append(tdmF, d)
+		reduction := 0.0
+		if d > 0 {
+			reduction = s * float64(sw.Cycles) / (d * float64(tdm.Cycles))
+		}
+		t.AddRow(b.Short, stats.Percent(s), stats.Percent(d), fmt.Sprintf("%.1fx", reduction))
+	}
+	t.AddRow("AVG", stats.Percent(stats.Mean(swF)), stats.Percent(stats.Mean(tdmF)), "")
+	return []*stats.Table{t}, nil
+}
+
+// Fig11IndexBits reproduces Figure 11: the average number of occupied DAT
+// sets with static index-bit selection (starting at bits 0, 4, 8, 12, 16) and
+// with the dynamic, size-based selection.
+func Fig11IndexBits(opt Options) ([]*stats.Table, error) {
+	benches, err := opt.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	staticBits := []uint{0, 4, 8, 12, 16}
+	cols := []string{"benchmark"}
+	for _, bit := range staticBits {
+		cols = append(cols, fmt.Sprintf("static@%d", bit))
+	}
+	cols = append(cols, "dynamic")
+	t := stats.NewTable("Figure 11: average occupied DAT sets (of 256)", cols...)
+	for _, b := range benches {
+		if !indexBitBenchmarks[b.Name] {
+			continue
+		}
+		row := []any{b.Short}
+		for _, bit := range staticBits {
+			bit := bit
+			res, err := opt.runBench(b, taskrt.TDM, sched.FIFO, 0,
+				fmt.Sprintf("index=static%d", bit), func(cfg *core.Config) {
+					cfg.DMU.DATIndex = dmu.StaticIndex(bit)
+				})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.DMU.DAT.AvgOccupiedSets)
+		}
+		res, err := opt.runBench(b, taskrt.TDM, sched.FIFO, 0, "index=dynamic", nil)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, res.DMU.DAT.AvgOccupiedSets)
+		t.AddRowValues(row...)
+	}
+	return []*stats.Table{t}, nil
+}
+
+// Fig12Schedulers reproduces Figure 12: speedup (top) and normalized EDP
+// (bottom) of the best software configuration (OptSW) and of the five
+// software schedulers running on TDM, all normalized to the software runtime
+// with a FIFO scheduler.
+func Fig12Schedulers(opt Options) ([]*stats.Table, error) {
+	benches, err := opt.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	speedup := stats.NewTable("Figure 12 (top): speedup over software runtime with FIFO",
+		"benchmark", "OptSW", "FIFO+TDM", "LIFO+TDM", "Local+TDM", "Succ+TDM", "Age+TDM", "OptTDM")
+	edp := stats.NewTable("Figure 12 (bottom): normalized EDP (lower is better)",
+		"benchmark", "OptSW", "FIFO+TDM", "LIFO+TDM", "Local+TDM", "Succ+TDM", "Age+TDM", "OptTDM")
+	agg := make(map[string][]float64)
+	aggEDP := make(map[string][]float64)
+	for _, b := range benches {
+		base, err := opt.runBench(b, taskrt.Software, sched.FIFO, 0, "base", nil)
+		if err != nil {
+			return nil, err
+		}
+		// Best software configuration across schedulers.
+		optSW := base
+		for _, s := range tdmSchedulerColumns {
+			res, err := opt.runBench(b, taskrt.Software, s, 0, "base", nil)
+			if err != nil {
+				return nil, err
+			}
+			if res.Cycles < optSW.Cycles {
+				optSW = res
+			}
+		}
+		tdmResults := make(map[string]*core.Result, len(tdmSchedulerColumns))
+		var optTDM *core.Result
+		for _, s := range tdmSchedulerColumns {
+			res, err := opt.runBench(b, taskrt.TDM, s, 0, "base", nil)
+			if err != nil {
+				return nil, err
+			}
+			tdmResults[s] = res
+			if optTDM == nil || res.Cycles < optTDM.Cycles {
+				optTDM = res
+			}
+		}
+		cols := []*core.Result{optSW,
+			tdmResults[sched.FIFO], tdmResults[sched.LIFO], tdmResults[sched.Locality],
+			tdmResults[sched.Successor], tdmResults[sched.Age], optTDM}
+		names := speedup.Columns[1:]
+		rowS := []any{b.Short}
+		rowE := []any{b.Short}
+		for i, res := range cols {
+			s := stats.Speedup(base.Cycles, res.Cycles)
+			e := stats.NormalizedEDP(base.Energy.EDP, res.Energy.EDP)
+			rowS = append(rowS, s)
+			rowE = append(rowE, e)
+			agg[names[i]] = append(agg[names[i]], s)
+			aggEDP[names[i]] = append(aggEDP[names[i]], e)
+		}
+		speedup.AddRowValues(rowS...)
+		edp.AddRowValues(rowE...)
+	}
+	avgS := []any{"AVG"}
+	avgE := []any{"AVG"}
+	for _, name := range speedup.Columns[1:] {
+		avgS = append(avgS, stats.GeoMean(agg[name]))
+		avgE = append(avgE, stats.GeoMean(aggEDP[name]))
+	}
+	speedup.AddRowValues(avgS...)
+	edp.AddRowValues(avgE...)
+	return []*stats.Table{speedup, edp}, nil
+}
+
+// Fig13Comparison reproduces Figure 13: speedup and normalized EDP of Carbon,
+// Task Superscalar and TDM (with the best scheduler per benchmark) over the
+// software runtime with FIFO.
+func Fig13Comparison(opt Options) ([]*stats.Table, error) {
+	benches, err := opt.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	speedup := stats.NewTable("Figure 13 (top): speedup over software runtime with FIFO",
+		"benchmark", "Carbon", "TaskSuperscalar", "OptTDM")
+	edp := stats.NewTable("Figure 13 (bottom): normalized EDP (lower is better)",
+		"benchmark", "Carbon", "TaskSuperscalar", "OptTDM")
+	agg := make(map[string][]float64)
+	aggEDP := make(map[string][]float64)
+	for _, b := range benches {
+		base, err := opt.runBench(b, taskrt.Software, sched.FIFO, 0, "base", nil)
+		if err != nil {
+			return nil, err
+		}
+		carbon, err := opt.runBench(b, taskrt.Carbon, sched.FIFO, 0, "base", nil)
+		if err != nil {
+			return nil, err
+		}
+		tss, err := opt.runBench(b, taskrt.TaskSuperscalar, sched.FIFO, 0, "base", nil)
+		if err != nil {
+			return nil, err
+		}
+		var optTDM *core.Result
+		for _, s := range tdmSchedulerColumns {
+			res, err := opt.runBench(b, taskrt.TDM, s, 0, "base", nil)
+			if err != nil {
+				return nil, err
+			}
+			if optTDM == nil || res.Cycles < optTDM.Cycles {
+				optTDM = res
+			}
+		}
+		rowS := []any{b.Short}
+		rowE := []any{b.Short}
+		for i, res := range []*core.Result{carbon, tss, optTDM} {
+			name := speedup.Columns[1+i]
+			s := stats.Speedup(base.Cycles, res.Cycles)
+			e := stats.NormalizedEDP(base.Energy.EDP, res.Energy.EDP)
+			rowS = append(rowS, s)
+			rowE = append(rowE, e)
+			agg[name] = append(agg[name], s)
+			aggEDP[name] = append(aggEDP[name], e)
+		}
+		speedup.AddRowValues(rowS...)
+		edp.AddRowValues(rowE...)
+	}
+	avgS := []any{"AVG"}
+	avgE := []any{"AVG"}
+	for _, name := range speedup.Columns[1:] {
+		avgS = append(avgS, stats.GeoMean(agg[name]))
+		avgE = append(avgE, stats.GeoMean(aggEDP[name]))
+	}
+	speedup.AddRowValues(avgS...)
+	edp.AddRowValues(avgE...)
+	return []*stats.Table{speedup, edp}, nil
+}
+
+// sizeColumns builds column headers like "DAT=512".
+func sizeColumns(prefix string, sizes []int) []string {
+	out := make([]string, 0, len(sizes))
+	for _, s := range sizes {
+		out = append(out, fmt.Sprintf("%s=%d", prefix, s))
+	}
+	return out
+}
+
+// benchmarksNamed filters the full benchmark list to those in the set.
+func benchmarksNamed(set map[string]bool) []*workloads.Benchmark {
+	var out []*workloads.Benchmark
+	for _, b := range workloads.All() {
+		if set[b.Name] {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/task"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	c := Default()
+	c.Cores = 1
+	if err := c.Validate(); err == nil {
+		t.Error("single-core config accepted")
+	}
+	c = Default()
+	c.FrequencyGHz = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	c = Default()
+	c.Costs.SwDepMatch = -1
+	if err := c.Validate(); err == nil {
+		t.Error("negative cost accepted")
+	}
+}
+
+func TestWithCores(t *testing.T) {
+	c := Default().WithCores(33)
+	if c.Cores != 33 {
+		t.Fatalf("WithCores = %d", c.Cores)
+	}
+	if Default().Cores != 32 {
+		t.Fatal("WithCores mutated the default")
+	}
+}
+
+func TestCycleConversions(t *testing.T) {
+	c := Default()
+	if got := c.MicrosToCycles(1); got != 2000 {
+		t.Errorf("1us = %d cycles, want 2000", got)
+	}
+	if got := c.MicrosToCycles(183); got != 366000 {
+		t.Errorf("183us = %d cycles, want 366000", got)
+	}
+	if got := c.CyclesToMicros(2000); got != 1 {
+		t.Errorf("2000 cycles = %f us, want 1", got)
+	}
+}
+
+func TestSoftwareCostsGrowWithDeps(t *testing.T) {
+	costs := DefaultCosts()
+	c0 := costs.SoftwareCreateCost(0, 0)
+	c3 := costs.SoftwareCreateCost(3, 2)
+	if c3 <= c0 {
+		t.Fatalf("create cost with deps (%d) not larger than without (%d)", c3, c0)
+	}
+	f0 := costs.SoftwareFinishCost(0, 0)
+	f5 := costs.SoftwareFinishCost(5, 3)
+	if f5 <= f0 {
+		t.Fatalf("finish cost with successors (%d) not larger than without (%d)", f5, f0)
+	}
+}
+
+func TestCalibrationSoftwareVsTDMCreation(t *testing.T) {
+	// The TDM creation path (descriptor + a handful of instructions) must
+	// be several times cheaper than the software path for a typical task
+	// with 3 dependences, since Figure 10 reports 2-5x reductions.
+	costs := DefaultCosts()
+	sw := costs.SoftwareCreateCost(3, 2)
+	tdm := costs.TdmTaskAlloc + 5*costs.TdmIssue // DMU latency excluded (tens of cycles)
+	if sw < 3*tdm {
+		t.Fatalf("software creation (%d) should be at least 3x TDM creation (%d)", sw, tdm)
+	}
+	// Scheduling costs must stay well below creation costs (Figure 2:
+	// SCHED < 11% everywhere).
+	if costs.SchedPop+costs.SchedPush > tdm {
+		t.Fatalf("scheduler costs (%d) should not dominate TDM creation (%d)",
+			costs.SchedPop+costs.SchedPush, tdm)
+	}
+}
+
+func specWithDeps(addrs ...uint64) *task.Spec {
+	s := &task.Spec{ID: 0, Kernel: "k", Duration: 10000}
+	for _, a := range addrs {
+		s.Deps = append(s.Deps, task.Dep{Addr: a, Size: 4096, Dir: task.In})
+	}
+	return s
+}
+
+func TestLocalityColdMiss(t *testing.T) {
+	lt := NewLocalityTracker(4, DefaultLocality())
+	s := specWithDeps(0x1000, 0x2000)
+	if d := lt.AdjustedDuration(0, s); d != s.Duration {
+		t.Fatalf("cold duration = %d, want unmodified %d", d, s.Duration)
+	}
+}
+
+func TestLocalityHitShortensDuration(t *testing.T) {
+	lt := NewLocalityTracker(4, DefaultLocality())
+	s := specWithDeps(0x1000, 0x2000)
+	lt.RecordExecution(2, s)
+	warm := lt.AdjustedDuration(2, s)
+	if warm >= s.Duration {
+		t.Fatalf("warm duration %d not shorter than base %d", warm, s.Duration)
+	}
+	// A different core sees no benefit.
+	if d := lt.AdjustedDuration(1, s); d != s.Duration {
+		t.Fatalf("remote core duration = %d, want %d", d, s.Duration)
+	}
+	if lt.HitRate() <= 0 {
+		t.Fatal("hit rate not recorded")
+	}
+}
+
+func TestLocalityPartialHit(t *testing.T) {
+	lt := NewLocalityTracker(2, DefaultLocality())
+	lt.RecordExecution(0, specWithDeps(0x1000))
+	s := specWithDeps(0x1000, 0x2000, 0x3000, 0x4000)
+	d := lt.AdjustedDuration(0, s)
+	full := int64(float64(s.Duration) * (1 - DefaultLocality().MaxBonus))
+	if d <= full {
+		t.Fatalf("partial hit %d should save less than full hit %d", d, full)
+	}
+	if d >= s.Duration {
+		t.Fatalf("partial hit %d should still save something vs %d", d, s.Duration)
+	}
+}
+
+func TestLocalityLRUEviction(t *testing.T) {
+	cfg := LocalityConfig{BlocksPerCore: 2, MaxBonus: 0.5}
+	lt := NewLocalityTracker(1, cfg)
+	lt.RecordExecution(0, specWithDeps(0xA))
+	lt.RecordExecution(0, specWithDeps(0xB))
+	lt.RecordExecution(0, specWithDeps(0xC)) // evicts 0xA
+	if d := lt.AdjustedDuration(0, specWithDeps(0xA)); d != 10000 {
+		t.Fatalf("evicted address still counted as resident (d=%d)", d)
+	}
+	if d := lt.AdjustedDuration(0, specWithDeps(0xC)); d == 10000 {
+		t.Fatal("recently used address not resident")
+	}
+}
+
+func TestLocalityNoDepsUnchanged(t *testing.T) {
+	lt := NewLocalityTracker(1, DefaultLocality())
+	s := &task.Spec{ID: 0, Kernel: "k", Duration: 5000}
+	if d := lt.AdjustedDuration(0, s); d != 5000 {
+		t.Fatalf("duration of dep-less task changed: %d", d)
+	}
+}
+
+func TestLocalityNilTrackerSafe(t *testing.T) {
+	var lt *LocalityTracker
+	s := specWithDeps(0x1)
+	if d := lt.AdjustedDuration(0, s); d != s.Duration {
+		t.Fatal("nil tracker changed duration")
+	}
+	lt.RecordExecution(0, s) // must not panic
+}
+
+// Property: the adjusted duration is always within [base*(1-MaxBonus)-1, base]
+// and never below 1.
+func TestPropertyLocalityBounds(t *testing.T) {
+	cfg := DefaultLocality()
+	f := func(addrs []uint8, dur uint16) bool {
+		lt := NewLocalityTracker(2, cfg)
+		base := int64(dur%5000) + 1
+		s := &task.Spec{ID: 0, Kernel: "k", Duration: base}
+		for _, a := range addrs {
+			s.Deps = append(s.Deps, task.Dep{Addr: uint64(a), Size: 64, Dir: task.In})
+		}
+		lt.RecordExecution(0, s)
+		d := lt.AdjustedDuration(0, s)
+		min := int64(float64(base)*(1-cfg.MaxBonus)) - 1
+		if min < 1 {
+			min = 1
+		}
+		return d >= min && d <= base && d >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

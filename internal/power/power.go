@@ -1,0 +1,108 @@
+// Package power estimates energy consumption and energy-delay product (EDP)
+// for simulated runs, replacing the McPAT + CACTI flow of the paper with a
+// simple activity-based model:
+//
+//   - each core consumes ActiveWatts while executing tasks or runtime code
+//     and IdleWatts while waiting;
+//   - the uncore (shared cache, NoC, memory controllers) consumes a constant
+//     UncoreWatts;
+//   - the DMU adds a per-access energy plus leakage, and the hardware queues
+//     of Carbon / Task Superscalar add a per-operation energy.
+//
+// The defaults put the DMU's contribution well below 0.01% of chip power, as
+// the paper reports, so EDP differences between configurations are dominated
+// by execution time and by how much of that time the cores spend busy.
+package power
+
+import "fmt"
+
+// Config is the power model.
+type Config struct {
+	// CoreActiveWatts is the per-core power while busy.
+	CoreActiveWatts float64
+	// CoreIdleWatts is the per-core power while idle (clock-gated).
+	CoreIdleWatts float64
+	// UncoreWatts is the constant chip power outside the cores.
+	UncoreWatts float64
+	// DMUAccessPicoJoules is the energy of one DMU structure access.
+	DMUAccessPicoJoules float64
+	// DMULeakageWatts is the DMU's static power.
+	DMULeakageWatts float64
+	// QueueOpPicoJoules is the energy of one hardware-queue operation
+	// (Carbon LTQ or Task Superscalar ready queue).
+	QueueOpPicoJoules float64
+}
+
+// DefaultConfig returns a 22 nm, 0.6 V model for the paper's 32-core chip:
+// roughly 0.55 W per active core, 0.12 W idle, and 4 W of uncore.
+func DefaultConfig() Config {
+	return Config{
+		CoreActiveWatts:     0.55,
+		CoreIdleWatts:       0.12,
+		UncoreWatts:         4.0,
+		DMUAccessPicoJoules: 12,
+		DMULeakageWatts:     0.002,
+		QueueOpPicoJoules:   8,
+	}
+}
+
+// Validate reports invalid model parameters.
+func (c Config) Validate() error {
+	if c.CoreActiveWatts <= 0 || c.CoreIdleWatts < 0 || c.UncoreWatts < 0 {
+		return fmt.Errorf("power: invalid core/uncore power values %+v", c)
+	}
+	if c.CoreActiveWatts < c.CoreIdleWatts {
+		return fmt.Errorf("power: active power below idle power")
+	}
+	return nil
+}
+
+// Activity summarizes a run for the energy model. All times are in seconds.
+type Activity struct {
+	// DurationSeconds is the wall-clock execution time.
+	DurationSeconds float64
+	// CoreBusySeconds is the sum over cores of non-idle time.
+	CoreBusySeconds float64
+	// CoreIdleSeconds is the sum over cores of idle time.
+	CoreIdleSeconds float64
+	// DMUAccesses counts DMU structure accesses (zero without a DMU).
+	DMUAccesses uint64
+	// HardwareQueueOps counts hardware scheduler queue operations.
+	HardwareQueueOps uint64
+	// HasDMU enables DMU leakage.
+	HasDMU bool
+}
+
+// Estimate is the energy result.
+type Estimate struct {
+	EnergyJoules    float64
+	AveragePowerW   float64
+	EDP             float64
+	DMUEnergyJoules float64
+	DMUShare        float64
+}
+
+// Estimate computes energy, average power and EDP for the activity.
+func (c Config) Estimate(a Activity) Estimate {
+	coreEnergy := a.CoreBusySeconds*c.CoreActiveWatts + a.CoreIdleSeconds*c.CoreIdleWatts
+	uncoreEnergy := a.DurationSeconds * c.UncoreWatts
+	dmuEnergy := float64(a.DMUAccesses) * c.DMUAccessPicoJoules * 1e-12
+	if a.HasDMU {
+		dmuEnergy += a.DurationSeconds * c.DMULeakageWatts
+	}
+	queueEnergy := float64(a.HardwareQueueOps) * c.QueueOpPicoJoules * 1e-12
+
+	total := coreEnergy + uncoreEnergy + dmuEnergy + queueEnergy
+	est := Estimate{
+		EnergyJoules:    total,
+		DMUEnergyJoules: dmuEnergy,
+		EDP:             total * a.DurationSeconds,
+	}
+	if a.DurationSeconds > 0 {
+		est.AveragePowerW = total / a.DurationSeconds
+	}
+	if total > 0 {
+		est.DMUShare = dmuEnergy / total
+	}
+	return est
+}

@@ -1,0 +1,107 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	c := DefaultConfig()
+	c.CoreActiveWatts = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero active power accepted")
+	}
+	c = DefaultConfig()
+	c.CoreIdleWatts = 1.0
+	if err := c.Validate(); err == nil {
+		t.Error("idle above active accepted")
+	}
+}
+
+func TestEstimateBasics(t *testing.T) {
+	c := DefaultConfig()
+	a := Activity{
+		DurationSeconds: 1.0,
+		CoreBusySeconds: 16.0, // 16 core-seconds busy
+		CoreIdleSeconds: 16.0,
+	}
+	est := c.Estimate(a)
+	want := 16*c.CoreActiveWatts + 16*c.CoreIdleWatts + c.UncoreWatts
+	if math.Abs(est.EnergyJoules-want) > 1e-9 {
+		t.Fatalf("energy = %f, want %f", est.EnergyJoules, want)
+	}
+	if math.Abs(est.AveragePowerW-want) > 1e-9 {
+		t.Fatalf("power = %f, want %f", est.AveragePowerW, want)
+	}
+	if math.Abs(est.EDP-want*1.0) > 1e-9 {
+		t.Fatalf("EDP = %f", est.EDP)
+	}
+}
+
+func TestDMUContributionNegligible(t *testing.T) {
+	// The paper reports the DMU consumes less than 0.01% of chip power;
+	// with realistic access counts (a few per task, millions of tasks) the
+	// model must agree.
+	c := DefaultConfig()
+	a := Activity{
+		DurationSeconds: 0.05,
+		CoreBusySeconds: 1.0,
+		CoreIdleSeconds: 0.6,
+		DMUAccesses:     2_000_000,
+		HasDMU:          true,
+	}
+	est := c.Estimate(a)
+	if est.DMUShare > 0.001 {
+		t.Fatalf("DMU share = %f, want < 0.1%%", est.DMUShare)
+	}
+	if est.DMUEnergyJoules <= 0 {
+		t.Fatal("DMU energy not accounted")
+	}
+}
+
+func TestFasterRunHasLowerEDPEvenIfBusier(t *testing.T) {
+	// EDP rewards shorter execution times quadratically: a run that is 20%
+	// faster with the same total busy time must have lower EDP.
+	c := DefaultConfig()
+	slow := c.Estimate(Activity{DurationSeconds: 1.0, CoreBusySeconds: 10, CoreIdleSeconds: 22})
+	fast := c.Estimate(Activity{DurationSeconds: 0.8, CoreBusySeconds: 10, CoreIdleSeconds: 15.6})
+	if fast.EDP >= slow.EDP {
+		t.Fatalf("faster run EDP %f not below slower run EDP %f", fast.EDP, slow.EDP)
+	}
+}
+
+func TestZeroDurationSafe(t *testing.T) {
+	est := DefaultConfig().Estimate(Activity{})
+	if est.AveragePowerW != 0 || est.EDP != 0 {
+		t.Fatalf("zero activity produced %+v", est)
+	}
+}
+
+// Property: energy is monotonic in busy time, idle time and duration.
+func TestPropertyEnergyMonotonic(t *testing.T) {
+	c := DefaultConfig()
+	f := func(busy, idle, dur uint16) bool {
+		a := Activity{
+			DurationSeconds: float64(dur) / 1000,
+			CoreBusySeconds: float64(busy) / 1000,
+			CoreIdleSeconds: float64(idle) / 1000,
+		}
+		base := c.Estimate(a).EnergyJoules
+		a.CoreBusySeconds += 0.1
+		if c.Estimate(a).EnergyJoules <= base {
+			return false
+		}
+		a.DurationSeconds += 0.1
+		return c.Estimate(a).EnergyJoules > base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,277 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/task"
+)
+
+func rt(id task.ID, succs int) *ReadyTask {
+	return &ReadyTask{
+		Spec:     &task.Spec{ID: id, Kernel: "k", Duration: 100},
+		NumSuccs: succs,
+		Affinity: NoAffinity,
+	}
+}
+
+func rtAff(id task.ID, affinity int) *ReadyTask {
+	t := rt(id, 0)
+	t.Affinity = affinity
+	return t
+}
+
+func popIDs(s Scheduler, core, n int) []task.ID {
+	var out []task.ID
+	for i := 0; i < n; i++ {
+		t := s.Pop(core)
+		if t == nil {
+			break
+		}
+		out = append(out, t.Spec.ID)
+	}
+	return out
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range Names() {
+		s, err := New(name, 4)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Fatalf("Name() = %q, want %q", s.Name(), name)
+		}
+		if s.Len() != 0 {
+			t.Fatalf("fresh scheduler %q non-empty", name)
+		}
+	}
+	if _, err := New("bogus", 4); err == nil {
+		t.Fatal("unknown scheduler name accepted")
+	}
+	if _, err := New(Locality, 0); err == nil {
+		t.Fatal("locality with zero cores accepted")
+	}
+}
+
+func TestAllSchedulersPopNilWhenEmpty(t *testing.T) {
+	for _, name := range Names() {
+		s, _ := New(name, 4)
+		if got := s.Pop(0); got != nil {
+			t.Fatalf("%s: Pop on empty = %v", name, got)
+		}
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	s := NewFIFO()
+	for i := 0; i < 5; i++ {
+		s.Push(rt(task.ID(i), 0))
+	}
+	ids := popIDs(s, 0, 5)
+	for i, id := range ids {
+		if id != task.ID(i) {
+			t.Fatalf("FIFO order = %v", ids)
+		}
+	}
+}
+
+func TestLIFOOrder(t *testing.T) {
+	s := NewLIFO()
+	for i := 0; i < 5; i++ {
+		s.Push(rt(task.ID(i), 0))
+	}
+	ids := popIDs(s, 0, 5)
+	for i, id := range ids {
+		if id != task.ID(4-i) {
+			t.Fatalf("LIFO order = %v", ids)
+		}
+	}
+}
+
+func TestLocalityPrefersOwnCore(t *testing.T) {
+	s := NewLocality(4)
+	s.Push(rtAff(0, 1))
+	s.Push(rtAff(1, 2))
+	s.Push(rt(2, 0)) // no affinity -> global
+	if got := s.Pop(2); got.Spec.ID != 1 {
+		t.Fatalf("core 2 got task %d, want its affine task 1", got.Spec.ID)
+	}
+	if got := s.Pop(2); got.Spec.ID != 2 {
+		t.Fatalf("core 2 second pop = %d, want global task 2", got.Spec.ID)
+	}
+	// Core 2 has nothing left of its own or global: it steals core 1's task.
+	if got := s.Pop(2); got.Spec.ID != 0 {
+		t.Fatalf("core 2 steal = %d, want 0", got.Spec.ID)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+}
+
+func TestLocalityStealsOldestFirst(t *testing.T) {
+	s := NewLocality(4)
+	s.Push(rtAff(10, 1))
+	s.Push(rtAff(11, 3))
+	got := s.Pop(0)
+	if got.Spec.ID != 10 {
+		t.Fatalf("steal took %d, want oldest 10", got.Spec.ID)
+	}
+}
+
+func TestLocalityAffinityOutOfRangeGoesGlobal(t *testing.T) {
+	s := NewLocality(2)
+	s.Push(rtAff(0, 99))
+	if got := s.Pop(0); got == nil || got.Spec.ID != 0 {
+		t.Fatal("task with out-of-range affinity lost")
+	}
+}
+
+func TestSuccessorPriority(t *testing.T) {
+	s := NewSuccessor(2)
+	s.Push(rt(0, 0)) // low
+	s.Push(rt(1, 5)) // high
+	s.Push(rt(2, 1)) // low
+	s.Push(rt(3, 2)) // high
+	ids := popIDs(s, 0, 4)
+	want := []task.ID{1, 3, 0, 2}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("successor order = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestSuccessorThresholdOne(t *testing.T) {
+	// With the default threshold of 1, tasks whose successors are not yet
+	// known (NumSuccs == 0 at ready time) are deprioritised; this is what
+	// lets the Dedup I/O chain overtake the pool of independent computes.
+	s := NewSuccessor(1)
+	for i := 0; i < 3; i++ {
+		s.Push(rt(task.ID(i), 0))
+	}
+	s.Push(rt(10, 1))
+	if got := s.Pop(0); got.Spec.ID != 10 {
+		t.Fatalf("task with a known successor not prioritised: got %d", got.Spec.ID)
+	}
+}
+
+func TestAgeOrdersByCreation(t *testing.T) {
+	s := NewAge()
+	// Tasks become ready out of creation order.
+	s.Push(rt(7, 0))
+	s.Push(rt(2, 0))
+	s.Push(rt(5, 0))
+	s.Push(rt(0, 0))
+	ids := popIDs(s, 0, 4)
+	want := []task.ID{0, 2, 5, 7}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("age order = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestAgeInterleavedPushPop(t *testing.T) {
+	s := NewAge()
+	s.Push(rt(3, 0))
+	s.Push(rt(1, 0))
+	if got := s.Pop(0); got.Spec.ID != 1 {
+		t.Fatalf("got %d, want 1", got.Spec.ID)
+	}
+	s.Push(rt(0, 0))
+	if got := s.Pop(0); got.Spec.ID != 0 {
+		t.Fatalf("got %d, want 0", got.Spec.ID)
+	}
+	if got := s.Pop(0); got.Spec.ID != 3 {
+		t.Fatalf("got %d, want 3", got.Spec.ID)
+	}
+}
+
+func TestDrainHelper(t *testing.T) {
+	s := NewLIFO()
+	for i := 0; i < 4; i++ {
+		s.Push(rt(task.ID(i), 0))
+	}
+	drained := Drain(s)
+	if len(drained) != 4 {
+		t.Fatalf("Drain returned %d tasks", len(drained))
+	}
+	for i := 1; i < len(drained); i++ {
+		if drained[i].ReadySeq < drained[i-1].ReadySeq {
+			t.Fatal("Drain output not sorted by ReadySeq")
+		}
+	}
+}
+
+// Property: no scheduler loses or duplicates tasks — pushing N distinct tasks
+// and popping until empty yields exactly the same N task IDs.
+func TestPropertyConservation(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		f := func(raw []uint16, cores uint8) bool {
+			nCores := int(cores%8) + 1
+			s, err := New(name, nCores)
+			if err != nil {
+				return false
+			}
+			if len(raw) > 300 {
+				raw = raw[:300]
+			}
+			want := make(map[task.ID]int)
+			for i, r := range raw {
+				id := task.ID(i)
+				want[id]++
+				t := rt(id, int(r%4))
+				if r%3 == 0 {
+					t.Affinity = int(r) % nCores
+				}
+				s.Push(t)
+			}
+			got := make(map[task.ID]int)
+			core := 0
+			for s.Len() > 0 {
+				popped := s.Pop(core % nCores)
+				if popped == nil {
+					return false
+				}
+				got[popped.Spec.ID]++
+				core++
+			}
+			if s.Pop(0) != nil {
+				return false
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for id, n := range want {
+				if got[id] != n {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// Property: Len always equals pushes minus pops.
+func TestPropertyLenConsistency(t *testing.T) {
+	for _, name := range Names() {
+		s, _ := New(name, 4)
+		pushes, pops := 0, 0
+		for i := 0; i < 200; i++ {
+			if i%3 != 2 {
+				s.Push(rt(task.ID(i), i%3))
+				pushes++
+			} else if s.Pop(i%4) != nil {
+				pops++
+			}
+			if s.Len() != pushes-pops {
+				t.Fatalf("%s: Len=%d, want %d", name, s.Len(), pushes-pops)
+			}
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package sim provides a deterministic, process-oriented discrete-event
+// simulation engine.
+//
+// The engine advances a virtual clock measured in cycles and executes events
+// in (time, insertion-order) order. On top of the raw event queue, sim offers
+// a process abstraction (Proc) in the style of SimPy: a process is ordinary
+// Go code running in its own goroutine, but the engine guarantees that at
+// most one process executes at any instant, so simulations are fully
+// deterministic and reproducible.
+//
+// Processes interact with the world through blocking primitives:
+//
+//   - Proc.Wait advances the process by a fixed number of cycles.
+//   - Signal provides condition-variable style sleeping and waking.
+//   - Resource provides an exclusive, FIFO-ordered server (used, for
+//     example, to model the single port of the Dependence Management Unit).
+//
+// The package is the substrate for the multicore machine model in
+// internal/machine and the runtime systems in internal/taskrt.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is simulated time expressed in clock cycles.
+type Time int64
+
+// Infinity is a time value larger than any realistic simulation horizon.
+const Infinity Time = 1<<62 - 1
+
+// event is a single entry in the engine's event queue.
+type event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int
+}
+
+// eventHeap orders events by (time, sequence number).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation kernel.
+//
+// The zero value is not usable; construct engines with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	procs   map[*Proc]struct{}
+	killed  chan struct{}
+	running *Proc
+	stopped bool
+
+	// eventCount is the total number of events executed, exposed for
+	// diagnostics and engine micro-benchmarks.
+	eventCount uint64
+
+	// procFailure records the first panic raised inside a process body; it
+	// is surfaced as an error from Run.
+	procFailure error
+}
+
+// NewEngine returns an empty engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{
+		procs:  make(map[*Proc]struct{}),
+		killed: make(chan struct{}),
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// EventsExecuted returns the number of events the engine has executed so far.
+func (e *Engine) EventsExecuted() uint64 { return e.eventCount }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule registers fn to run delay cycles in the future. A negative delay
+// is treated as zero. Schedule may be called both from outside the simulation
+// (before Run) and from event callbacks or processes during the simulation.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if fn == nil {
+		panic("sim: Schedule called with nil function")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	e.scheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt registers fn to run at absolute time at. Times in the past are
+// clamped to the current time.
+func (e *Engine) ScheduleAt(at Time, fn func()) {
+	if fn == nil {
+		panic("sim: ScheduleAt called with nil function")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	e.scheduleAt(at, fn)
+}
+
+func (e *Engine) scheduleAt(at Time, fn func()) {
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+// Run executes events until the event queue drains. It returns the final
+// simulated time. If the queue drains while processes are still blocked on
+// signals or resources, Run returns a DeadlockError describing them.
+func (e *Engine) Run() (Time, error) {
+	return e.RunUntil(Infinity)
+}
+
+// RunUntil executes events until the event queue drains or the clock would
+// advance beyond horizon, whichever comes first.
+func (e *Engine) RunUntil(horizon Time) (Time, error) {
+	if e.stopped {
+		return e.now, fmt.Errorf("sim: engine already shut down")
+	}
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.at > horizon {
+			e.now = horizon
+			return e.now, nil
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		e.eventCount++
+		next.fn()
+		if e.procFailure != nil {
+			return e.now, e.procFailure
+		}
+	}
+	if blocked := e.blockedProcs(); len(blocked) > 0 {
+		return e.now, &DeadlockError{Time: e.now, Blocked: blocked}
+	}
+	return e.now, nil
+}
+
+// Step executes exactly one event if one is pending and reports whether an
+// event was executed. It is primarily useful in tests.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	next := heap.Pop(&e.events).(*event)
+	e.now = next.at
+	e.eventCount++
+	next.fn()
+	return true
+}
+
+// Shutdown terminates the engine. Any process goroutines that are still
+// parked are unwound so they do not leak. After Shutdown the engine must not
+// be used again.
+func (e *Engine) Shutdown() {
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	close(e.killed)
+	// Give every parked process a chance to unwind. Processes park on
+	// their own resume channel and the shared killed channel; closing the
+	// latter unparks them with errKilled, which the goroutine wrapper
+	// swallows.
+	for p := range e.procs {
+		if p.parkedNow && !p.done {
+			<-p.yield
+		}
+	}
+}
+
+func (e *Engine) blockedProcs() []string {
+	var out []string
+	for p := range e.procs {
+		if !p.done && p.parkedNow {
+			out = append(out, fmt.Sprintf("%s (waiting: %s)", p.name, p.waitingOn))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeadlockError reports processes that were still blocked when the event
+// queue drained.
+type DeadlockError struct {
+	Time    Time
+	Blocked []string
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at cycle %d; blocked processes: %s",
+		d.Time, strings.Join(d.Blocked, ", "))
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// errKilled is used internally to unwind parked process goroutines when the
+// engine shuts down.
+var errKilled = errors.New("sim: process killed by engine shutdown")
+
+// Proc is a simulation process: ordinary Go code that runs inside the engine
+// and can block on simulated time, signals and resources. At most one process
+// executes at any instant, which makes simulations deterministic.
+type Proc struct {
+	eng  *Engine
+	name string
+
+	// resume carries wake-ups from the engine to the process goroutine;
+	// yield carries park/finish notifications back to the engine.
+	resume chan struct{}
+	yield  chan struct{}
+
+	done      bool
+	parkedNow bool
+	waitingOn string
+}
+
+// Spawn creates a new process named name and schedules it to start at the
+// current simulated time. The function fn runs in its own goroutine but only
+// while the engine has handed control to it, so code inside fn does not need
+// any synchronization with other processes.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	return e.SpawnAt(0, name, fn)
+}
+
+// SpawnAt is like Spawn but delays the start of the process by delay cycles.
+func (e *Engine) SpawnAt(delay Time, name string, fn func(*Proc)) *Proc {
+	if fn == nil {
+		panic("sim: Spawn called with nil function")
+	}
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.procs[p] = struct{}{}
+	e.Schedule(delay, func() {
+		go p.run(fn)
+		<-p.yield
+	})
+	return p
+}
+
+// run executes the process body and reports completion (or failure) back to
+// the engine.
+func (p *Proc) run(fn func(*Proc)) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			p.done = true
+			p.yield <- struct{}{}
+			return
+		}
+		if err, ok := r.(error); ok && errors.Is(err, errKilled) {
+			// Engine shutdown: unwind quietly. The engine is
+			// draining yield channels of parked processes.
+			p.done = true
+			p.yield <- struct{}{}
+			return
+		}
+		p.eng.procFailure = fmt.Errorf(
+			"sim: process %q panicked: %v\n%s", p.name, r, debug.Stack())
+		p.done = true
+		p.yield <- struct{}{}
+	}()
+	fn(p)
+}
+
+// park hands control back to the engine and blocks until the engine resumes
+// this process. reason is reported in deadlock diagnostics.
+func (p *Proc) park(reason string) {
+	p.waitingOn = reason
+	p.parkedNow = true
+	p.yield <- struct{}{}
+	select {
+	case <-p.resume:
+		p.parkedNow = false
+		p.waitingOn = ""
+	case <-p.eng.killed:
+		panic(errKilled)
+	}
+}
+
+// resumeProc wakes a parked process and blocks until it parks again or
+// finishes. It must only be called from event callbacks.
+func (e *Engine) resumeProc(p *Proc) {
+	if p.done {
+		return
+	}
+	prev := e.running
+	e.running = p
+	p.resume <- struct{}{}
+	<-p.yield
+	e.running = prev
+}
+
+// Wait blocks the process for d cycles of simulated time. A non-positive
+// duration still yields to other events scheduled at the current time.
+func (p *Proc) Wait(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.Schedule(d, func() { p.eng.resumeProc(p) })
+	p.park(fmt.Sprintf("wait %d cycles", d))
+}
+
+// WaitUntil blocks the process until absolute simulated time at. If at is in
+// the past, WaitUntil yields once and returns.
+func (p *Proc) WaitUntil(at Time) {
+	d := at - p.eng.now
+	p.Wait(d)
+}
+
+// Yield gives other processes and events scheduled for the current cycle a
+// chance to run before this process continues.
+func (p *Proc) Yield() { p.Wait(0) }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Name returns the process name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }

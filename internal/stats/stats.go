@@ -1,0 +1,161 @@
+// Package stats provides the metric containers shared by the runtime
+// simulations and the experiment drivers: per-thread phase breakdowns
+// (DEPS/SCHED/EXEC/IDLE, as in Figure 2 of the paper), aggregate helpers
+// (geometric means, speedups, energy-delay products) and simple table
+// formatting for experiment output.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Phase identifies one of the execution-time categories of Figure 2.
+type Phase int
+
+const (
+	// Deps is task creation and dependence management time (DEPS).
+	Deps Phase = iota
+	// Sched is task scheduling time (SCHED).
+	Sched
+	// Exec is task body execution time (EXEC).
+	Exec
+	// Idle is time with no work available (IDLE).
+	Idle
+	numPhases
+)
+
+// String returns the paper's name for the phase.
+func (p Phase) String() string {
+	switch p {
+	case Deps:
+		return "DEPS"
+	case Sched:
+		return "SCHED"
+	case Exec:
+		return "EXEC"
+	case Idle:
+		return "IDLE"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Phases lists every phase in display order.
+func Phases() []Phase { return []Phase{Deps, Sched, Exec, Idle} }
+
+// Breakdown accumulates cycles per phase for one thread (or one aggregated
+// group of threads).
+type Breakdown struct {
+	Cycles [numPhases]int64
+}
+
+// Add accumulates cycles into a phase.
+func (b *Breakdown) Add(p Phase, cycles int64) {
+	if cycles < 0 {
+		panic(fmt.Sprintf("stats: negative cycles %d for phase %s", cycles, p))
+	}
+	b.Cycles[p] += cycles
+}
+
+// Get returns the cycles accumulated in a phase.
+func (b Breakdown) Get(p Phase) int64 { return b.Cycles[p] }
+
+// Total returns the cycles across all phases.
+func (b Breakdown) Total() int64 {
+	var t int64
+	for _, c := range b.Cycles {
+		t += c
+	}
+	return t
+}
+
+// Fraction returns the share of a phase in the breakdown's total, or 0 for an
+// empty breakdown.
+func (b Breakdown) Fraction(p Phase) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.Cycles[p]) / float64(t)
+}
+
+// Plus returns the element-wise sum of two breakdowns.
+func (b Breakdown) Plus(o Breakdown) Breakdown {
+	var out Breakdown
+	for i := range b.Cycles {
+		out.Cycles[i] = b.Cycles[i] + o.Cycles[i]
+	}
+	return out
+}
+
+// Sum adds a list of breakdowns.
+func Sum(bs ...Breakdown) Breakdown {
+	var out Breakdown
+	for _, b := range bs {
+		out = out.Plus(b)
+	}
+	return out
+}
+
+// Busy returns the non-idle cycles.
+func (b Breakdown) Busy() int64 { return b.Total() - b.Cycles[Idle] }
+
+// String formats the breakdown as percentages.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("DEPS %.1f%% SCHED %.1f%% EXEC %.1f%% IDLE %.1f%%",
+		100*b.Fraction(Deps), 100*b.Fraction(Sched), 100*b.Fraction(Exec), 100*b.Fraction(Idle))
+}
+
+// GeoMean returns the geometric mean of the values; zero or negative values
+// are ignored (a geometric mean over them is undefined). An empty input
+// yields zero.
+func GeoMean(values []float64) float64 {
+	sum := 0.0
+	n := 0
+	for _, v := range values {
+		if v <= 0 {
+			continue
+		}
+		sum += math.Log(v)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean, or zero for empty input.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// Speedup returns baseline/measured: values above 1 mean the measured
+// configuration is faster.
+func Speedup(baselineCycles, measuredCycles int64) float64 {
+	if measuredCycles == 0 {
+		return 0
+	}
+	return float64(baselineCycles) / float64(measuredCycles)
+}
+
+// EDP computes an energy-delay product from energy (joules) and delay
+// (seconds).
+func EDP(energyJ, delayS float64) float64 { return energyJ * delayS }
+
+// NormalizedEDP returns measured EDP divided by baseline EDP: values below 1
+// mean the measured configuration is more energy efficient.
+func NormalizedEDP(baseline, measured float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return measured / baseline
+}

@@ -1,0 +1,217 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBreakdownAccumulation(t *testing.T) {
+	var b Breakdown
+	b.Add(Deps, 100)
+	b.Add(Exec, 300)
+	b.Add(Idle, 100)
+	b.Add(Deps, 100)
+	if b.Get(Deps) != 200 || b.Get(Exec) != 300 || b.Get(Sched) != 0 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+	if b.Total() != 600 {
+		t.Fatalf("total = %d", b.Total())
+	}
+	if b.Busy() != 500 {
+		t.Fatalf("busy = %d", b.Busy())
+	}
+	if got := b.Fraction(Exec); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("exec fraction = %f", got)
+	}
+}
+
+func TestBreakdownNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	var b Breakdown
+	b.Add(Exec, -1)
+}
+
+func TestBreakdownPlusAndSum(t *testing.T) {
+	var a, b Breakdown
+	a.Add(Deps, 10)
+	b.Add(Deps, 5)
+	b.Add(Idle, 7)
+	s := Sum(a, b)
+	if s.Get(Deps) != 15 || s.Get(Idle) != 7 {
+		t.Fatalf("sum = %+v", s)
+	}
+}
+
+func TestBreakdownFractionEmpty(t *testing.T) {
+	var b Breakdown
+	if b.Fraction(Exec) != 0 {
+		t.Fatal("fraction of empty breakdown not zero")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	want := map[Phase]string{Deps: "DEPS", Sched: "SCHED", Exec: "EXEC", Idle: "IDLE"}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%v.String() = %q", int(p), p.String())
+		}
+	}
+	if len(Phases()) != 4 {
+		t.Fatal("Phases() should list 4 phases")
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	var b Breakdown
+	b.Add(Exec, 75)
+	b.Add(Idle, 25)
+	s := b.String()
+	if !strings.Contains(s, "EXEC 75.0%") || !strings.Contains(s, "IDLE 25.0%") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("GeoMean(2,8) = %f", got)
+	}
+	if got := GeoMean([]float64{1, 1, 1}); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("GeoMean(1,1,1) = %f", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Fatalf("GeoMean(nil) = %f", got)
+	}
+	// Non-positive values are skipped, not propagated as NaN.
+	if got := GeoMean([]float64{0, 4}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("GeoMean(0,4) = %f", got)
+	}
+}
+
+func TestMeanAndSpeedup(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) wrong")
+	}
+	if Speedup(200, 100) != 2 {
+		t.Fatal("Speedup wrong")
+	}
+	if Speedup(100, 0) != 0 {
+		t.Fatal("Speedup by zero not handled")
+	}
+}
+
+func TestEDPHelpers(t *testing.T) {
+	if EDP(2, 3) != 6 {
+		t.Fatal("EDP wrong")
+	}
+	if NormalizedEDP(10, 5) != 0.5 {
+		t.Fatal("NormalizedEDP wrong")
+	}
+	if NormalizedEDP(0, 5) != 0 {
+		t.Fatal("NormalizedEDP with zero baseline not handled")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := NewTable("Demo", "benchmark", "speedup")
+	tbl.AddRow("cholesky", "1.150")
+	tbl.AddRowValues("qr", 1.23456)
+	s := tbl.String()
+	if !strings.Contains(s, "== Demo ==") || !strings.Contains(s, "cholesky") {
+		t.Fatalf("table output missing content:\n%s", s)
+	}
+	if !strings.Contains(s, "1.235") {
+		t.Fatalf("AddRowValues did not format float: %s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), s)
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tbl := NewTable("", "a", "b", "c")
+	tbl.AddRow("only-one")
+	tbl.AddRow("x", "y", "z", "extra-dropped")
+	if len(tbl.Rows[0]) != 3 || len(tbl.Rows[1]) != 3 {
+		t.Fatalf("rows not normalized: %v", tbl.Rows)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("t", "name", "value")
+	tbl.AddRow(`with,comma`, `with"quote`)
+	csv := tbl.CSV()
+	if !strings.Contains(csv, `"with,comma"`) || !strings.Contains(csv, `"with""quote"`) {
+		t.Fatalf("CSV escaping wrong: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "name,value\n") {
+		t.Fatalf("CSV header wrong: %q", csv)
+	}
+}
+
+func TestPercentAndRatio(t *testing.T) {
+	if Percent(0.123) != "12.3%" {
+		t.Fatalf("Percent = %q", Percent(0.123))
+	}
+	if Ratio(1.23456) != "1.235" {
+		t.Fatalf("Ratio = %q", Ratio(1.23456))
+	}
+}
+
+// Property: fractions of a breakdown always sum to 1 (within epsilon) when
+// the breakdown is non-empty.
+func TestPropertyFractionsSumToOne(t *testing.T) {
+	f := func(deps, sched, exec, idle uint32) bool {
+		var b Breakdown
+		b.Add(Deps, int64(deps))
+		b.Add(Sched, int64(sched))
+		b.Add(Exec, int64(exec))
+		b.Add(Idle, int64(idle))
+		if b.Total() == 0 {
+			return b.Fraction(Deps) == 0
+		}
+		sum := 0.0
+		for _, p := range Phases() {
+			sum += b.Fraction(p)
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GeoMean of positive values lies between min and max.
+func TestPropertyGeoMeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var vals []float64
+		min, max := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			v := float64(r%1000)/100 + 0.01
+			vals = append(vals, v)
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		g := GeoMean(vals)
+		return g >= min-1e-9 && g <= max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package task
+
+import "fmt"
+
+// Builder incrementally constructs a Program. Workload generators, examples
+// and tests use it to declare tasks in program order without managing IDs and
+// region indices by hand.
+//
+//	b := task.NewBuilder("cholesky")
+//	b.Region(0)
+//	b.Task("potrf", 500_000).InOut(addrOf(j, j), blockBytes).Add()
+//	prog := b.Build()
+type Builder struct {
+	prog    *Program
+	nextID  ID
+	current *Region
+}
+
+// NewBuilder starts an empty program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{prog: &Program{Name: name}}
+}
+
+// SetGranularity records the workload granularity parameter for reporting.
+func (b *Builder) SetGranularity(value int64, unit string) *Builder {
+	b.prog.Granularity = value
+	b.prog.GranularityUnit = unit
+	return b
+}
+
+// Region starts a new parallel region preceded by sequentialCycles of
+// master-only work. All subsequent Task calls add tasks to this region until
+// the next Region call.
+func (b *Builder) Region(sequentialCycles int64) *Builder {
+	b.prog.Regions = append(b.prog.Regions, Region{
+		Index:            len(b.prog.Regions),
+		SequentialCycles: sequentialCycles,
+	})
+	b.current = &b.prog.Regions[len(b.prog.Regions)-1]
+	return b
+}
+
+// Task starts the declaration of a task running the named kernel for
+// duration cycles. Dependences are attached with In/Out/InOut and the task is
+// committed with Add.
+func (b *Builder) Task(kernel string, duration int64) *TaskDecl {
+	if b.current == nil {
+		b.Region(0)
+	}
+	return &TaskDecl{
+		b: b,
+		spec: &Spec{
+			ID:       b.nextID,
+			Kernel:   kernel,
+			Duration: duration,
+			Region:   b.current.Index,
+		},
+	}
+}
+
+// NumTasks returns the number of tasks added so far.
+func (b *Builder) NumTasks() int { return int(b.nextID) }
+
+// Build finalizes and returns the program. The builder must not be reused.
+func (b *Builder) Build() *Program {
+	if err := b.prog.Validate(); err != nil {
+		panic(fmt.Sprintf("task: builder produced invalid program: %v", err))
+	}
+	return b.prog
+}
+
+// TaskDecl is an in-progress task declaration created by Builder.Task.
+type TaskDecl struct {
+	b    *Builder
+	spec *Spec
+}
+
+// In adds an input dependence on addr with the given object size.
+func (d *TaskDecl) In(addr, size uint64) *TaskDecl {
+	d.spec.Deps = append(d.spec.Deps, Dep{Addr: addr, Size: size, Dir: In})
+	return d
+}
+
+// Out adds an output dependence on addr with the given object size.
+func (d *TaskDecl) Out(addr, size uint64) *TaskDecl {
+	d.spec.Deps = append(d.spec.Deps, Dep{Addr: addr, Size: size, Dir: Out})
+	return d
+}
+
+// InOut adds an input/output dependence on addr with the given object size.
+func (d *TaskDecl) InOut(addr, size uint64) *TaskDecl {
+	d.spec.Deps = append(d.spec.Deps, Dep{Addr: addr, Size: size, Dir: InOut})
+	return d
+}
+
+// Dep adds an explicit dependence value.
+func (d *TaskDecl) Dep(dep Dep) *TaskDecl {
+	d.spec.Deps = append(d.spec.Deps, dep)
+	return d
+}
+
+// Meta attaches a workload-specific label to the task.
+func (d *TaskDecl) Meta(format string, args ...any) *TaskDecl {
+	d.spec.Meta = fmt.Sprintf(format, args...)
+	return d
+}
+
+// Add commits the task to the current region and returns its ID.
+func (d *TaskDecl) Add() ID {
+	id := d.spec.ID
+	d.b.current.Tasks = append(d.b.current.Tasks, d.spec)
+	d.b.nextID++
+	return id
+}

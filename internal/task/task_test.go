@@ -1,0 +1,395 @@
+package task
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// chainProgram builds n tasks that form a single dependence chain through one
+// address.
+func chainProgram(n int) *Program {
+	b := NewBuilder("chain")
+	b.Region(0)
+	for i := 0; i < n; i++ {
+		b.Task("step", 100).InOut(0x1000, 64).Add()
+	}
+	return b.Build()
+}
+
+func TestDirString(t *testing.T) {
+	cases := map[Dir]string{In: "in", Out: "out", InOut: "inout"}
+	for d, want := range cases {
+		if d.String() != want {
+			t.Errorf("Dir(%d).String() = %q, want %q", d, d.String(), want)
+		}
+	}
+	if Dir(9).String() == "" {
+		t.Error("unknown direction stringified to empty")
+	}
+}
+
+func TestDirPredicates(t *testing.T) {
+	if !Out.IsWrite() || !InOut.IsWrite() || In.IsWrite() {
+		t.Error("IsWrite wrong")
+	}
+	if !In.IsRead() || Out.IsRead() || InOut.IsRead() {
+		t.Error("IsRead wrong")
+	}
+}
+
+func TestBuilderAssignsSequentialIDs(t *testing.T) {
+	p := chainProgram(5)
+	tasks := p.Tasks()
+	for i, tk := range tasks {
+		if tk.ID != ID(i) {
+			t.Fatalf("task %d has ID %d", i, tk.ID)
+		}
+	}
+	if p.NumTasks() != 5 {
+		t.Fatalf("NumTasks = %d, want 5", p.NumTasks())
+	}
+}
+
+func TestBuilderMultipleRegions(t *testing.T) {
+	b := NewBuilder("two-regions")
+	b.Region(1000)
+	b.Task("a", 10).Out(0x10, 8).Add()
+	b.Region(2000)
+	b.Task("b", 20).In(0x10, 8).Add()
+	b.Task("c", 30).In(0x10, 8).Add()
+	p := b.Build()
+	if len(p.Regions) != 2 {
+		t.Fatalf("regions = %d, want 2", len(p.Regions))
+	}
+	if p.Regions[1].Tasks[0].Region != 1 {
+		t.Fatal("task records wrong region")
+	}
+	if p.SequentialWork() != 3000 {
+		t.Fatalf("SequentialWork = %d, want 3000", p.SequentialWork())
+	}
+}
+
+func TestBuilderImplicitRegion(t *testing.T) {
+	b := NewBuilder("implicit")
+	b.Task("a", 10).Add()
+	p := b.Build()
+	if len(p.Regions) != 1 {
+		t.Fatalf("regions = %d, want 1 implicit region", len(p.Regions))
+	}
+}
+
+func TestProgramAggregates(t *testing.T) {
+	b := NewBuilder("agg")
+	b.Region(0)
+	b.Task("k1", 100).In(0x100, 64).Out(0x200, 64).Add()
+	b.Task("k2", 300).In(0x200, 64).Add()
+	b.Task("k1", 200).In(0x300, 64).Add()
+	p := b.Build()
+	if p.TotalWork() != 600 {
+		t.Errorf("TotalWork = %d, want 600", p.TotalWork())
+	}
+	if p.AvgDuration() != 200 {
+		t.Errorf("AvgDuration = %d, want 200", p.AvgDuration())
+	}
+	if p.NumDeps() != 4 {
+		t.Errorf("NumDeps = %d, want 4", p.NumDeps())
+	}
+	if p.MaxDepsPerTask() != 2 {
+		t.Errorf("MaxDepsPerTask = %d, want 2", p.MaxDepsPerTask())
+	}
+	if p.DistinctAddrs() != 3 {
+		t.Errorf("DistinctAddrs = %d, want 3", p.DistinctAddrs())
+	}
+	hist := p.KernelHistogram()
+	if len(hist) != 2 || hist[0].Kernel != "k1" || hist[0].Count != 2 || hist[1].Count != 1 {
+		t.Errorf("KernelHistogram = %v", hist)
+	}
+}
+
+func TestValidateCatchesBadDuration(t *testing.T) {
+	p := &Program{Name: "bad", Regions: []Region{{
+		Index: 0,
+		Tasks: []*Spec{{ID: 0, Kernel: "x", Duration: 0}},
+	}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate accepted zero duration")
+	}
+}
+
+func TestValidateCatchesZeroSizeDep(t *testing.T) {
+	p := &Program{Name: "bad", Regions: []Region{{
+		Index: 0,
+		Tasks: []*Spec{{ID: 0, Kernel: "x", Duration: 1, Deps: []Dep{{Addr: 1, Size: 0, Dir: In}}}},
+	}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate accepted zero-size dependence")
+	}
+}
+
+func TestValidateCatchesOutOfOrderIDs(t *testing.T) {
+	p := &Program{Name: "bad", Regions: []Region{{
+		Index: 0,
+		Tasks: []*Spec{{ID: 3, Kernel: "x", Duration: 1}},
+	}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-order IDs")
+	}
+}
+
+func TestGraphRAW(t *testing.T) {
+	b := NewBuilder("raw")
+	b.Region(0)
+	w := b.Task("writer", 10).Out(0xA, 8).Add()
+	r := b.Task("reader", 10).In(0xA, 8).Add()
+	g := BuildProgramGraph(b.Build())
+	if g.NumPreds(r) != 1 || g.Preds(r)[0] != w {
+		t.Fatalf("reader preds = %v, want [writer]", g.Preds(r))
+	}
+	if g.NumSuccs(w) != 1 || g.Succs(w)[0] != r {
+		t.Fatalf("writer succs = %v, want [reader]", g.Succs(w))
+	}
+}
+
+func TestGraphWAR(t *testing.T) {
+	b := NewBuilder("war")
+	b.Region(0)
+	r1 := b.Task("r1", 10).In(0xA, 8).Add()
+	r2 := b.Task("r2", 10).In(0xA, 8).Add()
+	w := b.Task("w", 10).Out(0xA, 8).Add()
+	g := BuildProgramGraph(b.Build())
+	preds := g.Preds(w)
+	if len(preds) != 2 {
+		t.Fatalf("writer preds = %v, want two readers", preds)
+	}
+	found := map[ID]bool{}
+	for _, p := range preds {
+		found[p] = true
+	}
+	if !found[r1] || !found[r2] {
+		t.Fatalf("writer preds = %v, want both readers", preds)
+	}
+}
+
+func TestGraphWAW(t *testing.T) {
+	b := NewBuilder("waw")
+	b.Region(0)
+	w1 := b.Task("w1", 10).Out(0xA, 8).Add()
+	w2 := b.Task("w2", 10).Out(0xA, 8).Add()
+	g := BuildProgramGraph(b.Build())
+	if g.NumPreds(w2) != 1 || g.Preds(w2)[0] != w1 {
+		t.Fatalf("w2 preds = %v, want [w1]", g.Preds(w2))
+	}
+}
+
+func TestGraphReadersDoNotDependOnEachOther(t *testing.T) {
+	b := NewBuilder("readers")
+	b.Region(0)
+	b.Task("w", 10).Out(0xA, 8).Add()
+	r1 := b.Task("r1", 10).In(0xA, 8).Add()
+	r2 := b.Task("r2", 10).In(0xA, 8).Add()
+	g := BuildProgramGraph(b.Build())
+	for _, p := range g.Preds(r2) {
+		if p == r1 {
+			t.Fatal("two readers must be independent")
+		}
+	}
+}
+
+func TestGraphInOutChain(t *testing.T) {
+	p := chainProgram(10)
+	g := BuildProgramGraph(p)
+	if g.CriticalPath() != 10*100 {
+		t.Fatalf("critical path = %d, want 1000", g.CriticalPath())
+	}
+	if g.MaxWidth() != 1 {
+		t.Fatalf("max width = %d, want 1", g.MaxWidth())
+	}
+	if len(g.Roots()) != 1 || len(g.Leaves()) != 1 {
+		t.Fatalf("roots/leaves = %v/%v, want single", g.Roots(), g.Leaves())
+	}
+}
+
+func TestGraphIndependentTasks(t *testing.T) {
+	b := NewBuilder("indep")
+	b.Region(0)
+	for i := 0; i < 8; i++ {
+		b.Task("leaf", 50).Out(uint64(0x1000+i*64), 64).Add()
+	}
+	g := BuildProgramGraph(b.Build())
+	if g.NumEdges() != 0 {
+		t.Fatalf("edges = %d, want 0", g.NumEdges())
+	}
+	if g.MaxWidth() != 8 {
+		t.Fatalf("width = %d, want 8", g.MaxWidth())
+	}
+	if g.CriticalPath() != 50 {
+		t.Fatalf("critical path = %d, want 50", g.CriticalPath())
+	}
+}
+
+func TestGraphDuplicateEdgesKept(t *testing.T) {
+	b := NewBuilder("dup")
+	b.Region(0)
+	w := b.Task("w", 10).Out(0xA, 8).Out(0xB, 8).Add()
+	r := b.Task("r", 10).In(0xA, 8).In(0xB, 8).Add()
+	g := BuildProgramGraph(b.Build())
+	if g.NumSuccs(w) != 2 || g.NumPreds(r) != 2 {
+		t.Fatalf("duplicate edges not preserved: succs=%d preds=%d", g.NumSuccs(w), g.NumPreds(r))
+	}
+}
+
+func TestGraphSelfDependenceIgnored(t *testing.T) {
+	// A task with in and out on the same address must not depend on itself.
+	b := NewBuilder("self")
+	b.Region(0)
+	id := b.Task("t", 10).In(0xA, 8).Out(0xA, 8).Add()
+	g := BuildProgramGraph(b.Build())
+	if g.NumPreds(id) != 0 {
+		t.Fatalf("self dependence created: preds=%v", g.Preds(id))
+	}
+}
+
+func TestGraphAcyclic(t *testing.T) {
+	p := chainProgram(50)
+	g := BuildProgramGraph(p)
+	if !g.IsAcyclic() {
+		t.Fatal("chain graph reported cyclic")
+	}
+}
+
+func TestGraphCholeskyLikePattern(t *testing.T) {
+	// A miniature Cholesky-style diamond: potrf -> 2 trsm -> syrk/gemm.
+	b := NewBuilder("mini-cho")
+	b.Region(0)
+	blk := func(i, j int) uint64 { return uint64(0x10000 + (i*4+j)*4096) }
+	potrf := b.Task("potrf", 100).InOut(blk(0, 0), 4096).Add()
+	trsm1 := b.Task("trsm", 100).In(blk(0, 0), 4096).InOut(blk(1, 0), 4096).Add()
+	trsm2 := b.Task("trsm", 100).In(blk(0, 0), 4096).InOut(blk(2, 0), 4096).Add()
+	syrk := b.Task("syrk", 100).In(blk(1, 0), 4096).InOut(blk(1, 1), 4096).Add()
+	gemm := b.Task("gemm", 100).In(blk(1, 0), 4096).In(blk(2, 0), 4096).InOut(blk(2, 1), 4096).Add()
+	g := BuildProgramGraph(b.Build())
+	if g.NumSuccs(potrf) != 2 {
+		t.Fatalf("potrf succs = %d, want 2", g.NumSuccs(potrf))
+	}
+	if g.NumPreds(syrk) != 1 || g.Preds(syrk)[0] != trsm1 {
+		t.Fatalf("syrk preds = %v", g.Preds(syrk))
+	}
+	if g.NumPreds(gemm) != 2 {
+		t.Fatalf("gemm preds = %v", g.Preds(gemm))
+	}
+	_ = trsm2
+	if g.CriticalPath() != 300 {
+		t.Fatalf("critical path = %d, want 300", g.CriticalPath())
+	}
+}
+
+func TestOrderValidatorAcceptsValidOrder(t *testing.T) {
+	p := chainProgram(4)
+	g := BuildProgramGraph(p)
+	v := NewOrderValidator(g)
+	for i := 0; i < 4; i++ {
+		v.Start(ID(i))
+		v.Finish(ID(i))
+	}
+	if err := v.Err(); err != nil {
+		t.Fatalf("valid order rejected: %v", err)
+	}
+}
+
+func TestOrderValidatorRejectsViolation(t *testing.T) {
+	p := chainProgram(2)
+	g := BuildProgramGraph(p)
+	v := NewOrderValidator(g)
+	v.Start(1) // starts before task 0 finished
+	v.Finish(1)
+	v.Start(0)
+	v.Finish(0)
+	if err := v.Err(); err == nil {
+		t.Fatal("violation not detected")
+	}
+	if len(v.Violations()) != 1 {
+		t.Fatalf("violations = %v", v.Violations())
+	}
+}
+
+func TestOrderValidatorIncomplete(t *testing.T) {
+	p := chainProgram(3)
+	g := BuildProgramGraph(p)
+	v := NewOrderValidator(g)
+	v.Start(0)
+	v.Finish(0)
+	if err := v.Err(); err == nil {
+		t.Fatal("incomplete execution not detected")
+	}
+}
+
+// Property: graphs built from creation-order programs are always acyclic and
+// every edge points from an older task to a newer one.
+func TestPropertyGraphEdgesPointForward(t *testing.T) {
+	f := func(ops []uint16) bool {
+		b := NewBuilder("rand")
+		b.Region(0)
+		if len(ops) > 200 {
+			ops = ops[:200]
+		}
+		for _, op := range ops {
+			addr := uint64(op%7)*64 + 0x1000
+			dir := Dir(op % 3)
+			decl := b.Task("t", 10)
+			switch dir {
+			case In:
+				decl.In(addr, 64)
+			case Out:
+				decl.Out(addr, 64)
+			default:
+				decl.InOut(addr, 64)
+			}
+			decl.Add()
+		}
+		g := BuildProgramGraph(b.Build())
+		if !g.IsAcyclic() {
+			return false
+		}
+		for i := 0; i < g.NumTasks(); i++ {
+			for _, s := range g.Succs(ID(i)) {
+				if s <= ID(i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the critical path never exceeds total work and is at least the
+// longest single task.
+func TestPropertyCriticalPathBounds(t *testing.T) {
+	f := func(ops []uint16) bool {
+		b := NewBuilder("rand")
+		b.Region(0)
+		if len(ops) == 0 {
+			return true
+		}
+		if len(ops) > 100 {
+			ops = ops[:100]
+		}
+		var longest int64
+		for _, op := range ops {
+			dur := int64(op%500) + 1
+			if dur > longest {
+				longest = dur
+			}
+			b.Task("t", dur).InOut(uint64(op%5)*64+0x100, 64).Add()
+		}
+		p := b.Build()
+		g := BuildProgramGraph(p)
+		cp := g.CriticalPath()
+		return cp <= p.TotalWork() && cp >= longest
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

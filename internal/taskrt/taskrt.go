@@ -1,0 +1,224 @@
+// Package taskrt simulates task-based runtime systems executing a program on
+// the multicore machine model. It is where the hardware models (DMU, hardware
+// queues) and the software components (dependence tracker, schedulers) are
+// composed into the four systems the paper evaluates:
+//
+//   - Software: a conventional runtime; dependence tracking and scheduling in
+//     software (the paper's baseline).
+//   - TDM: dependence tracking offloaded to the DMU through the four ISA
+//     instructions; scheduling stays in software with any policy from
+//     internal/sched (the paper's proposal).
+//   - Carbon: hardware per-core ready queues with a fixed FIFO+stealing
+//     policy; dependence tracking in software (Kumar et al.).
+//   - TaskSuperscalar: dependence tracking and scheduling both in hardware
+//     with a fixed FIFO policy (Etsion et al.).
+//
+// The simulation is process-oriented: the master thread creates tasks in
+// program order and the worker threads run a schedule/execute/finish loop,
+// exactly as described in Section II of the paper. Every runtime operation
+// charges cycles from machine.CostModel; every DMU operation additionally
+// charges the latency reported by the DMU model; task bodies charge their
+// (locality-adjusted) durations. The result is an execution time plus the
+// per-thread DEPS/SCHED/EXEC/IDLE breakdown of Figure 2.
+package taskrt
+
+import (
+	"fmt"
+
+	"repro/internal/dmu"
+	"repro/internal/hwsched"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/task"
+	"repro/internal/trace"
+)
+
+// Kind selects the runtime system implementation.
+type Kind string
+
+// Runtime system kinds.
+const (
+	Software        Kind = "software"
+	TDM             Kind = "tdm"
+	Carbon          Kind = "carbon"
+	TaskSuperscalar Kind = "tasksuperscalar"
+)
+
+// Kinds lists every runtime kind in display order.
+func Kinds() []Kind { return []Kind{Software, TDM, Carbon, TaskSuperscalar} }
+
+// UsesSoftwareScheduler reports whether the runtime kind schedules tasks with
+// a software policy (and therefore honours Config.Scheduler).
+func (k Kind) UsesSoftwareScheduler() bool { return k == Software || k == TDM }
+
+// UsesDMU reports whether the runtime kind tracks dependences in hardware.
+func (k Kind) UsesDMU() bool { return k == TDM || k == TaskSuperscalar }
+
+// Config describes one simulated run.
+type Config struct {
+	// Machine is the chip model (cores, frequency, cost model, locality).
+	Machine machine.Config
+	// Runtime selects the runtime system.
+	Runtime Kind
+	// Scheduler is the software scheduling policy for Software and TDM
+	// runs (one of sched.Names()). Carbon and TaskSuperscalar ignore it:
+	// their policy is fixed in hardware.
+	Scheduler string
+	// DMU configures the Dependence Management Unit for TDM and
+	// TaskSuperscalar runs.
+	DMU dmu.Config
+	// RecordTimeline enables span recording for Figure 1-style timelines.
+	// It is off by default because large benchmarks record millions of
+	// spans.
+	RecordTimeline bool
+	// Validate cross-checks the execution order against the golden
+	// dependence graph. It is on by default in NewConfig.
+	ValidateOrder bool
+}
+
+// NewConfig returns a configuration for the given runtime kind with the
+// paper's default machine, DMU and FIFO scheduler.
+func NewConfig(kind Kind) Config {
+	return Config{
+		Machine:       machine.Default(),
+		Runtime:       kind,
+		Scheduler:     sched.FIFO,
+		DMU:           dmu.DefaultConfig(),
+		ValidateOrder: true,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Machine.Validate(); err != nil {
+		return err
+	}
+	switch c.Runtime {
+	case Software, TDM, Carbon, TaskSuperscalar:
+	default:
+		return fmt.Errorf("taskrt: unknown runtime kind %q", c.Runtime)
+	}
+	if c.Runtime.UsesSoftwareScheduler() {
+		if _, err := sched.New(c.Scheduler, c.Machine.Cores); err != nil {
+			return err
+		}
+	}
+	if c.Runtime.UsesDMU() {
+		if err := c.DMU.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of one simulated run.
+type Result struct {
+	// Program and configuration identification.
+	Benchmark string
+	Runtime   Kind
+	Scheduler string
+
+	// Cycles is the total execution time in cycles; Seconds converts it
+	// with the machine frequency.
+	Cycles  int64
+	Seconds float64
+
+	// PerThread holds the DEPS/SCHED/EXEC/IDLE breakdown per core (core 0
+	// is the master). Master and Workers aggregate them.
+	PerThread []stats.Breakdown
+	Master    stats.Breakdown
+	Workers   stats.Breakdown
+
+	// TasksCreated and TasksExecuted count task lifecycle events; they are
+	// equal for a successful run.
+	TasksCreated  int
+	TasksExecuted int
+
+	// ExecutedByCore counts tasks executed per core (load balance).
+	ExecutedByCore []int
+
+	// DMU holds the hardware snapshot for TDM and TaskSuperscalar runs.
+	DMU *dmu.Snapshot
+	// CarbonQueues holds hardware queue statistics for Carbon runs.
+	CarbonQueues *hwsched.CarbonStats
+	// HardwareQueue holds global queue statistics for TaskSuperscalar runs.
+	HardwareQueue *hwsched.GlobalStats
+
+	// SchedulerPushes and SchedulerPops count software scheduler operations.
+	SchedulerPushes int
+	SchedulerPops   int
+
+	// LocalityHitRate is the fraction of dependence lookups that hit the
+	// executing core's footprint.
+	LocalityHitRate float64
+
+	// Timeline is non-nil when Config.RecordTimeline was set.
+	Timeline *trace.Timeline
+}
+
+// MasterCreationFraction returns the share of the execution time the master
+// spent in task creation and dependence management (the metric of Figure 10).
+func (r *Result) MasterCreationFraction() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Master.Get(stats.Deps)) / float64(r.Cycles)
+}
+
+// IdleFraction returns the share of all-thread time spent idle.
+func (r *Result) IdleFraction() float64 {
+	total := stats.Sum(r.PerThread...)
+	return total.Fraction(stats.Idle)
+}
+
+// BusyCycles returns the total non-idle cycles across all threads, which the
+// power model uses for dynamic energy.
+func (r *Result) BusyCycles() int64 {
+	var busy int64
+	for _, b := range r.PerThread {
+		busy += b.Busy()
+	}
+	return busy
+}
+
+// DMUAccesses returns the total number of DMU structure accesses, or zero for
+// runs without a DMU.
+func (r *Result) DMUAccesses() uint64 {
+	if r.DMU == nil {
+		return 0
+	}
+	return r.DMU.TotalAccesses
+}
+
+// Run simulates the program under the configuration and returns the result.
+// It returns an error if the configuration is invalid, the simulation
+// deadlocks (for example because the DMU is configured smaller than a single
+// task's footprint), or the execution violates the dependence graph.
+func Run(prog *task.Program, cfg Config) (*Result, error) {
+	if prog == nil || prog.NumTasks() == 0 {
+		return nil, fmt.Errorf("taskrt: empty program")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	rs, err := newRunState(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer rs.eng.Shutdown()
+
+	rs.spawnThreads()
+	if _, err := rs.eng.Run(); err != nil {
+		return nil, fmt.Errorf("taskrt: %s/%s on %s: %w", cfg.Runtime, cfg.Scheduler, prog.Name, err)
+	}
+	if cfg.ValidateOrder {
+		if err := rs.validator.Err(); err != nil {
+			return nil, fmt.Errorf("taskrt: %s/%s on %s: %w", cfg.Runtime, cfg.Scheduler, prog.Name, err)
+		}
+	}
+	return rs.result(), nil
+}

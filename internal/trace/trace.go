@@ -1,0 +1,209 @@
+// Package trace records execution timelines of simulated runs: which core
+// was doing what (runtime-system work, task execution, idling) during which
+// cycle interval. The recorded timeline can be rendered as an ASCII chart
+// similar to Figure 1 of the paper or exported as CSV for external plotting.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a span, mirroring the phases of the paper's timelines.
+type Kind string
+
+const (
+	// Runtime is runtime-system activity (task creation, dependence
+	// management, scheduling).
+	Runtime Kind = "runtime"
+	// Task is task body execution.
+	Task Kind = "task"
+	// IdleSpan is time with no work.
+	IdleSpan Kind = "idle"
+)
+
+// Span is one contiguous interval on one core.
+type Span struct {
+	Core  int
+	Start int64
+	End   int64
+	Kind  Kind
+	Label string
+}
+
+// Duration returns the span length in cycles.
+func (s Span) Duration() int64 { return s.End - s.Start }
+
+// Timeline collects spans. Recording can be disabled (nil timeline), in which
+// case every method is a no-op, so simulations can always call it.
+type Timeline struct {
+	spans []Span
+	cores int
+}
+
+// New creates an empty timeline for the given core count.
+func New(cores int) *Timeline { return &Timeline{cores: cores} }
+
+// Record appends a span. Zero-length and negative spans are ignored.
+func (t *Timeline) Record(core int, start, end int64, kind Kind, label string) {
+	if t == nil || end <= start {
+		return
+	}
+	t.spans = append(t.spans, Span{Core: core, Start: start, End: end, Kind: kind, Label: label})
+}
+
+// Spans returns all recorded spans sorted by (core, start).
+func (t *Timeline) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Core != out[j].Core {
+			return out[i].Core < out[j].Core
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out
+}
+
+// Len returns the number of recorded spans.
+func (t *Timeline) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.spans)
+}
+
+// End returns the largest recorded end time.
+func (t *Timeline) End() int64 {
+	if t == nil {
+		return 0
+	}
+	var end int64
+	for _, s := range t.spans {
+		if s.End > end {
+			end = s.End
+		}
+	}
+	return end
+}
+
+// BusyCycles returns the non-idle cycles recorded per core.
+func (t *Timeline) BusyCycles() []int64 {
+	if t == nil {
+		return nil
+	}
+	out := make([]int64, t.cores)
+	for _, s := range t.spans {
+		if s.Kind == IdleSpan || s.Core < 0 || s.Core >= t.cores {
+			continue
+		}
+		out[s.Core] += s.Duration()
+	}
+	return out
+}
+
+// Utilization returns, per core, the fraction of the horizon spent non-idle.
+func (t *Timeline) Utilization(horizon int64) []float64 {
+	if t == nil || horizon <= 0 {
+		return nil
+	}
+	busy := t.BusyCycles()
+	out := make([]float64, len(busy))
+	for i, b := range busy {
+		out[i] = float64(b) / float64(horizon)
+	}
+	return out
+}
+
+// ASCII renders the timeline as one row per core with width columns. Each
+// column shows the dominant activity of that time slice: 'R' for runtime
+// work, '#' for task execution, '.' for idle, ' ' for nothing recorded.
+func (t *Timeline) ASCII(width int) string {
+	if t == nil || width <= 0 {
+		return ""
+	}
+	horizon := t.End()
+	if horizon == 0 {
+		return ""
+	}
+	// buckets[core][col][kind] accumulates cycles.
+	type cell struct{ runtime, taskc, idle int64 }
+	buckets := make([][]cell, t.cores)
+	for i := range buckets {
+		buckets[i] = make([]cell, width)
+	}
+	colWidth := float64(horizon) / float64(width)
+	for _, s := range t.spans {
+		if s.Core < 0 || s.Core >= t.cores {
+			continue
+		}
+		first := int(float64(s.Start) / colWidth)
+		last := int(float64(s.End-1) / colWidth)
+		for col := first; col <= last && col < width; col++ {
+			colStart := int64(float64(col) * colWidth)
+			colEnd := int64(float64(col+1) * colWidth)
+			overlap := min64(s.End, colEnd) - max64(s.Start, colStart)
+			if overlap <= 0 {
+				continue
+			}
+			switch s.Kind {
+			case Runtime:
+				buckets[s.Core][col].runtime += overlap
+			case Task:
+				buckets[s.Core][col].taskc += overlap
+			default:
+				buckets[s.Core][col].idle += overlap
+			}
+		}
+	}
+	var b strings.Builder
+	for core := 0; core < t.cores; core++ {
+		fmt.Fprintf(&b, "core %2d |", core)
+		for col := 0; col < width; col++ {
+			c := buckets[core][col]
+			switch {
+			case c.runtime == 0 && c.taskc == 0 && c.idle == 0:
+				b.WriteByte(' ')
+			case c.runtime >= c.taskc && c.runtime >= c.idle:
+				b.WriteByte('R')
+			case c.taskc >= c.idle:
+				b.WriteByte('#')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// CSV exports the spans as "core,start,end,kind,label" lines.
+func (t *Timeline) CSV() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("core,start,end,kind,label\n")
+	for _, s := range t.Spans() {
+		fmt.Fprintf(&b, "%d,%d,%d,%s,%s\n", s.Core, s.Start, s.End, s.Kind, strings.ReplaceAll(s.Label, ",", ";"))
+	}
+	return b.String()
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecordAndSpans(t *testing.T) {
+	tl := New(2)
+	tl.Record(1, 100, 200, Task, "gemm")
+	tl.Record(0, 0, 50, Runtime, "create")
+	tl.Record(0, 50, 60, IdleSpan, "")
+	if tl.Len() != 3 {
+		t.Fatalf("Len = %d", tl.Len())
+	}
+	spans := tl.Spans()
+	if spans[0].Core != 0 || spans[0].Start != 0 {
+		t.Fatalf("spans not sorted: %+v", spans)
+	}
+	if tl.End() != 200 {
+		t.Fatalf("End = %d", tl.End())
+	}
+}
+
+func TestZeroLengthSpanIgnored(t *testing.T) {
+	tl := New(1)
+	tl.Record(0, 100, 100, Task, "noop")
+	tl.Record(0, 100, 90, Task, "negative")
+	if tl.Len() != 0 {
+		t.Fatalf("degenerate spans recorded: %d", tl.Len())
+	}
+}
+
+func TestBusyCyclesAndUtilization(t *testing.T) {
+	tl := New(2)
+	tl.Record(0, 0, 100, Task, "t")
+	tl.Record(0, 100, 200, IdleSpan, "")
+	tl.Record(1, 0, 50, Runtime, "r")
+	busy := tl.BusyCycles()
+	if busy[0] != 100 || busy[1] != 50 {
+		t.Fatalf("busy = %v", busy)
+	}
+	util := tl.Utilization(200)
+	if util[0] != 0.5 || util[1] != 0.25 {
+		t.Fatalf("util = %v", util)
+	}
+	if tl.Utilization(0) != nil {
+		t.Fatal("utilization with zero horizon should be nil")
+	}
+}
+
+func TestASCIIRendering(t *testing.T) {
+	tl := New(2)
+	tl.Record(0, 0, 500, Runtime, "create")
+	tl.Record(0, 500, 1000, Task, "work")
+	tl.Record(1, 0, 1000, IdleSpan, "")
+	out := tl.ASCII(10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("ASCII produced %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "R") || !strings.Contains(lines[0], "#") {
+		t.Fatalf("core 0 row missing phases: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], ".") {
+		t.Fatalf("core 1 row missing idle marks: %q", lines[1])
+	}
+}
+
+func TestASCIIEmpty(t *testing.T) {
+	tl := New(1)
+	if tl.ASCII(10) != "" {
+		t.Fatal("empty timeline should render empty string")
+	}
+	if tl.ASCII(0) != "" {
+		t.Fatal("zero width should render empty string")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	tl := New(1)
+	tl.Record(0, 0, 10, Task, "label,with,commas")
+	csv := tl.CSV()
+	if !strings.HasPrefix(csv, "core,start,end,kind,label\n") {
+		t.Fatalf("CSV header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "label;with;commas") {
+		t.Fatalf("CSV label not sanitized: %q", csv)
+	}
+}
+
+func TestNilTimelineSafe(t *testing.T) {
+	var tl *Timeline
+	tl.Record(0, 0, 10, Task, "x")
+	if tl.Len() != 0 || tl.Spans() != nil || tl.End() != 0 {
+		t.Fatal("nil timeline not inert")
+	}
+	if tl.ASCII(10) != "" || tl.CSV() != "" {
+		t.Fatal("nil timeline rendering not empty")
+	}
+	if tl.BusyCycles() != nil || tl.Utilization(10) != nil {
+		t.Fatal("nil timeline metrics not nil")
+	}
+}

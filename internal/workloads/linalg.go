@@ -1,0 +1,292 @@
+package workloads
+
+import (
+	"repro/internal/machine"
+	"repro/internal/task"
+)
+
+// Calibrated per-kernel floating-point rates (flops per microsecond) chosen
+// so that the average task durations of Table II are reproduced at the
+// paper's optimal granularities. The rates differ per benchmark because the
+// underlying kernels (and their implementations on the paper's ARM cores)
+// differ.
+const (
+	choleskyRate = 2613 // 478k flops/task at 64x64 blocks -> 183 us
+	luRate       = 9032 // 3.83M flops/task at 128x128 blocks -> 424 us
+	qrRate       = 1319 // 127k flops/task at 32x32 blocks -> 96 us
+)
+
+// qrL1Efficiency models the drop in per-flop throughput of the QR kernels
+// when a kernel's working set (about four blocks) no longer fits the 32 KB L1
+// data cache. It reconciles Table II's 96 us average at 4 KB blocks with the
+// 997 us average at 16 KB blocks, which a purely cubic work model cannot.
+func qrL1Efficiency(blockBytes int64) float64 {
+	if 4*blockBytes <= 32<<10 {
+		return 1.0
+	}
+	return 0.745
+}
+
+// Matrix sizes used by the paper (Section IV-B).
+const (
+	choleskyMatrix  = 2048
+	luMatrix        = 2048
+	qrMatrix        = 1024
+	histogramPixels = 4096 * 4096
+)
+
+// Synthetic base addresses for the data structures of each benchmark. They
+// only need to be distinct and stable.
+const (
+	choleskyBase uint64 = 0x1000_0000_0000
+	luBase       uint64 = 0x1100_0000_0000
+	qrBase       uint64 = 0x1200_0000_0000
+	qrTBase      uint64 = 0x1280_0000_0000
+	histImgBase  uint64 = 0x1300_0000_0000
+	histLocBase  uint64 = 0x1380_0000_0000
+	histTreeBase uint64 = 0x13C0_0000_0000
+)
+
+func init() {
+	register(&Benchmark{
+		Name:       "cholesky",
+		Short:      "cho",
+		Unit:       "block bytes",
+		SWOptimal:  16 << 10,
+		TDMOptimal: 16 << 10,
+		Sweep:      []int64{4 << 10, 16 << 10, 64 << 10, 256 << 10},
+		Generate:   generateCholesky,
+	})
+	register(&Benchmark{
+		Name:       "lu",
+		Short:      "LU",
+		Unit:       "block bytes",
+		SWOptimal:  64 << 10,
+		TDMOptimal: 64 << 10,
+		Sweep:      []int64{4 << 10, 16 << 10, 64 << 10},
+		Generate:   generateLU,
+	})
+	register(&Benchmark{
+		Name:       "qr",
+		Short:      "QR",
+		Unit:       "block bytes",
+		SWOptimal:  16 << 10,
+		TDMOptimal: 4 << 10,
+		Sweep:      []int64{2 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10},
+		Generate:   generateQR,
+	})
+	register(&Benchmark{
+		Name:       "histogram",
+		Short:      "hist",
+		Unit:       "block bytes",
+		SWOptimal:  256 << 10,
+		TDMOptimal: 256 << 10,
+		Sweep:      []int64{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20},
+		Generate:   generateHistogram,
+	})
+}
+
+// generateCholesky builds the tiled right-looking Cholesky factorization of a
+// dense choleskyMatrix x choleskyMatrix matrix with blocks of the requested
+// size (Figure 1 of the paper). At the paper's 16 KB blocks (64x64) this
+// yields 5,984 tasks averaging ~183 us.
+func generateCholesky(blockBytes int64, m machine.Config) *task.Program {
+	dim := blockDim(blockBytes)
+	n := choleskyMatrix / dim
+	if n < 1 {
+		n = 1
+	}
+	bytes := int64(dim) * int64(dim) * 4
+	d3 := float64(dim) * float64(dim) * float64(dim)
+	potrfUS := d3 / 3 / choleskyRate
+	trsmUS := d3 / choleskyRate
+	syrkUS := d3 / choleskyRate
+	gemmUS := 2 * d3 / choleskyRate
+
+	blk := func(i, j int) uint64 { return blockAddr(choleskyBase, i, j, n, bytes) }
+
+	b := task.NewBuilder("cholesky").SetGranularity(blockBytes, "block bytes")
+	b.Region(0)
+	for k := 0; k < n; k++ {
+		b.Task("potrf", us(m, potrfUS)).InOut(blk(k, k), uint64(bytes)).Meta("k=%d", k).Add()
+		for i := k + 1; i < n; i++ {
+			b.Task("trsm", us(m, trsmUS)).
+				In(blk(k, k), uint64(bytes)).
+				InOut(blk(i, k), uint64(bytes)).
+				Meta("k=%d i=%d", k, i).Add()
+		}
+		for i := k + 1; i < n; i++ {
+			b.Task("syrk", us(m, syrkUS)).
+				In(blk(i, k), uint64(bytes)).
+				InOut(blk(i, i), uint64(bytes)).
+				Meta("k=%d i=%d", k, i).Add()
+			for j := k + 1; j < i; j++ {
+				b.Task("gemm", us(m, gemmUS)).
+					In(blk(i, k), uint64(bytes)).
+					In(blk(j, k), uint64(bytes)).
+					InOut(blk(i, j), uint64(bytes)).
+					Meta("k=%d i=%d j=%d", k, i, j).Add()
+			}
+		}
+	}
+	return b.Build()
+}
+
+// generateLU builds a blocked LU factorization (without pivoting) of a
+// luMatrix x luMatrix matrix. The paper's LU is sparse; the dense structure
+// used here has the same kernel mix and, at the paper's 64 KB blocks
+// (128x128), produces 1,496 tasks averaging ~424 us (Table II reports 1,512).
+func generateLU(blockBytes int64, m machine.Config) *task.Program {
+	dim := blockDim(blockBytes)
+	n := luMatrix / dim
+	if n < 1 {
+		n = 1
+	}
+	bytes := int64(dim) * int64(dim) * 4
+	d3 := float64(dim) * float64(dim) * float64(dim)
+	getrfUS := 2 * d3 / 3 / luRate
+	trsmUS := d3 / luRate
+	gemmUS := 2 * d3 / luRate
+
+	blk := func(i, j int) uint64 { return blockAddr(luBase, i, j, n, bytes) }
+
+	b := task.NewBuilder("lu").SetGranularity(blockBytes, "block bytes")
+	b.Region(0)
+	for k := 0; k < n; k++ {
+		b.Task("getrf", us(m, getrfUS)).InOut(blk(k, k), uint64(bytes)).Meta("k=%d", k).Add()
+		for j := k + 1; j < n; j++ {
+			b.Task("trsm_row", us(m, trsmUS)).
+				In(blk(k, k), uint64(bytes)).
+				InOut(blk(k, j), uint64(bytes)).
+				Meta("k=%d j=%d", k, j).Add()
+		}
+		for i := k + 1; i < n; i++ {
+			b.Task("trsm_col", us(m, trsmUS)).
+				In(blk(k, k), uint64(bytes)).
+				InOut(blk(i, k), uint64(bytes)).
+				Meta("k=%d i=%d", k, i).Add()
+		}
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j < n; j++ {
+				b.Task("gemm", us(m, gemmUS)).
+					In(blk(i, k), uint64(bytes)).
+					In(blk(k, j), uint64(bytes)).
+					InOut(blk(i, j), uint64(bytes)).
+					Meta("k=%d i=%d j=%d", k, i, j).Add()
+			}
+		}
+	}
+	return b.Build()
+}
+
+// generateQR builds a tiled Householder QR factorization of a
+// qrMatrix x qrMatrix matrix. At the paper's software-optimal 16 KB blocks it
+// produces 1,496 tasks averaging ~1 ms; at TDM's finer 4 KB blocks it
+// produces 10,944 tasks of ~128 us (Table II reports 11,440 x 96 us).
+func generateQR(blockBytes int64, m machine.Config) *task.Program {
+	dim := blockDim(blockBytes)
+	n := qrMatrix / dim
+	if n < 1 {
+		n = 1
+	}
+	bytes := int64(dim) * int64(dim) * 4
+	d3 := float64(dim) * float64(dim) * float64(dim)
+	rate := qrRate * qrL1Efficiency(bytes)
+	geqrtUS := 2 * d3 / rate
+	tsqrtUS := 2 * d3 / rate
+	larfbUS := 3 * d3 / rate
+	tsmqrUS := 4 * d3 / rate
+
+	blk := func(i, j int) uint64 { return blockAddr(qrBase, i, j, n, bytes) }
+	tblk := func(i, j int) uint64 { return blockAddr(qrTBase, i, j, n, bytes) }
+
+	b := task.NewBuilder("qr").SetGranularity(blockBytes, "block bytes")
+	b.Region(0)
+	for k := 0; k < n; k++ {
+		b.Task("geqrt", us(m, geqrtUS)).
+			InOut(blk(k, k), uint64(bytes)).
+			Out(tblk(k, k), uint64(bytes)).
+			Meta("k=%d", k).Add()
+		for j := k + 1; j < n; j++ {
+			b.Task("larfb", us(m, larfbUS)).
+				In(blk(k, k), uint64(bytes)).
+				In(tblk(k, k), uint64(bytes)).
+				InOut(blk(k, j), uint64(bytes)).
+				Meta("k=%d j=%d", k, j).Add()
+		}
+		for i := k + 1; i < n; i++ {
+			b.Task("tsqrt", us(m, tsqrtUS)).
+				InOut(blk(k, k), uint64(bytes)).
+				InOut(blk(i, k), uint64(bytes)).
+				Out(tblk(i, k), uint64(bytes)).
+				Meta("k=%d i=%d", k, i).Add()
+			for j := k + 1; j < n; j++ {
+				b.Task("tsmqr", us(m, tsmqrUS)).
+					In(blk(i, k), uint64(bytes)).
+					In(tblk(i, k), uint64(bytes)).
+					InOut(blk(k, j), uint64(bytes)).
+					InOut(blk(i, j), uint64(bytes)).
+					Meta("k=%d i=%d j=%d", k, i, j).Add()
+			}
+		}
+	}
+	return b.Build()
+}
+
+// generateHistogram computes a cumulative histogram of a 4096x4096 image:
+// one local-histogram task per image block followed by a binary merge tree.
+// At 256 KB blocks this yields 511 tasks averaging ~3.8 ms (Table II reports
+// 512 x 3,824 us). The merge tree gives the benchmark its long dependence
+// chains ("the distance between independent tasks is high", Section V-A).
+func generateHistogram(blockBytes int64, m machine.Config) *task.Program {
+	const bytesPerPixel = 4
+	totalBytes := int64(histogramPixels * bytesPerPixel)
+	if blockBytes < 1024 {
+		blockBytes = 1024
+	}
+	numLocal := int(totalBytes / blockBytes)
+	if numLocal < 1 {
+		numLocal = 1
+	}
+	const histBytes = 64 // 10 bins of 4 bytes, rounded to a cache line
+	const perByteUS = 0.02836
+	const mergeUS = 200.0
+
+	localUS := float64(blockBytes) * perByteUS
+
+	b := task.NewBuilder("histogram").SetGranularity(blockBytes, "block bytes")
+	b.Region(0)
+	// Local histogram tasks.
+	nodeAddrs := make([]uint64, 0, 2*numLocal)
+	for i := 0; i < numLocal; i++ {
+		img := histImgBase + uint64(i)*uint64(blockBytes)
+		loc := histLocBase + uint64(i)*histBytes
+		b.Task("local_hist", us(m, localUS)).
+			In(img, uint64(blockBytes)).
+			Out(loc, histBytes).
+			Meta("block=%d", i).Add()
+		nodeAddrs = append(nodeAddrs, loc)
+	}
+	// Binary merge tree down to a single cumulative histogram.
+	level := 0
+	next := 0
+	for len(nodeAddrs) > 1 {
+		var merged []uint64
+		for i := 0; i+1 < len(nodeAddrs); i += 2 {
+			out := histTreeBase + uint64(next)*histBytes
+			next++
+			b.Task("merge_hist", us(m, mergeUS)).
+				In(nodeAddrs[i], histBytes).
+				In(nodeAddrs[i+1], histBytes).
+				Out(out, histBytes).
+				Meta("level=%d pair=%d", level, i/2).Add()
+			merged = append(merged, out)
+		}
+		if len(nodeAddrs)%2 == 1 {
+			merged = append(merged, nodeAddrs[len(nodeAddrs)-1])
+		}
+		nodeAddrs = merged
+		level++
+	}
+	return b.Build()
+}

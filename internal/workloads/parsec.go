@@ -1,0 +1,275 @@
+package workloads
+
+import (
+	"repro/internal/machine"
+	"repro/internal/task"
+)
+
+// Base addresses of the PARSECSs benchmark data structures.
+const (
+	blaChainBase  uint64 = 0x2000_0000_0000
+	blaDataBase   uint64 = 0x2040_0000_0000
+	strPointsBase uint64 = 0x2100_0000_0000
+	strPartBase   uint64 = 0x2140_0000_0000
+	strCentToken  uint64 = 0x2180_0000_0000
+	fluPartBase   uint64 = 0x2200_0000_0000
+	dedChunkBase  uint64 = 0x2300_0000_0000
+	dedCompBase   uint64 = 0x2340_0000_0000
+	dedOutToken   uint64 = 0x2380_0000_0000
+	ferStageBase  uint64 = 0x2400_0000_0000
+	ferInToken    uint64 = 0x2480_0000_0000
+	ferOutToken   uint64 = 0x2480_0000_0040
+)
+
+// Blackscholes model: 64 independent chains of dependent tasks (Section VI-A)
+// sweeping the options array in blocks. The per-chain data volume is chosen
+// so that 4 KB blocks produce ~3,300 tasks of ~1.8 ms and 2 KB blocks produce
+// ~6,500 tasks of ~0.9 ms (Table II).
+const (
+	blaChains        = 64
+	blaBytesPerChain = 51 * 4096
+	blaPerByteUS     = 0.4321
+)
+
+// Streamcluster model: iterative clustering over 16K points. Every wave
+// processes the points in blocks of `granularity` points and ends with a
+// reduction that produces the centers consumed by the next wave (fork-join
+// parallelism). 648 waves at 256 points per task yield 42,120 tasks of
+// ~370 us (Table II reports 42,115 x 376 us).
+const (
+	strPoints      = 16384
+	strWaves       = 648
+	strPerPointUS  = 1.48
+	strReduceUS    = 100.0
+	strPointBytes  = 64
+	strPartialSize = 256
+)
+
+// Fluidanimate model: a 3D fluid simulation decomposed into partitions that
+// exchange boundary particles with their neighbours every time step. The
+// total work is constant; the granularity selects the number of partitions.
+// 128 partitions x 20 time steps give 2,560 tasks of ~1.8 ms (Table II).
+const (
+	fluTimesteps   = 20
+	fluTotalWorkUS = 2560 * 1804.0
+	fluPartBytes   = 512 << 10
+)
+
+// Dedup model: a pipeline in which every independent compression task is
+// followed by an output task; the output tasks are serialized on the output
+// file (control dependence), so overlapping them with compression is what a
+// good scheduler must achieve (Section VI-A). 122 chunks give 244 tasks of
+// ~27.7 ms (Table II).
+const (
+	dedChunks     = 122
+	dedComputeUS  = 50000.0
+	dedIOUS       = 5496.0
+	dedChunkBytes = 2 << 20
+)
+
+// Ferret model: a six-stage similarity-search pipeline over 256 query items;
+// the first (load) and last (output) stages are serialized streams, the four
+// middle stages are parallel per item. 256 x 6 = 1,536 tasks of ~7.7 ms
+// (Table II).
+const ferItems = 256
+
+var ferStages = []struct {
+	name   string
+	us     float64
+	serial bool
+}{
+	{"load", 1000, true},
+	{"segment", 8000, false},
+	{"extract", 12000, false},
+	{"vector", 12000, false},
+	{"rank", 10000, false},
+	{"output", 3000, true},
+}
+
+func init() {
+	register(&Benchmark{
+		Name:       "blackscholes",
+		Short:      "bla",
+		Unit:       "block bytes",
+		SWOptimal:  4 << 10,
+		TDMOptimal: 2 << 10,
+		Sweep:      []int64{1 << 10, 2 << 10, 4 << 10, 8 << 10},
+		Generate:   generateBlackscholes,
+	})
+	register(&Benchmark{
+		Name:       "streamcluster",
+		Short:      "str",
+		Unit:       "points/task",
+		SWOptimal:  256,
+		TDMOptimal: 256,
+		Sweep:      []int64{64, 128, 256, 512, 1024},
+		Generate:   generateStreamcluster,
+	})
+	register(&Benchmark{
+		Name:       "fluidanimate",
+		Short:      "flu",
+		Unit:       "partitions",
+		SWOptimal:  128,
+		TDMOptimal: 128,
+		Sweep:      []int64{32, 64, 128, 256},
+		Generate:   generateFluidanimate,
+	})
+	register(&Benchmark{
+		Name:       "dedup",
+		Short:      "ded",
+		Unit:       "chunks",
+		SWOptimal:  dedChunks,
+		TDMOptimal: dedChunks,
+		Sweep:      []int64{dedChunks},
+		Pipeline:   true,
+		Generate:   generateDedup,
+	})
+	register(&Benchmark{
+		Name:       "ferret",
+		Short:      "fer",
+		Unit:       "items",
+		SWOptimal:  ferItems,
+		TDMOptimal: ferItems,
+		Sweep:      []int64{ferItems},
+		Pipeline:   true,
+		Generate:   generateFerret,
+	})
+}
+
+func generateBlackscholes(blockBytes int64, m machine.Config) *task.Program {
+	if blockBytes < 256 {
+		blockBytes = 256
+	}
+	perChain := (blaBytesPerChain + blockBytes - 1) / blockBytes
+	durUS := float64(blockBytes) * blaPerByteUS
+
+	b := task.NewBuilder("blackscholes").SetGranularity(blockBytes, "block bytes")
+	b.Region(0)
+	for step := int64(0); step < perChain; step++ {
+		for c := 0; c < blaChains; c++ {
+			chainTok := blaChainBase + uint64(c)*64
+			data := blaDataBase + uint64(c)*uint64(blaBytesPerChain) + uint64(step*blockBytes)
+			b.Task("bs_block", us(m, durUS)).
+				In(data, uint64(blockBytes)).
+				InOut(chainTok, 64).
+				Meta("chain=%d step=%d", c, step).Add()
+		}
+	}
+	return b.Build()
+}
+
+func generateStreamcluster(pointsPerTask int64, m machine.Config) *task.Program {
+	if pointsPerTask < 1 {
+		pointsPerTask = 1
+	}
+	tasksPerWave := int((int64(strPoints) + pointsPerTask - 1) / pointsPerTask)
+	workUS := float64(pointsPerTask) * strPerPointUS
+
+	b := task.NewBuilder("streamcluster").SetGranularity(pointsPerTask, "points/task")
+	b.Region(0)
+	for w := 0; w < strWaves; w++ {
+		for i := 0; i < tasksPerWave; i++ {
+			points := strPointsBase + uint64(i)*uint64(pointsPerTask)*strPointBytes
+			partial := strPartBase + uint64(i)*strPartialSize
+			decl := b.Task("cluster_block", us(m, workUS)).
+				In(points, uint64(pointsPerTask)*strPointBytes).
+				Out(partial, strPartialSize).
+				Meta("wave=%d block=%d", w, i)
+			if w > 0 {
+				decl.In(strCentToken, strPartialSize)
+			}
+			decl.Add()
+		}
+		reduce := b.Task("recenter", us(m, strReduceUS)).Meta("wave=%d", w)
+		for i := 0; i < tasksPerWave; i++ {
+			reduce.In(strPartBase+uint64(i)*strPartialSize, strPartialSize)
+		}
+		reduce.Out(strCentToken, strPartialSize)
+		reduce.Add()
+	}
+	return b.Build()
+}
+
+func generateFluidanimate(partitions int64, m machine.Config) *task.Program {
+	if partitions < 2 {
+		partitions = 2
+	}
+	p := int(partitions)
+	durUS := fluTotalWorkUS / float64(fluTimesteps*p)
+
+	// Double-buffered stencil: every time step reads the previous step's
+	// buffer (own partition plus both neighbours) and writes the current
+	// step's buffer, so partitions within a time step are independent and
+	// dependences only cross time steps, like the real simulation.
+	part := func(buf, i int) uint64 {
+		return fluPartBase + uint64(buf)*uint64(p+1)*fluPartBytes + uint64(i)*fluPartBytes
+	}
+
+	b := task.NewBuilder("fluidanimate").SetGranularity(partitions, "partitions")
+	b.Region(0)
+	for t := 0; t < fluTimesteps; t++ {
+		cur, prev := t%2, 1-t%2
+		for i := 0; i < p; i++ {
+			decl := b.Task("advance_cell", us(m, durUS)).
+				Out(part(cur, i), fluPartBytes).
+				Meta("step=%d part=%d", t, i)
+			if t > 0 {
+				decl.In(part(prev, i), fluPartBytes)
+				if i > 0 {
+					decl.In(part(prev, i-1), fluPartBytes)
+				}
+				if i < p-1 {
+					decl.In(part(prev, i+1), fluPartBytes)
+				}
+			}
+			decl.Add()
+		}
+	}
+	return b.Build()
+}
+
+func generateDedup(_ int64, m machine.Config) *task.Program {
+	b := task.NewBuilder("dedup").SetGranularity(dedChunks, "chunks")
+	b.Region(0)
+	for i := 0; i < dedChunks; i++ {
+		chunk := dedChunkBase + uint64(i)*dedChunkBytes
+		comp := dedCompBase + uint64(i)*dedChunkBytes
+		b.Task("compress", us(m, dedComputeUS)).
+			In(chunk, dedChunkBytes).
+			Out(comp, dedChunkBytes).
+			Meta("chunk=%d", i).Add()
+		b.Task("write", us(m, dedIOUS)).
+			In(comp, dedChunkBytes).
+			InOut(dedOutToken, 64).
+			Meta("chunk=%d", i).Add()
+	}
+	return b.Build()
+}
+
+func generateFerret(_ int64, m machine.Config) *task.Program {
+	stageAddr := func(stage, item int) uint64 {
+		return ferStageBase + uint64(stage)*uint64(ferItems)*4096 + uint64(item)*4096
+	}
+	b := task.NewBuilder("ferret").SetGranularity(ferItems, "items")
+	b.Region(0)
+	for item := 0; item < ferItems; item++ {
+		for s, stage := range ferStages {
+			decl := b.Task(stage.name, us(m, stage.us)).Meta("item=%d", item)
+			if s > 0 {
+				decl.In(stageAddr(s-1, item), 4096)
+			}
+			if s < len(ferStages)-1 {
+				decl.Out(stageAddr(s, item), 4096)
+			}
+			if stage.serial {
+				tok := ferInToken
+				if s == len(ferStages)-1 {
+					tok = ferOutToken
+				}
+				decl.InOut(tok, 64)
+			}
+			decl.Add()
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,147 @@
+// Package workloads generates the task dependence graphs of the nine
+// benchmarks the paper evaluates (Section IV-B): five PARSECSs applications
+// (Blackscholes, Dedup, Ferret, Fluidanimate, Streamcluster) and four
+// HPC kernels (Cholesky, Histogram, LU, QR).
+//
+// The original applications cannot run inside this reproduction (they are
+// C/C++ programs executed on gem5), so each generator reproduces the
+// *structure* the runtime system sees: the sequence of tasks in creation
+// order, their depend(in/out/inout) annotations on block addresses, and task
+// body durations derived from a simple work model. Task counts and average
+// durations are calibrated to Table II of the paper; the calibration is
+// checked by tests and reported in EXPERIMENTS.md.
+//
+// Every benchmark exposes a granularity knob (block size in bytes, number of
+// partitions, or points per task) matching the x-axes of Figure 6, plus the
+// granularity the paper selected as optimal for the software runtime and for
+// TDM (Table II).
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/task"
+)
+
+// Benchmark describes one benchmark generator.
+type Benchmark struct {
+	// Name is the full benchmark name; Short is the abbreviation used in
+	// the paper's figures (bla, cho, ded, fer, flu, hist, LU, QR, str).
+	Name  string
+	Short string
+
+	// Unit describes the granularity parameter (for Figure 6 reports).
+	Unit string
+
+	// SWOptimal and TDMOptimal are the granularities the paper selects for
+	// the software runtime and for TDM (Table II). For most benchmarks
+	// they coincide.
+	SWOptimal  int64
+	TDMOptimal int64
+
+	// Sweep lists the granularities of the Figure 6 sweep.
+	Sweep []int64
+
+	// Pipeline marks benchmarks whose granularity cannot be changed
+	// without modifying the application (Dedup, Ferret).
+	Pipeline bool
+
+	// Generate builds the program for a granularity. Durations are
+	// converted to cycles with the machine configuration.
+	Generate func(granularity int64, m machine.Config) *task.Program
+}
+
+// OptimalFor returns the optimal granularity for a runtime that uses TDM
+// (useTDM true) or the software runtime (false).
+func (b *Benchmark) OptimalFor(useTDM bool) int64 {
+	if useTDM {
+		return b.TDMOptimal
+	}
+	return b.SWOptimal
+}
+
+// GenerateOptimal builds the program at the optimal granularity for the given
+// runtime class.
+func (b *Benchmark) GenerateOptimal(useTDM bool, m machine.Config) *task.Program {
+	return b.Generate(b.OptimalFor(useTDM), m)
+}
+
+// registry of all benchmarks, populated by init functions in the per-domain
+// files.
+var registry = map[string]*Benchmark{}
+
+func register(b *Benchmark) {
+	if _, dup := registry[b.Name]; dup {
+		panic(fmt.Sprintf("workloads: duplicate benchmark %q", b.Name))
+	}
+	registry[b.Name] = b
+}
+
+// All returns every benchmark in the paper's display order.
+func All() []*Benchmark {
+	order := []string{
+		"blackscholes", "cholesky", "dedup", "ferret", "fluidanimate",
+		"histogram", "lu", "qr", "streamcluster",
+	}
+	out := make([]*Benchmark, 0, len(order))
+	for _, name := range order {
+		b, ok := registry[name]
+		if !ok {
+			panic(fmt.Sprintf("workloads: benchmark %q not registered", name))
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// Names returns every benchmark name in display order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for _, b := range All() {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+// ByName looks a benchmark up by full or short name, case-sensitively.
+func ByName(name string) (*Benchmark, error) {
+	if b, ok := registry[name]; ok {
+		return b, nil
+	}
+	for _, b := range registry {
+		if b.Short == name {
+			return b, nil
+		}
+	}
+	known := Names()
+	sort.Strings(known)
+	return nil, fmt.Errorf("workloads: unknown benchmark %q (known: %v)", name, known)
+}
+
+// blockAddr returns the address of 2D block (i, j) of a matrix laid out in
+// row-major block order starting at base.
+func blockAddr(base uint64, i, j, blocksPerRow int, blockBytes int64) uint64 {
+	return base + uint64(i*blocksPerRow+j)*uint64(blockBytes)
+}
+
+// blockDim returns the largest power-of-two block dimension (elements per
+// side) whose square block of 4-byte elements fits in blockBytes.
+func blockDim(blockBytes int64) int {
+	dim := 1
+	for int64(4*(2*dim)*(2*dim)) <= blockBytes {
+		dim *= 2
+	}
+	return dim
+}
+
+// us converts microseconds to cycles, enforcing a 1-cycle minimum so that
+// generated programs always validate.
+func us(m machine.Config, micros float64) int64 {
+	c := m.MicrosToCycles(micros)
+	if c < 1 {
+		return 1
+	}
+	return c
+}

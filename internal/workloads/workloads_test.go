@@ -1,0 +1,382 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/task"
+)
+
+var testM = machine.Default()
+
+// tableII lists the task counts and average durations (us) the paper reports
+// for the optimal granularities (Table II). The reproduction must land within
+// tolerance of these values; EXPERIMENTS.md records the exact numbers.
+var tableII = []struct {
+	name        string
+	swTasks     int
+	swDurUS     float64
+	tdmTasks    int
+	tdmDurUS    float64
+	taskTol     float64 // relative tolerance on task count
+	durationTol float64 // relative tolerance on average duration
+}{
+	{"blackscholes", 3300, 1770, 6500, 823, 0.05, 0.10},
+	{"cholesky", 5984, 183, 5984, 183, 0.001, 0.05},
+	{"dedup", 244, 27748, 244, 27748, 0.001, 0.02},
+	{"ferret", 1536, 7667, 1536, 7667, 0.001, 0.02},
+	{"fluidanimate", 2560, 1804, 2560, 1804, 0.001, 0.02},
+	{"histogram", 512, 3824, 512, 3824, 0.01, 0.02},
+	{"lu", 1512, 424, 1512, 424, 0.02, 0.05},
+	{"qr", 1496, 997, 11440, 96, 0.001, 0.05},
+	{"streamcluster", 42115, 376, 42115, 376, 0.001, 0.05},
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / want
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 9 {
+		t.Fatalf("All() returned %d benchmarks, want 9", len(all))
+	}
+	names := map[string]bool{}
+	for _, b := range all {
+		names[b.Name] = true
+		if b.Short == "" || b.Unit == "" || b.Generate == nil {
+			t.Errorf("benchmark %q incompletely registered", b.Name)
+		}
+		if len(b.Sweep) == 0 {
+			t.Errorf("benchmark %q has no sweep points", b.Name)
+		}
+	}
+	for _, want := range []string{"blackscholes", "cholesky", "dedup", "ferret",
+		"fluidanimate", "histogram", "lu", "qr", "streamcluster"} {
+		if !names[want] {
+			t.Errorf("missing benchmark %q", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("cholesky"); err != nil {
+		t.Fatal(err)
+	}
+	if b, err := ByName("cho"); err != nil || b.Name != "cholesky" {
+		t.Fatalf("short-name lookup failed: %v %v", b, err)
+	}
+	if _, err := ByName("does-not-exist"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestAllProgramsValidAndAcyclic(t *testing.T) {
+	for _, b := range All() {
+		for _, useTDM := range []bool{false, true} {
+			p := b.GenerateOptimal(useTDM, testM)
+			if err := p.Validate(); err != nil {
+				t.Errorf("%s (tdm=%v): invalid program: %v", b.Name, useTDM, err)
+				continue
+			}
+			g := task.BuildProgramGraph(p)
+			if !g.IsAcyclic() {
+				t.Errorf("%s (tdm=%v): cyclic dependence graph", b.Name, useTDM)
+			}
+		}
+	}
+}
+
+func TestTableIICalibration(t *testing.T) {
+	for _, row := range tableII {
+		b, err := ByName(row.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(useTDM bool, wantTasks int, wantDur float64) {
+			p := b.GenerateOptimal(useTDM, testM)
+			gotTasks := p.NumTasks()
+			gotDur := testM.CyclesToMicros(p.AvgDuration())
+			if relErr(float64(gotTasks), float64(wantTasks)) > row.taskTol {
+				t.Errorf("%s (tdm=%v): %d tasks, want %d (+/-%.1f%%)",
+					row.name, useTDM, gotTasks, wantTasks, 100*row.taskTol)
+			}
+			if relErr(gotDur, wantDur) > row.durationTol {
+				t.Errorf("%s (tdm=%v): avg duration %.0f us, want %.0f us (+/-%.0f%%)",
+					row.name, useTDM, gotDur, wantDur, 100*row.durationTol)
+			}
+		}
+		check(false, row.swTasks, row.swDurUS)
+		check(true, row.tdmTasks, row.tdmDurUS)
+	}
+}
+
+func TestSweepGranularityChangesTaskCount(t *testing.T) {
+	for _, b := range All() {
+		if b.Pipeline {
+			continue
+		}
+		counts := make([]int, 0, len(b.Sweep))
+		for _, g := range b.Sweep {
+			p := b.Generate(g, testM)
+			if err := p.Validate(); err != nil {
+				t.Errorf("%s@%d: %v", b.Name, g, err)
+			}
+			if p.Granularity != g {
+				t.Errorf("%s@%d: program records granularity %d", b.Name, g, p.Granularity)
+			}
+			counts = append(counts, p.NumTasks())
+		}
+		distinct := map[int]bool{}
+		for _, c := range counts {
+			distinct[c] = true
+		}
+		if len(distinct) < 2 {
+			t.Errorf("%s: sweep does not change task count: %v", b.Name, counts)
+		}
+	}
+}
+
+func TestTotalWorkRoughlyConstantAcrossGranularities(t *testing.T) {
+	// Finer tasks mean more tasks of shorter duration; the total amount of
+	// computation must stay approximately constant (it is the same
+	// application). Allow generous tolerance for edge-block effects.
+	for _, name := range []string{"blackscholes", "fluidanimate", "streamcluster", "cholesky"} {
+		b, _ := ByName(name)
+		var works []float64
+		for _, g := range b.Sweep {
+			works = append(works, float64(b.Generate(g, testM).TotalWork()))
+		}
+		for i := 1; i < len(works); i++ {
+			if relErr(works[i], works[0]) > 0.25 {
+				t.Errorf("%s: total work varies too much across granularities: %v", name, works)
+			}
+		}
+	}
+}
+
+func TestCholeskyStructure(t *testing.T) {
+	b, _ := ByName("cholesky")
+	p := b.Generate(16<<10, testM)
+	if p.NumTasks() != 5984 {
+		t.Fatalf("cholesky tasks = %d, want 5984", p.NumTasks())
+	}
+	hist := map[string]int{}
+	for _, kc := range p.KernelHistogram() {
+		hist[kc.Kernel] = kc.Count
+	}
+	if hist["potrf"] != 32 || hist["trsm"] != 496 || hist["syrk"] != 496 || hist["gemm"] != 4960 {
+		t.Fatalf("cholesky kernel mix wrong: %v", hist)
+	}
+	g := task.BuildProgramGraph(p)
+	// The first task (potrf of block 0) must have successors; the last
+	// task (potrf of the final block) must have none.
+	tasks := p.Tasks()
+	if g.NumSuccs(tasks[0].ID) == 0 {
+		t.Fatal("first potrf has no successors")
+	}
+	if g.NumSuccs(tasks[len(tasks)-1].ID) != 0 {
+		t.Fatal("final task has successors")
+	}
+	// Critical path is much shorter than total work: the TDG is parallel.
+	if g.CriticalPath()*4 > p.TotalWork() {
+		t.Fatalf("cholesky TDG not parallel enough: cp=%d work=%d", g.CriticalPath(), p.TotalWork())
+	}
+}
+
+func TestQRGranularityChangesTaskCount(t *testing.T) {
+	b, _ := ByName("qr")
+	coarse := b.Generate(16<<10, testM)
+	fine := b.Generate(4<<10, testM)
+	if fine.NumTasks() <= coarse.NumTasks()*4 {
+		t.Fatalf("4KB QR (%d tasks) should have >4x the tasks of 16KB QR (%d)",
+			fine.NumTasks(), coarse.NumTasks())
+	}
+	if fine.AvgDuration() >= coarse.AvgDuration() {
+		t.Fatal("finer blocks should shorten tasks")
+	}
+}
+
+func TestBlackscholesIndependentChains(t *testing.T) {
+	b, _ := ByName("blackscholes")
+	p := b.GenerateOptimal(false, testM)
+	g := task.BuildProgramGraph(p)
+	if roots := len(g.Roots()); roots != blaChains {
+		t.Fatalf("blackscholes roots = %d, want %d independent chains", roots, blaChains)
+	}
+	if w := g.MaxWidth(); w != blaChains {
+		t.Fatalf("blackscholes width = %d, want %d", w, blaChains)
+	}
+	// Every non-root task has exactly one predecessor inside its chain.
+	for _, s := range p.Tasks() {
+		if preds := g.NumPreds(s.ID); preds > 1 {
+			t.Fatalf("task %d has %d predecessors; chains must be independent", s.ID, preds)
+		}
+	}
+}
+
+func TestDedupIOChainSerialized(t *testing.T) {
+	b, _ := ByName("dedup")
+	p := b.GenerateOptimal(false, testM)
+	if p.NumTasks() != 2*dedChunks {
+		t.Fatalf("dedup tasks = %d", p.NumTasks())
+	}
+	g := task.BuildProgramGraph(p)
+	// The critical path must include the whole write chain plus one
+	// compress task: the writes are serialized on the output token.
+	wantCP := testM.MicrosToCycles(dedComputeUS) + int64(dedChunks)*testM.MicrosToCycles(dedIOUS)
+	if got := g.CriticalPath(); got < wantCP {
+		t.Fatalf("dedup critical path %d shorter than serialized write chain %d", got, wantCP)
+	}
+	// Compress tasks are independent of each other.
+	if w := g.MaxWidth(); w < dedChunks {
+		t.Fatalf("dedup width = %d, want at least %d parallel compress tasks", w, dedChunks)
+	}
+}
+
+func TestFerretPipelineStructure(t *testing.T) {
+	b, _ := ByName("ferret")
+	p := b.GenerateOptimal(false, testM)
+	if p.NumTasks() != ferItems*len(ferStages) {
+		t.Fatalf("ferret tasks = %d", p.NumTasks())
+	}
+	hist := map[string]int{}
+	for _, kc := range p.KernelHistogram() {
+		hist[kc.Kernel] = kc.Count
+	}
+	for _, st := range ferStages {
+		if hist[st.name] != ferItems {
+			t.Fatalf("ferret stage %q count = %d, want %d", st.name, hist[st.name], ferItems)
+		}
+	}
+	g := task.BuildProgramGraph(p)
+	// The output chain serializes: critical path at least items * output.
+	if g.CriticalPath() < int64(ferItems)*testM.MicrosToCycles(3000) {
+		t.Fatal("ferret output chain not serialized")
+	}
+}
+
+func TestFluidanimateStencilNeighbours(t *testing.T) {
+	b, _ := ByName("fluidanimate")
+	p := b.Generate(64, testM)
+	if p.NumTasks() != 64*fluTimesteps {
+		t.Fatalf("fluidanimate tasks = %d", p.NumTasks())
+	}
+	g := task.BuildProgramGraph(p)
+	// A middle partition's second-step task depends on three first-step
+	// tasks (itself and both neighbours).
+	secondStep := p.Tasks()[64+5]
+	if preds := g.NumPreds(secondStep.ID); preds < 3 {
+		t.Fatalf("stencil task has %d predecessors, want >= 3", preds)
+	}
+}
+
+func TestStreamclusterForkJoinWaves(t *testing.T) {
+	b, _ := ByName("streamcluster")
+	p := b.Generate(1024, testM)
+	g := task.BuildProgramGraph(p)
+	tasksPerWave := strPoints/1024 + 1
+	if p.NumTasks() != strWaves*tasksPerWave {
+		t.Fatalf("streamcluster tasks = %d, want %d", p.NumTasks(), strWaves*tasksPerWave)
+	}
+	// The reduction of the first wave has every work task of the wave as a
+	// predecessor.
+	reduce := p.Tasks()[tasksPerWave-1]
+	if reduce.Kernel != "recenter" {
+		t.Fatalf("expected recenter task, got %q", reduce.Kernel)
+	}
+	if preds := g.NumPreds(reduce.ID); preds < tasksPerWave-1 {
+		t.Fatalf("recenter has %d predecessors, want %d", preds, tasksPerWave-1)
+	}
+	// Work tasks of wave 2 depend on wave 1's reduction.
+	wave2task := p.Tasks()[tasksPerWave]
+	found := false
+	for _, pr := range g.Preds(wave2task.ID) {
+		if p.Tasks()[pr].Kernel == "recenter" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("second-wave task does not depend on the first wave's reduction")
+	}
+}
+
+func TestHistogramMergeTree(t *testing.T) {
+	b, _ := ByName("histogram")
+	p := b.GenerateOptimal(false, testM)
+	hist := map[string]int{}
+	for _, kc := range p.KernelHistogram() {
+		hist[kc.Kernel] = kc.Count
+	}
+	if hist["local_hist"] != 256 || hist["merge_hist"] != 255 {
+		t.Fatalf("histogram kernel mix = %v", hist)
+	}
+	g := task.BuildProgramGraph(p)
+	// The final merge depends transitively on everything: it is a leaf
+	// with no successors, and the graph has exactly one such sink among
+	// the merge tasks.
+	leaves := g.Leaves()
+	if len(leaves) != 1 {
+		t.Fatalf("histogram should reduce to a single sink, got %d leaves", len(leaves))
+	}
+}
+
+func TestGenerationIsDeterministic(t *testing.T) {
+	for _, b := range All() {
+		p1 := b.GenerateOptimal(false, testM)
+		p2 := b.GenerateOptimal(false, testM)
+		if p1.NumTasks() != p2.NumTasks() || p1.TotalWork() != p2.TotalWork() {
+			t.Errorf("%s: generation not deterministic", b.Name)
+		}
+		t1, t2 := p1.Tasks(), p2.Tasks()
+		for i := range t1 {
+			if t1[i].Kernel != t2[i].Kernel || t1[i].Duration != t2[i].Duration ||
+				len(t1[i].Deps) != len(t2[i].Deps) {
+				t.Errorf("%s: task %d differs between generations", b.Name, i)
+				break
+			}
+		}
+	}
+}
+
+func TestOptimalForSelectsGranularity(t *testing.T) {
+	b, _ := ByName("qr")
+	if b.OptimalFor(false) != 16<<10 || b.OptimalFor(true) != 4<<10 {
+		t.Fatalf("QR optimal granularities wrong: sw=%d tdm=%d", b.OptimalFor(false), b.OptimalFor(true))
+	}
+	c, _ := ByName("cholesky")
+	if c.OptimalFor(false) != c.OptimalFor(true) {
+		t.Fatal("cholesky optimal granularity should not depend on the runtime")
+	}
+}
+
+func TestBlockDim(t *testing.T) {
+	cases := map[int64]int{
+		1 << 10:   16,
+		2 << 10:   16,
+		4 << 10:   32,
+		16 << 10:  64,
+		64 << 10:  128,
+		256 << 10: 256,
+	}
+	for bytes, want := range cases {
+		if got := blockDim(bytes); got != want {
+			t.Errorf("blockDim(%d) = %d, want %d", bytes, got, want)
+		}
+	}
+}
+
+func TestDistinctAddressesBounded(t *testing.T) {
+	// The DMU's DAT tracks in-flight dependence addresses; the benchmarks
+	// must use block-granularity addresses, not per-byte ones.
+	for _, b := range All() {
+		p := b.GenerateOptimal(true, testM)
+		if addrs := p.DistinctAddrs(); addrs > 40000 {
+			t.Errorf("%s: %d distinct dependence addresses; model should use block addresses", b.Name, addrs)
+		}
+	}
+}
