@@ -13,6 +13,7 @@ package repro
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	"repro/internal/core"
@@ -88,6 +89,32 @@ func BenchmarkQuickFig2(b *testing.B)  { benchExperiment(b, "fig2", quickOptions
 func BenchmarkQuickFig10(b *testing.B) { benchExperiment(b, "fig10", quickOptions()) }
 func BenchmarkQuickFig12(b *testing.B) { benchExperiment(b, "fig12", quickOptions()) }
 func BenchmarkQuickFig13(b *testing.B) { benchExperiment(b, "fig13", quickOptions()) }
+
+// --- Sweep-engine benchmarks: full-evaluation regeneration ---
+//
+// One iteration regenerates every figure and table of the evaluation over the
+// quick benchmark subset. The Sequential variant pins the worker pool to one
+// worker (the pre-runner execution model); the Parallel variant uses
+// GOMAXPROCS workers, demonstrating the wall-clock speedup of running the
+// deduplicated union of all sweep points concurrently.
+
+func benchRunAll(b *testing.B, workers int) {
+	b.Helper()
+	opt := quickOptions()
+	opt.Workers = workers
+	for i := 0; i < b.N; i++ {
+		// A fresh cache each iteration so every iteration does the full
+		// set of simulations.
+		opt.Cache = experiments.NewCache()
+		if err := experiments.RunAll(opt, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(opt.Cache.Len()), "points")
+	}
+}
+
+func BenchmarkSweepRunAllSequential(b *testing.B) { benchRunAll(b, 1) }
+func BenchmarkSweepRunAllParallel(b *testing.B)   { benchRunAll(b, 0) }
 
 // --- Single-run benchmarks: one simulated execution per iteration ---
 

@@ -2,12 +2,20 @@
 // evaluation (Sections V and VI). Each experiment prints one or more tables
 // whose rows mirror the corresponding figure's data series.
 //
+// Simulation points run concurrently through the sweep engine
+// (internal/runner): each experiment's point set is prewarmed over -workers
+// workers before its tables are assembled, and points shared between
+// experiments simulate only once. With -store DIR results persist across
+// invocations, so a rerun (or a different experiment over the same points)
+// starts warm.
+//
 // Examples:
 //
 //	experiments -list
 //	experiments -experiment fig12
 //	experiments -all -benchmarks cholesky,qr,dedup
 //	experiments -all -o results.txt -v
+//	experiments -all -workers 16 -store results-cache/
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -30,6 +39,8 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		out        = flag.String("o", "", "write results to a file instead of stdout")
 		verbose    = flag.Bool("v", false, "log per-simulation progress to stderr")
+		workers    = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		store      = flag.String("store", "", "directory persisting results as JSON for warm reruns")
 	)
 	flag.Parse()
 
@@ -46,11 +57,20 @@ func main() {
 
 	opt := experiments.DefaultOptions()
 	opt.Machine.Cores = *cores
+	opt.Workers = *workers
 	if *benchmarks != "" {
 		opt.Benchmarks = strings.Split(*benchmarks, ",")
 	}
 	if *verbose {
 		opt.Log = os.Stderr
+	}
+	if *store != "" {
+		st, err := runner.NewDiskStore(*store)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		opt.Cache = st
 	}
 
 	var w io.Writer = os.Stdout
@@ -66,6 +86,15 @@ func main() {
 
 	run := func(e experiments.Experiment) error {
 		fmt.Fprintf(w, "\n######## %s — %s\n\n", e.ID, e.Title)
+		// Execute the experiment's simulation points in parallel before
+		// assembling its tables sequentially from the warm cache.
+		jobs, err := experiments.JobsFor(opt, e)
+		if err != nil {
+			return err
+		}
+		if err := experiments.Prewarm(opt, jobs); err != nil {
+			return err
+		}
 		tables, err := e.Run(opt)
 		if err != nil {
 			return err
@@ -81,6 +110,17 @@ func main() {
 	}
 
 	if *all {
+		// Prewarm the deduplicated union of every experiment's points in
+		// one parallel sweep, so the per-experiment runs below only see
+		// cache hits (no worker barrier at experiment boundaries).
+		jobs, err := experiments.JobsFor(opt, experiments.All()...)
+		if err == nil {
+			err = experiments.Prewarm(opt, jobs)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
 		for _, e := range experiments.All() {
 			if err := run(e); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)

@@ -1,0 +1,234 @@
+// Command sweep runs arbitrary simulation grids through the parallel sweep
+// engine (internal/runner): the cartesian product of the requested
+// benchmarks, runtime systems, schedulers, core counts and granularities is
+// expanded into content-addressed jobs, executed concurrently over a worker
+// pool, and reported as a table, CSV or JSON.
+//
+// With -store DIR every result is persisted as a JSON file keyed by its
+// content address, so an interrupted sweep resumes warm:
+//
+//	sweep -store results/ -benchmarks cholesky,qr -runtimes software,tdm \
+//	      -schedulers fifo,locality -cores 16,32
+//
+// Examples:
+//
+//	sweep -list
+//	sweep -benchmarks histogram -runtimes tdm -format json
+//	sweep -runtimes software,tdm,carbon,tasksuperscalar -o results.csv -format csv
+//	sweep -benchmarks cholesky -granularities 16,32,64,128 -dry-run
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/taskrt"
+	"repro/internal/workloads"
+)
+
+// point is the flattened per-job record emitted by the CLI.
+type point struct {
+	Key         string  `json:"key"`
+	Benchmark   string  `json:"benchmark"`
+	Runtime     string  `json:"runtime"`
+	Scheduler   string  `json:"scheduler"`
+	Cores       int     `json:"cores"`
+	Granularity int64   `json:"granularity"`
+	Tasks       int     `json:"tasks"`
+	Cycles      int64   `json:"cycles"`
+	Seconds     float64 `json:"seconds"`
+	EnergyJ     float64 `json:"energy_joules"`
+	AvgPowerW   float64 `json:"avg_power_watts"`
+	EDP         float64 `json:"edp"`
+}
+
+func main() {
+	var (
+		list          = flag.Bool("list", false, "list benchmarks, runtimes and schedulers, then exit")
+		benchmarks    = flag.String("benchmarks", "", "comma-separated benchmarks (default: all)")
+		runtimes      = flag.String("runtimes", "", "comma-separated runtimes (default: all)")
+		schedulers    = flag.String("schedulers", "", "comma-separated schedulers (default: fifo)")
+		cores         = flag.String("cores", "", "comma-separated core counts (default: 32)")
+		granularities = flag.String("granularities", "", "comma-separated granularities, 0 = Table II optimal (default: 0)")
+		workers       = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		store         = flag.String("store", "", "directory persisting results as JSON for warm resume")
+		format        = flag.String("format", "table", "output format: table, csv or json")
+		out           = flag.String("o", "", "write results to a file instead of stdout")
+		dryRun        = flag.Bool("dry-run", false, "print the expanded job list without simulating")
+		verbose       = flag.Bool("v", false, "log per-simulation progress to stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("benchmarks: %s\n", strings.Join(workloads.Names(), ", "))
+		var kinds []string
+		for _, k := range taskrt.Kinds() {
+			kinds = append(kinds, string(k))
+		}
+		fmt.Printf("runtimes:   %s\n", strings.Join(kinds, ", "))
+		fmt.Printf("schedulers: %s\n", strings.Join(sched.Names(), ", "))
+		return
+	}
+
+	switch *format {
+	case "table", "csv", "json":
+	default:
+		fatal(fmt.Errorf("unknown format %q (table, csv, json)", *format))
+	}
+	grid, err := buildGrid(*benchmarks, *runtimes, *schedulers, *cores, *granularities)
+	if err != nil {
+		fatal(err)
+	}
+	jobs := grid.Jobs()
+	if len(jobs) == 0 {
+		fatal(fmt.Errorf("empty grid"))
+	}
+
+	engine := &runner.Engine{
+		Base:    core.DefaultConfig(taskrt.Software),
+		Store:   runner.NewStore(),
+		Workers: *workers,
+	}
+	if *verbose {
+		engine.Log = os.Stderr
+	}
+	if *store != "" {
+		st, err := runner.NewDiskStore(*store)
+		if err != nil {
+			fatal(err)
+		}
+		engine.Store = st
+	}
+
+	if *dryRun {
+		for _, j := range jobs {
+			fmt.Printf("%s  %s\n", engine.Key(j)[:12], j.Desc())
+		}
+		fmt.Printf("%d jobs\n", len(jobs))
+		return
+	}
+
+	results, err := engine.RunAll(jobs)
+	if err != nil {
+		fatal(err)
+	}
+	points := make([]point, len(jobs))
+	for i, j := range jobs {
+		res := results[i]
+		cfg := j.Config(engine.Base)
+		scheduler := cfg.Scheduler
+		if !j.Runtime.UsesSoftwareScheduler() {
+			// Carbon and Task Superscalar schedule in hardware; reporting
+			// a software policy here would be misleading.
+			scheduler = "-"
+		}
+		points[i] = point{
+			Key:         engine.Key(j),
+			Benchmark:   j.Benchmark,
+			Runtime:     string(j.Runtime),
+			Scheduler:   scheduler,
+			Cores:       cfg.Machine.Cores,
+			Granularity: j.Granularity,
+			Tasks:       res.Program.NumTasks(),
+			Cycles:      res.Cycles,
+			Seconds:     res.Seconds,
+			EnergyJ:     res.Energy.EnergyJoules,
+			AvgPowerW:   res.Energy.AveragePowerW,
+			EDP:         res.Energy.EDP,
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := emit(w, *format, points); err != nil {
+		fatal(err)
+	}
+}
+
+// buildGrid parses the comma-separated dimension flags.
+func buildGrid(benchmarks, runtimes, schedulers, cores, granularities string) (runner.Grid, error) {
+	g := runner.Grid{
+		Benchmarks: splitList(benchmarks),
+		Schedulers: splitList(schedulers),
+	}
+	for _, r := range splitList(runtimes) {
+		g.Runtimes = append(g.Runtimes, taskrt.Kind(r))
+	}
+	for _, c := range splitList(cores) {
+		n, err := strconv.Atoi(c)
+		if err != nil || n <= 0 {
+			return g, fmt.Errorf("invalid core count %q", c)
+		}
+		g.Cores = append(g.Cores, n)
+	}
+	for _, s := range splitList(granularities) {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || n < 0 {
+			return g, fmt.Errorf("invalid granularity %q", s)
+		}
+		g.Granularities = append(g.Granularities, n)
+	}
+	return g, g.Validate()
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// emit writes the sweep results in the requested format.
+func emit(w io.Writer, format string, points []point) error {
+	switch format {
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(points)
+	case "table", "csv":
+		t := stats.NewTable("Sweep results",
+			"benchmark", "runtime", "scheduler", "cores", "granularity",
+			"tasks", "cycles", "seconds", "energy (J)", "EDP")
+		for _, p := range points {
+			t.AddRowValues(p.Benchmark, p.Runtime, p.Scheduler, p.Cores, p.Granularity,
+				p.Tasks, p.Cycles, fmt.Sprintf("%.6f", p.Seconds),
+				fmt.Sprintf("%.6f", p.EnergyJ), fmt.Sprintf("%.6g", p.EDP))
+		}
+		var err error
+		if format == "csv" {
+			_, err = fmt.Fprintln(w, t.CSV())
+		} else {
+			_, err = fmt.Fprintln(w, t.String())
+		}
+		return err
+	default:
+		return fmt.Errorf("sweep: unknown format %q (table, csv, json)", format)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

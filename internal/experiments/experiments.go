@@ -4,8 +4,17 @@
 // whose rows mirror the data series of the original figure, so the output
 // can be compared against the paper (EXPERIMENTS.md records that comparison).
 //
-// The drivers are used by cmd/experiments (text/CSV output) and by the
-// repository-level benchmark harness in bench_test.go.
+// Every driver enumerates its simulation points as runner.Job values, so
+// sweeps execute through the internal/runner engine: points are
+// content-addressed (identical points shared between figures are simulated
+// once), memoized in a concurrency-safe store, and — when a figure's point
+// set is known up front — executed in parallel over a worker pool before the
+// tables are assembled sequentially. Table output is therefore byte-identical
+// regardless of the worker count.
+//
+// The drivers are used by cmd/experiments (text/CSV output), cmd/sweep
+// (arbitrary grids) and by the repository-level benchmark harness in
+// bench_test.go.
 package experiments
 
 import (
@@ -17,6 +26,7 @@ import (
 	"repro/internal/dmu"
 	"repro/internal/machine"
 	"repro/internal/power"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/taskrt"
 	"repro/internal/workloads"
@@ -36,9 +46,13 @@ type Options struct {
 	// Log receives progress lines; nil silences progress output.
 	Log io.Writer
 	// Cache shares simulation results between experiments in the same
-	// process (keyed by benchmark/runtime/scheduler/configuration). Use
-	// NewCache; a nil cache disables sharing.
-	Cache map[string]*core.Result
+	// process (and across processes when backed by a directory, see
+	// runner.NewDiskStore), keyed by the content-addressed job key. Use
+	// NewCache; a nil cache disables sharing and parallel prewarming.
+	Cache *runner.Store
+	// Workers bounds the number of concurrently executing simulations
+	// during sweeps (0 means GOMAXPROCS).
+	Workers int
 }
 
 // DefaultOptions returns the paper's evaluation setup.
@@ -51,8 +65,8 @@ func DefaultOptions() Options {
 	}
 }
 
-// NewCache creates an empty result cache.
-func NewCache() map[string]*core.Result { return make(map[string]*core.Result) }
+// NewCache creates an empty, concurrency-safe result cache.
+func NewCache() *runner.Store { return runner.NewStore() }
 
 // benchmarks resolves the benchmark list.
 func (o Options) benchmarks() ([]*workloads.Benchmark, error) {
@@ -71,53 +85,30 @@ func (o Options) benchmarks() ([]*workloads.Benchmark, error) {
 	return out, nil
 }
 
-func (o Options) logf(format string, args ...any) {
-	if o.Log != nil {
-		fmt.Fprintf(o.Log, format+"\n", args...)
-	}
+// engine builds the sweep engine executing this option set's jobs.
+func (o Options) engine() *runner.Engine {
+	base := core.DefaultConfig(taskrt.Software)
+	base.Machine = o.Machine
+	base.Power = o.Power
+	base.DMU = o.DMU
+	return &runner.Engine{Base: base, Store: o.Cache, Workers: o.Workers, Log: o.Log}
 }
 
-// baseConfig builds a core.Config for the given runtime and scheduler.
-func (o Options) baseConfig(kind taskrt.Kind, scheduler string) core.Config {
-	cfg := core.DefaultConfig(kind)
-	cfg.Machine = o.Machine
-	cfg.Power = o.Power
-	cfg.DMU = o.DMU
-	cfg.Scheduler = scheduler
-	return cfg
+// run simulates one sweep point through the engine, memoizing the result in
+// the options cache.
+func (o Options) run(j runner.Job) (*core.Result, error) {
+	return o.engine().Run(j)
 }
 
-// runBench simulates one benchmark under a configuration, memoizing the
-// result in the options cache. granularity selects the workload granularity
-// (0 means the Table II optimal for the runtime kind). mutate (optional)
-// customizes the configuration and must be reflected in key for correct
-// caching.
-func (o Options) runBench(bench *workloads.Benchmark, kind taskrt.Kind, scheduler string, granularity int64, key string, mutate func(*core.Config)) (*core.Result, error) {
-	cfg := o.baseConfig(kind, scheduler)
-	if mutate != nil {
-		mutate(&cfg)
+// Prewarm executes a set of sweep points concurrently through the options
+// cache, so that subsequent driver runs assemble their tables from warm
+// results. It is a no-op without a cache (the results could not be shared).
+func Prewarm(opt Options, jobs []runner.Job) error {
+	if opt.Cache == nil || len(jobs) == 0 {
+		return nil
 	}
-	cacheKey := fmt.Sprintf("%s|%s|%s|%d|%d|%s", bench.Name, kind, cfg.Scheduler, cfg.Machine.Cores, granularity, key)
-	if o.Cache != nil {
-		if res, ok := o.Cache[cacheKey]; ok {
-			return res, nil
-		}
-	}
-	o.logf("running %-14s %-16s sched=%-9s %s", bench.Name, kind, cfg.Scheduler, key)
-	var res *core.Result
-	var err error
-	if granularity == 0 {
-		res, err = core.RunBenchmark(bench.Name, cfg)
-	} else {
-		res, err = core.RunBenchmarkAt(bench.Name, granularity, cfg)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("%s/%s/%s: %w", bench.Name, kind, cfg.Scheduler, err)
-	}
-	if o.Cache != nil {
-		o.Cache[cacheKey] = res
-	}
-	return res, nil
+	_, err := opt.engine().RunAll(jobs)
+	return err
 }
 
 // Experiment is one reproducible figure or table.
@@ -128,24 +119,29 @@ type Experiment struct {
 	Title string
 	// Run executes the experiment and returns its tables.
 	Run func(Options) ([]*stats.Table, error)
+	// Points enumerates the simulation points the experiment needs as
+	// runner jobs, letting sweeps execute them concurrently (and
+	// deduplicate points shared with other experiments) before Run
+	// assembles the tables. nil means the experiment simulates nothing.
+	Points func(Options) ([]runner.Job, error)
 }
 
 // All returns every experiment in paper order.
 func All() []Experiment {
 	return []Experiment{
-		{ID: "fig2", Title: "Figure 2: execution time breakdown under the software runtime", Run: Fig2Breakdown},
-		{ID: "fig6", Title: "Figure 6: execution time vs task granularity", Run: Fig6Granularity},
+		{ID: "fig2", Title: "Figure 2: execution time breakdown under the software runtime", Run: Fig2Breakdown, Points: pointsFig2},
+		{ID: "fig6", Title: "Figure 6: execution time vs task granularity", Run: Fig6Granularity, Points: pointsFig6},
 		{ID: "tab2", Title: "Table II: benchmark characteristics at the optimal granularities", Run: TableII},
-		{ID: "fig7", Title: "Figure 7: performance vs TAT/DAT size", Run: Fig7AliasSizing},
-		{ID: "fig8", Title: "Figure 8: performance vs list array size", Run: Fig8ListArrays},
-		{ID: "fig9", Title: "Figure 9: performance vs DMU access latency", Run: Fig9Latency},
+		{ID: "fig7", Title: "Figure 7: performance vs TAT/DAT size", Run: Fig7AliasSizing, Points: pointsFig7},
+		{ID: "fig8", Title: "Figure 8: performance vs list array size", Run: Fig8ListArrays, Points: pointsFig8},
+		{ID: "fig9", Title: "Figure 9: performance vs DMU access latency", Run: Fig9Latency, Points: pointsFig9},
 		{ID: "tab3", Title: "Table III: DMU storage and area", Run: TableIII},
-		{ID: "fig10", Title: "Figure 10: task creation time, software vs TDM", Run: Fig10CreationTime},
-		{ID: "fig11", Title: "Figure 11: DAT occupancy with static vs dynamic index bits", Run: Fig11IndexBits},
-		{ID: "fig12", Title: "Figure 12: speedup and EDP of software schedulers with TDM", Run: Fig12Schedulers},
-		{ID: "fig13", Title: "Figure 13: comparison against Carbon and Task Superscalar", Run: Fig13Comparison},
+		{ID: "fig10", Title: "Figure 10: task creation time, software vs TDM", Run: Fig10CreationTime, Points: pointsFig10},
+		{ID: "fig11", Title: "Figure 11: DAT occupancy with static vs dynamic index bits", Run: Fig11IndexBits, Points: pointsFig11},
+		{ID: "fig12", Title: "Figure 12: speedup and EDP of software schedulers with TDM", Run: Fig12Schedulers, Points: pointsFig12},
+		{ID: "fig13", Title: "Figure 13: comparison against Carbon and Task Superscalar", Run: Fig13Comparison, Points: pointsFig13},
 		{ID: "area-ratio", Title: "Section VI-C: hardware complexity comparison", Run: AreaComparison},
-		{ID: "extracore", Title: "Section VI-C: adding a 33rd core to the software runtime", Run: ExtraCore},
+		{ID: "extracore", Title: "Section VI-C: adding a 33rd core to the software runtime", Run: ExtraCore, Points: pointsExtraCore},
 	}
 }
 
@@ -164,8 +160,39 @@ func ByID(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, ids)
 }
 
-// RunAll executes every experiment, writing the tables to w.
+// JobsFor returns the concatenated simulation points of the given
+// experiments (callers hand the union to Prewarm; the engine deduplicates
+// shared points by content address).
+func JobsFor(opt Options, exps ...Experiment) ([]runner.Job, error) {
+	var jobs []runner.Job
+	for _, e := range exps {
+		if e.Points == nil {
+			continue
+		}
+		js, err := e.Points(opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		jobs = append(jobs, js...)
+	}
+	return jobs, nil
+}
+
+// RunAll executes every experiment, writing the tables to w. With a cache
+// configured, the deduplicated union of every experiment's simulation points
+// runs first, in parallel across Options.Workers workers; the tables are then
+// assembled sequentially from the warm cache, so the output is identical to a
+// strictly sequential run.
 func RunAll(opt Options, w io.Writer) error {
+	if opt.Cache != nil {
+		jobs, err := JobsFor(opt, All()...)
+		if err != nil {
+			return err
+		}
+		if err := Prewarm(opt, jobs); err != nil {
+			return err
+		}
+	}
 	for _, e := range All() {
 		if _, err := fmt.Fprintf(w, "\n######## %s — %s\n\n", e.ID, e.Title); err != nil {
 			return err

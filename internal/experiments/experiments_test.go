@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
+	"io"
 	"strconv"
 	"strings"
 	"testing"
@@ -296,6 +298,114 @@ func TestExtraCore(t *testing.T) {
 	}
 	if tdm < extra-0.02 {
 		t.Errorf("TDM (%.3f) should beat the extra core (%.3f)", tdm, extra)
+	}
+}
+
+// seedSequentialRunAll replicates the pre-runner execution model: every
+// driver runs strictly sequentially in paper order against the shared cache,
+// with no parallel prewarm.
+func seedSequentialRunAll(opt Options, w io.Writer) error {
+	for _, e := range All() {
+		if _, err := fmt.Fprintf(w, "\n######## %s — %s\n\n", e.ID, e.Title); err != nil {
+			return err
+		}
+		tables, err := e.Run(opt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for _, tbl := range tables {
+			if _, err := fmt.Fprintln(w, tbl.String()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TestRunAllParallelMatchesSequential pins the determinism contract of the
+// sweep engine: the full evaluation produces byte-identical output whether
+// the points run strictly sequentially (the seed behaviour), through the
+// runner with a single worker, or through the runner with many workers.
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full RunAll comparison skipped in -short mode")
+	}
+	var sequential bytes.Buffer
+	opt := testOptions()
+	if err := seedSequentialRunAll(opt, &sequential); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		opt := testOptions()
+		opt.Workers = workers
+		var parallel bytes.Buffer
+		if err := RunAll(opt, &parallel); err != nil {
+			t.Fatal(err)
+		}
+		if parallel.String() != sequential.String() {
+			t.Errorf("workers=%d: parallel RunAll output differs from the sequential run", workers)
+		}
+	}
+}
+
+// TestPointsCoverDrivers pins each experiment's Points enumeration to its
+// driver: after prewarming exactly the enumerated points, assembling the
+// tables must not trigger any additional simulation.
+func TestPointsCoverDrivers(t *testing.T) {
+	for _, e := range All() {
+		opt := testOptions()
+		if e.Points == nil {
+			// Table-only experiments must not simulate at all.
+			if _, err := e.Run(opt); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if n := opt.Cache.Len(); n != 0 {
+				t.Errorf("%s has no Points but simulated %d points", e.ID, n)
+			}
+			continue
+		}
+		jobs, err := e.Points(opt)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if len(jobs) == 0 {
+			t.Fatalf("%s: Points enumerated nothing", e.ID)
+		}
+		if err := Prewarm(opt, jobs); err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		warm := opt.Cache.Len()
+		if _, err := e.Run(opt); err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if n := opt.Cache.Len(); n != warm {
+			t.Errorf("%s: driver simulated %d points missing from its Points enumeration", e.ID, n-warm)
+		}
+	}
+}
+
+// TestSharedPointsDeduplicate verifies that the union of all experiments'
+// points contains duplicates (the software/FIFO baseline is shared by five
+// figures) while the executed set does not.
+func TestSharedPointsDeduplicate(t *testing.T) {
+	opt := testOptions()
+	jobs, err := JobsFor(opt, All()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make(map[string]int)
+	eng := opt.engine()
+	for _, j := range jobs {
+		keys[eng.Key(j)]++
+	}
+	if len(keys) == len(jobs) {
+		t.Error("expected shared points across figures, every job key is unique")
+	}
+	if err := Prewarm(opt, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if got := opt.Cache.Len(); got != len(keys) {
+		t.Errorf("prewarm stored %d results, want %d distinct points", got, len(keys))
 	}
 }
 

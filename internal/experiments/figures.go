@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dmu"
+	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/taskrt"
@@ -25,6 +26,102 @@ var indexBitBenchmarks = map[string]bool{
 // tdmSchedulerColumns is the column order of Figure 12.
 var tdmSchedulerColumns = []string{sched.FIFO, sched.LIFO, sched.Locality, sched.Successor, sched.Age}
 
+// Sweep dimensions shared between the drivers and the points enumerations in
+// points.go (single source of truth, so prewarm coverage cannot drift).
+var (
+	fig7Sizes       = []int{512, 1024, 2048, 4096}
+	fig8Sizes       = []int{128, 256, 512, 1024, 2048}
+	fig9Latencies   = []int{1, 4, 16}
+	fig11StaticBits = []uint{0, 4, 8, 12, 16}
+)
+
+// --- Job constructors ---
+//
+// Each figure's simulation points are built here, as runner jobs, and used
+// both by the table-assembling drivers below and by the points enumerations
+// in points.go. Jobs are content-addressed, so points shared between figures
+// (for example the software/FIFO baseline) simulate exactly once per cache.
+
+// baseJob is a benchmark under a runtime and scheduler with the unmodified
+// base configuration.
+func baseJob(b *workloads.Benchmark, kind taskrt.Kind, scheduler string) runner.Job {
+	return runner.Job{Benchmark: b.Name, Runtime: kind, Scheduler: scheduler, Label: "base"}
+}
+
+// fig6Job is a software-runtime run at an explicit granularity.
+func fig6Job(b *workloads.Benchmark, gran int64) runner.Job {
+	return runner.Job{Benchmark: b.Name, Runtime: taskrt.Software, Scheduler: sched.FIFO,
+		Granularity: gran, Label: fmt.Sprintf("gran=%d", gran)}
+}
+
+// fig7EnlargeLists removes list-array pressure so Figures 7 isolates the
+// alias tables.
+func fig7EnlargeLists(cfg *core.Config) {
+	cfg.DMU.SLAEntries, cfg.DMU.DLAEntries, cfg.DMU.RLAEntries = 16384, 16384, 16384
+}
+
+// fig7IdealJob is the idealized DMU with effectively unlimited alias entries
+// that Figure 7 normalizes against.
+func fig7IdealJob(b *workloads.Benchmark) runner.Job {
+	return runner.Job{Benchmark: b.Name, Runtime: taskrt.TDM, Scheduler: sched.FIFO,
+		Label: "ideal-alias", Mutate: func(cfg *core.Config) {
+			fig7EnlargeLists(cfg)
+			cfg.DMU.TATEntries, cfg.DMU.DATEntries = 32768, 32768
+			cfg.DMU.ReadyQueueEntries = 32768
+		}}
+}
+
+// fig7SizeJob is one TAT/DAT sizing point of the Figure 7 sweep.
+func fig7SizeJob(b *workloads.Benchmark, tat, dat int) runner.Job {
+	return runner.Job{Benchmark: b.Name, Runtime: taskrt.TDM, Scheduler: sched.FIFO,
+		Label: fmt.Sprintf("tat=%d dat=%d", tat, dat), Mutate: func(cfg *core.Config) {
+			fig7EnlargeLists(cfg)
+			cfg.DMU.TATEntries, cfg.DMU.DATEntries = tat, dat
+			cfg.DMU.ReadyQueueEntries = tat
+		}}
+}
+
+// fig8IdealJob is the idealized DMU with effectively unlimited list arrays
+// that Figure 8 normalizes against.
+func fig8IdealJob(b *workloads.Benchmark) runner.Job {
+	return runner.Job{Benchmark: b.Name, Runtime: taskrt.TDM, Scheduler: sched.FIFO,
+		Label: "ideal-lists", Mutate: fig7EnlargeLists}
+}
+
+// fig8SizeJob is one list-array sizing point of the Figure 8 sweep.
+func fig8SizeJob(b *workloads.Benchmark, size int) runner.Job {
+	return runner.Job{Benchmark: b.Name, Runtime: taskrt.TDM, Scheduler: sched.FIFO,
+		Label: fmt.Sprintf("la=%d", size), Mutate: func(cfg *core.Config) {
+			cfg.DMU.SLAEntries, cfg.DMU.DLAEntries, cfg.DMU.RLAEntries = size, size, size
+		}}
+}
+
+// fig9LatJob is one DMU access-latency point of the Figure 9 sweep
+// (latency 0 is the normalization baseline).
+func fig9LatJob(b *workloads.Benchmark, lat int) runner.Job {
+	return runner.Job{Benchmark: b.Name, Runtime: taskrt.TDM, Scheduler: sched.FIFO,
+		Label: fmt.Sprintf("lat=%d", lat), Mutate: func(cfg *core.Config) {
+			cfg.DMU.AccessLatency = lat
+		}}
+}
+
+// fig11StaticJob is a TDM run with a static DAT index-bit selection.
+func fig11StaticJob(b *workloads.Benchmark, bit uint) runner.Job {
+	return runner.Job{Benchmark: b.Name, Runtime: taskrt.TDM, Scheduler: sched.FIFO,
+		Label: fmt.Sprintf("index=static%d", bit), Mutate: func(cfg *core.Config) {
+			cfg.DMU.DATIndex = dmu.StaticIndex(bit)
+		}}
+}
+
+// extraCoreJob is the software runtime with one core added to the base
+// machine (Section VI-C).
+func extraCoreJob(b *workloads.Benchmark) runner.Job {
+	return runner.Job{Benchmark: b.Name, Runtime: taskrt.Software, Scheduler: sched.FIFO,
+		Label: "extra-core", Mutate: func(cfg *core.Config) {
+			cfg.Machine = cfg.Machine.WithCores(cfg.Machine.Cores + 1)
+		}}
+}
+
 // Fig2Breakdown reproduces Figure 2: the execution-time breakdown
 // (DEPS/SCHED/EXEC/IDLE) of the master thread and of the worker threads under
 // the pure software runtime with a FIFO scheduler.
@@ -37,7 +134,7 @@ func Fig2Breakdown(opt Options) ([]*stats.Table, error) {
 		"benchmark", "thread", "DEPS", "SCHED", "EXEC", "IDLE")
 	var masterAgg, workerAgg []stats.Breakdown
 	for _, b := range benches {
-		res, err := opt.runBench(b, taskrt.Software, sched.FIFO, 0, "base", nil)
+		res, err := opt.run(baseJob(b, taskrt.Software, sched.FIFO))
 		if err != nil {
 			return nil, err
 		}
@@ -91,7 +188,7 @@ func Fig6Granularity(opt Options) ([]*stats.Table, error) {
 		}
 		var points []point
 		for _, g := range b.Sweep {
-			res, err := opt.runBench(b, taskrt.Software, sched.FIFO, g, fmt.Sprintf("gran=%d", g), nil)
+			res, err := opt.run(fig6Job(b, g))
 			if err != nil {
 				return nil, err
 			}
@@ -118,35 +215,22 @@ func Fig7AliasSizing(opt Options) ([]*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	sizes := []int{512, 1024, 2048, 4096}
+	sizes := fig7Sizes
 	t := stats.NewTable("Figure 7: performance vs TAT/DAT entries (TDM, normalized to ideal DMU)",
 		append([]string{"benchmark", "TAT"}, sizeColumns("DAT", sizes)...)...)
 	perSize := make(map[[2]int][]float64)
-	enlargeLists := func(cfg *core.Config) {
-		cfg.DMU.SLAEntries, cfg.DMU.DLAEntries, cfg.DMU.RLAEntries = 16384, 16384, 16384
-	}
 	for _, b := range benches {
 		if !aliasSensitiveBenchmarks[b.Name] {
 			continue
 		}
-		ideal, err := opt.runBench(b, taskrt.TDM, sched.FIFO, 0, "ideal-alias", func(cfg *core.Config) {
-			enlargeLists(cfg)
-			cfg.DMU.TATEntries, cfg.DMU.DATEntries = 32768, 32768
-			cfg.DMU.ReadyQueueEntries = 32768
-		})
+		ideal, err := opt.run(fig7IdealJob(b))
 		if err != nil {
 			return nil, err
 		}
 		for _, tat := range sizes {
 			row := []any{b.Short, tat}
 			for _, dat := range sizes {
-				tat, dat := tat, dat
-				res, err := opt.runBench(b, taskrt.TDM, sched.FIFO, 0,
-					fmt.Sprintf("tat=%d dat=%d", tat, dat), func(cfg *core.Config) {
-						enlargeLists(cfg)
-						cfg.DMU.TATEntries, cfg.DMU.DATEntries = tat, dat
-						cfg.DMU.ReadyQueueEntries = tat
-					})
+				res, err := opt.run(fig7SizeJob(b, tat, dat))
 				if err != nil {
 					return nil, err
 				}
@@ -176,7 +260,7 @@ func Fig8ListArrays(opt Options) ([]*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	sizes := []int{128, 256, 512, 1024, 2048}
+	sizes := fig8Sizes
 	t := stats.NewTable("Figure 8: performance vs list array entries (TDM, normalized to ideal DMU)",
 		append([]string{"benchmark"}, sizeColumns("LA", sizes)...)...)
 	perSize := make(map[int][]float64)
@@ -184,19 +268,13 @@ func Fig8ListArrays(opt Options) ([]*stats.Table, error) {
 		if !aliasSensitiveBenchmarks[b.Name] {
 			continue
 		}
-		ideal, err := opt.runBench(b, taskrt.TDM, sched.FIFO, 0, "ideal-lists", func(cfg *core.Config) {
-			cfg.DMU.SLAEntries, cfg.DMU.DLAEntries, cfg.DMU.RLAEntries = 16384, 16384, 16384
-		})
+		ideal, err := opt.run(fig8IdealJob(b))
 		if err != nil {
 			return nil, err
 		}
 		row := []any{b.Short}
 		for _, size := range sizes {
-			size := size
-			res, err := opt.runBench(b, taskrt.TDM, sched.FIFO, 0,
-				fmt.Sprintf("la=%d", size), func(cfg *core.Config) {
-					cfg.DMU.SLAEntries, cfg.DMU.DLAEntries, cfg.DMU.RLAEntries = size, size, size
-				})
+			res, err := opt.run(fig8SizeJob(b, size))
 			if err != nil {
 				return nil, err
 			}
@@ -222,24 +300,18 @@ func Fig9Latency(opt Options) ([]*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	latencies := []int{1, 4, 16}
+	latencies := fig9Latencies
 	t := stats.NewTable("Figure 9: performance vs DMU access latency (normalized to zero-latency DMU)",
 		append([]string{"benchmark"}, sizeColumns("lat", latencies)...)...)
 	perLat := make(map[int][]float64)
 	for _, b := range benches {
-		ideal, err := opt.runBench(b, taskrt.TDM, sched.FIFO, 0, "lat=0", func(cfg *core.Config) {
-			cfg.DMU.AccessLatency = 0
-		})
+		ideal, err := opt.run(fig9LatJob(b, 0))
 		if err != nil {
 			return nil, err
 		}
 		row := []any{b.Short}
 		for _, lat := range latencies {
-			lat := lat
-			res, err := opt.runBench(b, taskrt.TDM, sched.FIFO, 0,
-				fmt.Sprintf("lat=%d", lat), func(cfg *core.Config) {
-					cfg.DMU.AccessLatency = lat
-				})
+			res, err := opt.run(fig9LatJob(b, lat))
 			if err != nil {
 				return nil, err
 			}
@@ -269,11 +341,11 @@ func Fig10CreationTime(opt Options) ([]*stats.Table, error) {
 		"benchmark", "software", "TDM", "reduction")
 	var swF, tdmF []float64
 	for _, b := range benches {
-		sw, err := opt.runBench(b, taskrt.Software, sched.FIFO, 0, "base", nil)
+		sw, err := opt.run(baseJob(b, taskrt.Software, sched.FIFO))
 		if err != nil {
 			return nil, err
 		}
-		tdm, err := opt.runBench(b, taskrt.TDM, sched.FIFO, 0, "base", nil)
+		tdm, err := opt.run(baseJob(b, taskrt.TDM, sched.FIFO))
 		if err != nil {
 			return nil, err
 		}
@@ -298,7 +370,7 @@ func Fig11IndexBits(opt Options) ([]*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	staticBits := []uint{0, 4, 8, 12, 16}
+	staticBits := fig11StaticBits
 	cols := []string{"benchmark"}
 	for _, bit := range staticBits {
 		cols = append(cols, fmt.Sprintf("static@%d", bit))
@@ -311,17 +383,14 @@ func Fig11IndexBits(opt Options) ([]*stats.Table, error) {
 		}
 		row := []any{b.Short}
 		for _, bit := range staticBits {
-			bit := bit
-			res, err := opt.runBench(b, taskrt.TDM, sched.FIFO, 0,
-				fmt.Sprintf("index=static%d", bit), func(cfg *core.Config) {
-					cfg.DMU.DATIndex = dmu.StaticIndex(bit)
-				})
+			res, err := opt.run(fig11StaticJob(b, bit))
 			if err != nil {
 				return nil, err
 			}
 			row = append(row, res.DMU.DAT.AvgOccupiedSets)
 		}
-		res, err := opt.runBench(b, taskrt.TDM, sched.FIFO, 0, "index=dynamic", nil)
+		// The default configuration already selects index bits dynamically.
+		res, err := opt.run(baseJob(b, taskrt.TDM, sched.FIFO))
 		if err != nil {
 			return nil, err
 		}
@@ -347,14 +416,14 @@ func Fig12Schedulers(opt Options) ([]*stats.Table, error) {
 	agg := make(map[string][]float64)
 	aggEDP := make(map[string][]float64)
 	for _, b := range benches {
-		base, err := opt.runBench(b, taskrt.Software, sched.FIFO, 0, "base", nil)
+		base, err := opt.run(baseJob(b, taskrt.Software, sched.FIFO))
 		if err != nil {
 			return nil, err
 		}
 		// Best software configuration across schedulers.
 		optSW := base
 		for _, s := range tdmSchedulerColumns {
-			res, err := opt.runBench(b, taskrt.Software, s, 0, "base", nil)
+			res, err := opt.run(baseJob(b, taskrt.Software, s))
 			if err != nil {
 				return nil, err
 			}
@@ -365,7 +434,7 @@ func Fig12Schedulers(opt Options) ([]*stats.Table, error) {
 		tdmResults := make(map[string]*core.Result, len(tdmSchedulerColumns))
 		var optTDM *core.Result
 		for _, s := range tdmSchedulerColumns {
-			res, err := opt.runBench(b, taskrt.TDM, s, 0, "base", nil)
+			res, err := opt.run(baseJob(b, taskrt.TDM, s))
 			if err != nil {
 				return nil, err
 			}
@@ -417,21 +486,21 @@ func Fig13Comparison(opt Options) ([]*stats.Table, error) {
 	agg := make(map[string][]float64)
 	aggEDP := make(map[string][]float64)
 	for _, b := range benches {
-		base, err := opt.runBench(b, taskrt.Software, sched.FIFO, 0, "base", nil)
+		base, err := opt.run(baseJob(b, taskrt.Software, sched.FIFO))
 		if err != nil {
 			return nil, err
 		}
-		carbon, err := opt.runBench(b, taskrt.Carbon, sched.FIFO, 0, "base", nil)
+		carbon, err := opt.run(baseJob(b, taskrt.Carbon, sched.FIFO))
 		if err != nil {
 			return nil, err
 		}
-		tss, err := opt.runBench(b, taskrt.TaskSuperscalar, sched.FIFO, 0, "base", nil)
+		tss, err := opt.run(baseJob(b, taskrt.TaskSuperscalar, sched.FIFO))
 		if err != nil {
 			return nil, err
 		}
 		var optTDM *core.Result
 		for _, s := range tdmSchedulerColumns {
-			res, err := opt.runBench(b, taskrt.TDM, s, 0, "base", nil)
+			res, err := opt.run(baseJob(b, taskrt.TDM, s))
 			if err != nil {
 				return nil, err
 			}
@@ -469,17 +538,6 @@ func sizeColumns(prefix string, sizes []int) []string {
 	out := make([]string, 0, len(sizes))
 	for _, s := range sizes {
 		out = append(out, fmt.Sprintf("%s=%d", prefix, s))
-	}
-	return out
-}
-
-// benchmarksNamed filters the full benchmark list to those in the set.
-func benchmarksNamed(set map[string]bool) []*workloads.Benchmark {
-	var out []*workloads.Benchmark
-	for _, b := range workloads.All() {
-		if set[b.Name] {
-			out = append(out, b)
-		}
 	}
 	return out
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/area"
-	"repro/internal/core"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/taskrt"
@@ -81,17 +80,15 @@ func ExtraCore(opt Options) ([]*stats.Table, error) {
 		"benchmark", "extra-core speedup", "TDM speedup (same cores)")
 	var extraGain, tdmGain []float64
 	for _, b := range benches {
-		base, err := opt.runBench(b, taskrt.Software, sched.FIFO, 0, "base", nil)
+		base, err := opt.run(baseJob(b, taskrt.Software, sched.FIFO))
 		if err != nil {
 			return nil, err
 		}
-		extra, err := opt.runBench(b, taskrt.Software, sched.FIFO, 0, "extra-core", func(cfg *core.Config) {
-			cfg.Machine = cfg.Machine.WithCores(cfg.Machine.Cores + 1)
-		})
+		extra, err := opt.run(extraCoreJob(b))
 		if err != nil {
 			return nil, err
 		}
-		tdm, err := opt.runBench(b, taskrt.TDM, sched.FIFO, 0, "base", nil)
+		tdm, err := opt.run(baseJob(b, taskrt.TDM, sched.FIFO))
 		if err != nil {
 			return nil, err
 		}

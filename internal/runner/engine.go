@@ -1,0 +1,141 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Engine executes jobs against a base configuration, memoizing results in an
+// optional Store and fanning independent points out over a worker pool.
+type Engine struct {
+	// Base supplies the machine, DMU and power models shared by every job.
+	// Its Runtime and Scheduler fields are overridden per job.
+	Base core.Config
+	// Store caches results across jobs and sweeps. nil disables caching
+	// (each RunAll call still deduplicates its own job set).
+	Store *Store
+	// Workers bounds the number of concurrently executing simulations.
+	// Zero or negative means GOMAXPROCS.
+	Workers int
+	// Log receives one progress line per actually executed simulation
+	// (cache hits are silent); nil silences progress output.
+	Log io.Writer
+
+	logMu sync.Mutex
+}
+
+// Key returns the content-addressed key of a job under the engine's base
+// configuration.
+func (e *Engine) Key(j Job) string { return j.Key(e.Base) }
+
+// workers resolves the worker-pool size.
+func (e *Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.Log == nil {
+		return
+	}
+	e.logMu.Lock()
+	fmt.Fprintf(e.Log, format+"\n", args...)
+	e.logMu.Unlock()
+}
+
+// Run executes one job through the store (when present), sharing both
+// completed and in-flight computations of the same point.
+func (e *Engine) Run(j Job) (*core.Result, error) {
+	if e.Store == nil {
+		return e.exec(j)
+	}
+	return e.runKeyed(j, e.Key(j))
+}
+
+// exec simulates a job unconditionally, logging one progress line.
+func (e *Engine) exec(j Job) (*core.Result, error) {
+	e.logf("running %-14s %-16s sched=%-9s %s", j.Benchmark, j.Runtime, j.Scheduler, j.Label)
+	return j.Run(e.Base)
+}
+
+// runKeyed executes a job through the store under an already-derived key.
+func (e *Engine) runKeyed(j Job, key string) (*core.Result, error) {
+	res, _, err := e.Store.Do(key, func() (*core.Result, error) { return e.exec(j) })
+	return res, err
+}
+
+// RunAll executes a job set concurrently and returns the results in job
+// order (deterministic assembly regardless of worker count or completion
+// order). Jobs with equal keys are deduplicated: each distinct point is
+// simulated once and its result shared across all aliases. Errors from
+// distinct points are joined in job order.
+func (e *Engine) RunAll(jobs []Job) ([]*core.Result, error) {
+	// Deduplicate while preserving first-occurrence order.
+	type slot struct {
+		res *core.Result
+		err error
+	}
+	byKey := make(map[string]int, len(jobs))
+	slotOf := make([]int, len(jobs))
+	var unique []Job
+	var keys []string
+	for i, j := range jobs {
+		k := e.Key(j)
+		if at, ok := byKey[k]; ok {
+			slotOf[i] = at
+			continue
+		}
+		byKey[k] = len(unique)
+		slotOf[i] = len(unique)
+		unique = append(unique, j)
+		keys = append(keys, k)
+	}
+
+	slots := make([]slot, len(unique))
+	workers := e.workers()
+	if workers > len(unique) {
+		workers = len(unique)
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				var res *core.Result
+				var err error
+				if e.Store == nil {
+					res, err = e.exec(unique[i])
+				} else {
+					res, err = e.runKeyed(unique[i], keys[i])
+				}
+				slots[i] = slot{res, err}
+			}
+		}()
+	}
+	for i := range unique {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	out := make([]*core.Result, len(jobs))
+	var errs []error
+	for i := range jobs {
+		out[i] = slots[slotOf[i]].res
+	}
+	for i := range unique {
+		if slots[i].err != nil {
+			errs = append(errs, slots[i].err)
+		}
+	}
+	return out, errors.Join(errs...)
+}

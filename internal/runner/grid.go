@@ -1,0 +1,105 @@
+package runner
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/taskrt"
+	"repro/internal/workloads"
+)
+
+// Grid describes a cartesian sweep: every combination of the listed
+// benchmarks, runtime systems, schedulers, core counts and granularities
+// becomes one job. Empty dimensions fall back to defaults (all benchmarks,
+// all runtimes, the FIFO scheduler, the base core count, the Table II
+// optimal granularity).
+type Grid struct {
+	Benchmarks    []string
+	Runtimes      []taskrt.Kind
+	Schedulers    []string
+	Cores         []int
+	Granularities []int64
+}
+
+// Validate rejects unknown benchmarks, runtimes and schedulers before a
+// sweep starts.
+func (g Grid) Validate() error {
+	for _, b := range g.Benchmarks {
+		if _, err := workloads.ByName(b); err != nil {
+			return err
+		}
+	}
+	kinds := make(map[taskrt.Kind]bool)
+	for _, k := range taskrt.Kinds() {
+		kinds[k] = true
+	}
+	for _, k := range g.Runtimes {
+		if !kinds[k] {
+			return fmt.Errorf("runner: unknown runtime %q (known: %v)", k, taskrt.Kinds())
+		}
+	}
+	for _, s := range g.Schedulers {
+		if _, err := sched.New(s, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Jobs expands the grid into a deterministic job list. Runtime systems that
+// schedule in hardware (Carbon, Task Superscalar) ignore the software
+// scheduling policy, so the grid emits a single point for them per
+// (benchmark, cores, granularity) combination instead of one per scheduler.
+func (g Grid) Jobs() []Job {
+	benchmarks := g.Benchmarks
+	if len(benchmarks) == 0 {
+		benchmarks = workloads.Names()
+	}
+	runtimes := g.Runtimes
+	if len(runtimes) == 0 {
+		runtimes = taskrt.Kinds()
+	}
+	schedulers := g.Schedulers
+	if len(schedulers) == 0 {
+		schedulers = []string{sched.FIFO}
+	}
+	cores := g.Cores
+	if len(cores) == 0 {
+		cores = []int{0}
+	}
+	granularities := g.Granularities
+	if len(granularities) == 0 {
+		granularities = []int64{0}
+	}
+
+	var jobs []Job
+	for _, b := range benchmarks {
+		for _, rt := range runtimes {
+			scheds := schedulers
+			if !rt.UsesSoftwareScheduler() {
+				scheds = schedulers[:1]
+			}
+			for _, s := range scheds {
+				if !rt.UsesSoftwareScheduler() {
+					// Normalize so equal hardware-scheduled points share
+					// one content address regardless of the grid's
+					// scheduler list.
+					s = sched.FIFO
+				}
+				for _, c := range cores {
+					for _, gran := range granularities {
+						jobs = append(jobs, Job{
+							Benchmark:   b,
+							Runtime:     rt,
+							Scheduler:   s,
+							Cores:       c,
+							Granularity: gran,
+							Label:       "grid",
+						})
+					}
+				}
+			}
+		}
+	}
+	return jobs
+}

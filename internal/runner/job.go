@@ -1,0 +1,124 @@
+// Package runner executes sweeps of simulation points concurrently.
+//
+// A Job names one simulation point: a benchmark executed under a runtime
+// system, a scheduling policy and a (possibly mutated) configuration. Jobs
+// are content-addressed: a job's key is a cryptographic digest of the
+// benchmark, the granularity and the canonical JSON encoding of the fully
+// resolved core.Config, so two jobs that would simulate the same system are
+// identical by construction — no hand-maintained cache-key discipline is
+// required, and points shared between sweeps deduplicate automatically.
+//
+// An Engine runs job sets through a worker pool sized by GOMAXPROCS and
+// memoizes results in a concurrency-safe Store, which can optionally be
+// backed by a directory of JSON files so interrupted sweeps resume warm.
+// A Grid expands cartesian products (benchmarks x runtimes x schedulers x
+// core counts x granularities) into job sets for arbitrary user-defined
+// sweeps beyond the paper's figures.
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/taskrt"
+)
+
+// Job is one simulation point of a sweep.
+type Job struct {
+	// Benchmark is the workload name (see workloads.Names).
+	Benchmark string
+	// Runtime selects the runtime system.
+	Runtime taskrt.Kind
+	// Scheduler is the software scheduling policy. Empty keeps the base
+	// configuration's policy.
+	Scheduler string
+	// Cores overrides the base machine's core count when positive.
+	Cores int
+	// Granularity selects the workload granularity; 0 means the Table II
+	// optimal for the runtime kind.
+	Granularity int64
+	// Label is a human-readable tag for progress logs. It does not
+	// contribute to the job key.
+	Label string
+	// Mutate optionally customizes the resolved configuration. It must be
+	// deterministic: the job key is derived from the mutated config.
+	Mutate func(*core.Config)
+}
+
+// Config resolves the effective configuration of the job on top of a base
+// configuration (which supplies the machine, DMU and power models).
+func (j Job) Config(base core.Config) core.Config {
+	cfg := base
+	cfg.Runtime = j.Runtime
+	if j.Scheduler != "" {
+		cfg.Scheduler = j.Scheduler
+	}
+	if j.Cores > 0 {
+		cfg.Machine = cfg.Machine.WithCores(j.Cores)
+	}
+	if j.Mutate != nil {
+		j.Mutate(&cfg)
+	}
+	return cfg
+}
+
+// SchemaVersion is mixed into every job key. Bump it when the simulator's
+// semantics change in a way that alters results without changing any
+// core.Config field, so disk stores written by older binaries invalidate
+// cleanly instead of serving stale numbers.
+const SchemaVersion = 1
+
+// Key returns the content-addressed identity of the job under the base
+// configuration: a SHA-256 digest over the schema version, the benchmark,
+// the granularity and the canonical JSON encoding of the effective
+// core.Config. Jobs that simulate the same system have equal keys
+// regardless of which sweep or figure enumerated them.
+func (j Job) Key(base core.Config) string {
+	payload, err := json.Marshal(struct {
+		Schema      int
+		Benchmark   string
+		Granularity int64
+		Config      core.Config
+	}{SchemaVersion, j.Benchmark, j.Granularity, j.Config(base)})
+	if err != nil {
+		// core.Config is plain data; this only fires if a non-serializable
+		// field is ever added to it.
+		panic(fmt.Sprintf("runner: cannot encode job config: %v", err))
+	}
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// Desc returns a short human-readable description of the point.
+func (j Job) Desc() string {
+	d := fmt.Sprintf("%s/%s/%s", j.Benchmark, j.Runtime, j.Scheduler)
+	if j.Cores > 0 {
+		d += fmt.Sprintf(" cores=%d", j.Cores)
+	}
+	if j.Granularity != 0 {
+		d += fmt.Sprintf(" gran=%d", j.Granularity)
+	}
+	if j.Label != "" {
+		d += " " + j.Label
+	}
+	return d
+}
+
+// Run simulates the job's point under the base configuration.
+func (j Job) Run(base core.Config) (*core.Result, error) {
+	cfg := j.Config(base)
+	var res *core.Result
+	var err error
+	if j.Granularity == 0 {
+		res, err = core.RunBenchmark(j.Benchmark, cfg)
+	} else {
+		res, err = core.RunBenchmarkAt(j.Benchmark, j.Granularity, cfg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s/%s: %w", j.Benchmark, j.Runtime, cfg.Scheduler, err)
+	}
+	return res, nil
+}

@@ -1,0 +1,255 @@
+package runner
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/taskrt"
+	"repro/internal/workloads"
+)
+
+// testBase is the shared base configuration: the default machine shrunk to
+// 8 cores so each simulated point stays fast.
+func testBase() core.Config {
+	cfg := core.DefaultConfig(taskrt.Software)
+	cfg.Machine = cfg.Machine.WithCores(8)
+	return cfg
+}
+
+func testJobs() []Job {
+	return []Job{
+		{Benchmark: "histogram", Runtime: taskrt.Software, Scheduler: sched.FIFO, Label: "base"},
+		{Benchmark: "histogram", Runtime: taskrt.TDM, Scheduler: sched.FIFO, Label: "base"},
+		{Benchmark: "fluidanimate", Runtime: taskrt.Software, Scheduler: sched.FIFO, Label: "base"},
+		// Alias of the first point under a different label: must dedup.
+		{Benchmark: "histogram", Runtime: taskrt.Software, Scheduler: sched.FIFO, Label: "alias"},
+	}
+}
+
+func TestJobKeyContentAddressing(t *testing.T) {
+	base := testBase()
+	j := Job{Benchmark: "histogram", Runtime: taskrt.TDM, Scheduler: sched.FIFO}
+	if j.Key(base) != j.Key(base) {
+		t.Fatal("key not deterministic")
+	}
+	labeled := j
+	labeled.Label = "something else"
+	if labeled.Key(base) != j.Key(base) {
+		t.Error("label must not contribute to the key")
+	}
+	distinct := map[string]Job{
+		"scheduler":   {Benchmark: "histogram", Runtime: taskrt.TDM, Scheduler: sched.LIFO},
+		"runtime":     {Benchmark: "histogram", Runtime: taskrt.Software, Scheduler: sched.FIFO},
+		"benchmark":   {Benchmark: "cholesky", Runtime: taskrt.TDM, Scheduler: sched.FIFO},
+		"cores":       {Benchmark: "histogram", Runtime: taskrt.TDM, Scheduler: sched.FIFO, Cores: 16},
+		"granularity": {Benchmark: "histogram", Runtime: taskrt.TDM, Scheduler: sched.FIFO, Granularity: 64},
+		"mutation": {Benchmark: "histogram", Runtime: taskrt.TDM, Scheduler: sched.FIFO,
+			Mutate: func(cfg *core.Config) { cfg.DMU.AccessLatency = 4 }},
+	}
+	for dim, other := range distinct {
+		if other.Key(base) == j.Key(base) {
+			t.Errorf("changing %s did not change the key", dim)
+		}
+	}
+	// A mutation that resolves to the same config must share the key.
+	same := j
+	same.Mutate = func(cfg *core.Config) { lat := cfg.DMU.AccessLatency; cfg.DMU.AccessLatency = lat }
+	if same.Key(base) != j.Key(base) {
+		t.Error("no-op mutation changed the key")
+	}
+}
+
+func TestEngineRunAllDeterministicAcrossWorkerCounts(t *testing.T) {
+	jobs := testJobs()
+	var results [][]*core.Result
+	for _, workers := range []int{1, 4} {
+		e := &Engine{Base: testBase(), Store: NewStore(), Workers: workers}
+		res, err := e.RunAll(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != len(jobs) {
+			t.Fatalf("workers=%d: %d results for %d jobs", workers, len(res), len(jobs))
+		}
+		results = append(results, res)
+	}
+	for i := range jobs {
+		a, b := results[0][i], results[1][i]
+		if a.Cycles != b.Cycles || a.Energy.EDP != b.Energy.EDP || a.Master != b.Master {
+			t.Errorf("job %d (%s): 1-worker and 4-worker results differ: %d vs %d cycles",
+				i, jobs[i].Desc(), a.Cycles, b.Cycles)
+		}
+	}
+	// The aliased point shares one simulation (same *Result instance).
+	if results[1][0] != results[1][3] {
+		t.Error("duplicate points were not deduplicated")
+	}
+}
+
+func TestEngineErrorsAreDeterministic(t *testing.T) {
+	e := &Engine{Base: testBase(), Store: NewStore(), Workers: 4}
+	jobs := []Job{
+		{Benchmark: "no-such-benchmark", Runtime: taskrt.Software, Scheduler: sched.FIFO},
+		{Benchmark: "histogram", Runtime: taskrt.Software, Scheduler: sched.FIFO},
+	}
+	res, err := e.RunAll(jobs)
+	if err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if !strings.Contains(err.Error(), "no-such-benchmark") {
+		t.Errorf("error does not identify the failing point: %v", err)
+	}
+	if res[1] == nil {
+		t.Error("healthy point did not produce a result alongside the failing one")
+	}
+}
+
+func TestStoreDiskResume(t *testing.T) {
+	dir := t.TempDir()
+	job := Job{Benchmark: "histogram", Runtime: taskrt.TDM, Scheduler: sched.FIFO, Label: "base"}
+
+	store, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log bytes.Buffer
+	e := &Engine{Base: testBase(), Store: store, Log: &log}
+	first, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(log.String(), "running"); got != 1 {
+		t.Fatalf("expected 1 simulation, log shows %d", got)
+	}
+
+	// A fresh store over the same directory must serve the point warm.
+	resumed, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Reset()
+	e2 := &Engine{Base: testBase(), Store: resumed, Log: &log}
+	second, err := e2.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(log.String(), "running") {
+		t.Error("resumed store re-simulated a persisted point")
+	}
+	if second.Cycles != first.Cycles || second.Energy.EDP != first.Energy.EDP {
+		t.Errorf("resumed result differs: %d vs %d cycles", second.Cycles, first.Cycles)
+	}
+	if second.Master != first.Master || second.Program.NumTasks() != first.Program.NumTasks() {
+		t.Error("resumed result lost breakdown or program details")
+	}
+}
+
+func TestStoreIgnoresCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Base: testBase(), Store: store}
+	job := Job{Benchmark: "histogram", Runtime: taskrt.Software, Scheduler: sched.FIFO}
+	key := e.Key(job)
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Get(key); ok {
+		t.Fatal("corrupt file served as a cache hit")
+	}
+	// Valid JSON missing whole sections (a foreign or trimmed schema) must
+	// also be a miss, never a partially populated result.
+	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte(`{"Cycles": 42}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Get(key); ok {
+		t.Fatal("incomplete result file served as a cache hit")
+	}
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Get(key); !ok {
+		t.Error("re-simulated point not cached")
+	}
+}
+
+func TestStoreSingleflight(t *testing.T) {
+	store := NewStore()
+	var calls int32
+	var mu sync.Mutex
+	fn := func() (*core.Result, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		time.Sleep(20 * time.Millisecond)
+		return &core.Result{}, nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := store.Do("k", fn); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if calls != 1 {
+		t.Errorf("singleflight ran the computation %d times", calls)
+	}
+}
+
+func TestGridExpansion(t *testing.T) {
+	g := Grid{
+		Benchmarks: []string{"histogram", "cholesky"},
+		Runtimes:   []taskrt.Kind{taskrt.Software, taskrt.TDM, taskrt.Carbon},
+		Schedulers: []string{sched.FIFO, sched.LIFO},
+		Cores:      []int{8, 16},
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	jobs := g.Jobs()
+	// Software and TDM honour both schedulers; Carbon collapses to one
+	// point: 2 benchmarks x (2*2 + 1) x 2 core counts.
+	if want := 2 * 5 * 2; len(jobs) != want {
+		t.Fatalf("grid expanded to %d jobs, want %d", len(jobs), want)
+	}
+	base := testBase()
+	seen := make(map[string]bool)
+	for _, j := range jobs {
+		if seen[j.Key(base)] {
+			t.Fatalf("grid emitted duplicate point %s", j.Desc())
+		}
+		seen[j.Key(base)] = true
+	}
+
+	// Defaults: empty dimensions cover all benchmarks and runtimes once.
+	all := Grid{}.Jobs()
+	if want := len(workloads.Names()) * len(taskrt.Kinds()); len(all) != want {
+		t.Fatalf("default grid expanded to %d jobs, want %d", len(all), want)
+	}
+
+	bad := Grid{Benchmarks: []string{"nope"}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	bad = Grid{Schedulers: []string{"nope"}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	bad = Grid{Runtimes: []taskrt.Kind{"nope"}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown runtime accepted")
+	}
+}

@@ -1,0 +1,202 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Store is a concurrency-safe result cache keyed by content-addressed job
+// keys. A memory-only store (NewStore) shares results within a process; a
+// disk-backed store (NewDiskStore) additionally persists every result as a
+// JSON file so an interrupted sweep resumes warm in a later process.
+//
+// Store also deduplicates concurrent computations of the same key
+// (singleflight): when several workers ask for one point at once, exactly
+// one simulation runs and the others wait for its result.
+type Store struct {
+	mu       sync.Mutex
+	mem      map[string]*core.Result
+	inflight map[string]*call
+	dir      string // "" means memory-only
+}
+
+type call struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+// NewStore creates an empty in-memory store.
+func NewStore() *Store {
+	return &Store{
+		mem:      make(map[string]*core.Result),
+		inflight: make(map[string]*call),
+	}
+}
+
+// NewDiskStore creates a store backed by a directory of JSON result files,
+// creating the directory if needed. Results already present in the directory
+// are served as cache hits.
+func NewDiskStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: create store directory: %w", err)
+	}
+	s := NewStore()
+	s.dir = dir
+	return s, nil
+}
+
+// Dir returns the backing directory ("" for a memory-only store).
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of results resident in memory.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}
+
+// Keys returns the sorted keys of the results resident in memory.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.mem))
+	for k := range s.mem {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Get returns the cached result for a key, consulting memory first and then
+// the backing directory (disk reads happen outside the store lock).
+func (s *Store) Get(key string) (*core.Result, bool) {
+	s.mu.Lock()
+	if res, ok := s.mem[key]; ok {
+		s.mu.Unlock()
+		return res, true
+	}
+	s.mu.Unlock()
+	if res, ok := s.load(key); ok {
+		s.mu.Lock()
+		s.mem[key] = res
+		s.mu.Unlock()
+		return res, true
+	}
+	return nil, false
+}
+
+// Put stores a result under a key, persisting it when the store is
+// disk-backed.
+func (s *Store) Put(key string, res *core.Result) error {
+	s.mu.Lock()
+	s.mem[key] = res
+	s.mu.Unlock()
+	return s.save(key, res)
+}
+
+// Do returns the cached result for key, or computes it with fn. Concurrent
+// calls for the same key share a single computation. The second return value
+// reports whether the result came from the cache (memory, disk, or a
+// computation another goroutine had already started).
+func (s *Store) Do(key string, fn func() (*core.Result, error)) (*core.Result, bool, error) {
+	s.mu.Lock()
+	if res, ok := s.mem[key]; ok {
+		s.mu.Unlock()
+		return res, true, nil
+	}
+	if c, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-c.done
+		return c.res, true, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	s.inflight[key] = c
+	s.mu.Unlock()
+
+	// Disk loads, simulation and persistence all happen outside the store
+	// lock; concurrent requests for this key wait on the inflight call.
+	cached := false
+	if res, ok := s.load(key); ok {
+		c.res, cached = res, true
+	} else {
+		c.res, c.err = fn()
+		if c.err == nil {
+			// A failed persist leaves the key uncached everywhere, so
+			// the error and the cache state agree (a retry re-simulates).
+			c.err = s.save(key, c.res)
+		}
+	}
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if c.err == nil {
+		s.mem[key] = c.res
+	}
+	s.mu.Unlock()
+	close(c.done)
+	return c.res, cached, c.err
+}
+
+// path maps a key to its file. Keys are hex digests, but defend against
+// anything path-like all the same.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, strings.ReplaceAll(key, string(filepath.Separator), "_")+".json")
+}
+
+// load reads a persisted result. Unreadable or corrupt files (for example a
+// file truncated by a crash) are treated as cache misses so the point is
+// simply re-simulated.
+func (s *Store) load(key string) (*core.Result, bool) {
+	if s.dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var res core.Result
+	// A decode error or missing section (a truncated write, or a file from
+	// a foreign schema sharing the key space) is a cache miss, never a
+	// partially populated result.
+	if err := json.Unmarshal(data, &res); err != nil || res.Result == nil || res.Program == nil {
+		return nil, false
+	}
+	return &res, true
+}
+
+// save persists a result when the store is disk-backed, writing to a
+// temporary file and renaming so readers never observe partial writes.
+func (s *Store) save(key string, res *core.Result) error {
+	if s.dir == "" {
+		return nil
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("runner: encode result %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "."+key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("runner: persist result %s: %w", key, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: persist result %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: persist result %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: persist result %s: %w", key, err)
+	}
+	return nil
+}
