@@ -10,12 +10,21 @@
 //	sweep -store results/ -benchmarks cholesky,qr -runtimes software,tdm \
 //	      -schedulers fifo,locality -cores 16,32
 //
+// Workloads are either the paper's nine benchmarks or synthetic DAG-family
+// specs (-workload synth:<family>:<params>, see internal/workloads/synth);
+// "synth:all" expands to every family at default parameters. Any workload of
+// a sweep can be recorded to a versioned JSON program file (-dump-program)
+// and replayed byte-identically in a later sweep (-replay-program).
+//
 // Examples:
 //
 //	sweep -list
 //	sweep -benchmarks histogram -runtimes tdm -format json
 //	sweep -runtimes software,tdm,carbon,tasksuperscalar -o results.csv -format csv
 //	sweep -benchmarks cholesky -granularities 16,32,64,128 -dry-run
+//	sweep -workload synth:layered:seed=7,width=12,depth=20,density=0.4 -runtimes tdm
+//	sweep -workload synth:all -dump-program programs/
+//	sweep -replay-program programs/synth_layered.json -runtimes software,tdm
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -31,6 +41,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/stats"
+	"repro/internal/task"
 	"repro/internal/taskrt"
 	"repro/internal/workloads"
 )
@@ -53,8 +64,11 @@ type point struct {
 
 func main() {
 	var (
-		list          = flag.Bool("list", false, "list benchmarks, runtimes and schedulers, then exit")
+		list          = flag.Bool("list", false, "list workloads, runtimes and schedulers, then exit")
 		benchmarks    = flag.String("benchmarks", "", "comma-separated benchmarks (default: all)")
+		workload      = flag.String("workload", "", "comma-separated extra workload specs, e.g. synth:layered:seed=7 or synth:all")
+		dumpProgram   = flag.String("dump-program", "", "record every workload of the grid as a JSON program file into this directory, then exit")
+		replayProgram = flag.String("replay-program", "", "comma-separated program JSON files to replay across the grid instead of generating workloads")
 		runtimes      = flag.String("runtimes", "", "comma-separated runtimes (default: all)")
 		schedulers    = flag.String("schedulers", "", "comma-separated schedulers (default: fifo)")
 		cores         = flag.String("cores", "", "comma-separated core counts (default: 32)")
@@ -76,6 +90,10 @@ func main() {
 		}
 		fmt.Printf("runtimes:   %s\n", strings.Join(kinds, ", "))
 		fmt.Printf("schedulers: %s\n", strings.Join(sched.Names(), ", "))
+		fmt.Println("synthetic families (-workload synth:<family>:key=value,..., or synth:all):")
+		for _, line := range workloads.SyntheticFamilies() {
+			fmt.Printf("  %s\n", line)
+		}
 		return
 	}
 
@@ -84,11 +102,36 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown format %q (table, csv, json)", *format))
 	}
-	grid, err := buildGrid(*benchmarks, *runtimes, *schedulers, *cores, *granularities)
+	benchList := *benchmarks
+	if *workload != "" {
+		if benchList != "" {
+			benchList += ","
+		}
+		benchList += *workload
+	}
+	replayFiles := splitList(*replayProgram)
+	if len(replayFiles) > 0 {
+		if benchList != "" || *granularities != "" {
+			fatal(fmt.Errorf("-replay-program replaces the workload dimension; drop -benchmarks/-workload/-granularities"))
+		}
+		if *dumpProgram != "" {
+			fatal(fmt.Errorf("-dump-program and -replay-program are mutually exclusive"))
+		}
+		// Validate only the non-workload dimensions.
+		benchList = ""
+	}
+	grid, err := buildGrid(benchList, *runtimes, *schedulers, *cores, *granularities)
 	if err != nil {
 		fatal(err)
 	}
-	jobs := grid.Jobs()
+	var jobs []runner.Job
+	if len(replayFiles) > 0 {
+		if jobs, err = replayJobs(grid, replayFiles); err != nil {
+			fatal(err)
+		}
+	} else {
+		jobs = grid.Jobs()
+	}
 	if len(jobs) == 0 {
 		fatal(fmt.Errorf("empty grid"))
 	}
@@ -107,6 +150,13 @@ func main() {
 			fatal(err)
 		}
 		engine.Store = st
+	}
+
+	if *dumpProgram != "" {
+		if err := dumpPrograms(*dumpProgram, jobs, engine.Base); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *dryRun {
@@ -161,10 +211,100 @@ func main() {
 	}
 }
 
+// replayJobs expands the grid's runtime/scheduler/core dimensions over
+// recorded programs instead of generated workloads. Each program file is
+// decoded once and shared by every point that replays it.
+func replayJobs(grid runner.Grid, files []string) ([]runner.Job, error) {
+	// Reuse Grid.Jobs for the hardware-scheduler normalization; the
+	// placeholder benchmark never reaches a generator because every job
+	// carries an explicit Program.
+	grid.Benchmarks = []string{"replay"}
+	grid.Granularities = []int64{0}
+	templates := grid.Jobs()
+	var jobs []runner.Job
+	for _, file := range files {
+		prog, err := task.ReadProgramFile(file)
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range templates {
+			j.Benchmark = prog.Name
+			j.Program = prog
+			j.Label = "replay"
+			jobs = append(jobs, j)
+		}
+	}
+	return jobs, nil
+}
+
+// dumpPrograms records every distinct workload of the job list as a JSON
+// program file under dir (the record half of record/replay).
+func dumpPrograms(dir string, jobs []runner.Job, base core.Config) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create dump directory: %w", err)
+	}
+	type point struct {
+		bench string
+		gran  int64
+	}
+	seen := make(map[point]bool)
+	count := 0
+	for _, j := range jobs {
+		bench, err := workloads.ByName(j.Benchmark)
+		if err != nil {
+			return err
+		}
+		// Granularity 0 means "optimal", which depends on the runtime
+		// class (Table II): benchmarks whose software and TDM optima
+		// differ record one program per class so each replay reproduces
+		// its direct run exactly.
+		gran := j.Granularity
+		if gran == 0 {
+			gran = bench.OptimalFor(j.Runtime.UsesDMU())
+		}
+		pt := point{j.Benchmark, gran}
+		if seen[pt] {
+			continue
+		}
+		seen[pt] = true
+		suffix := j.Granularity
+		if suffix == 0 && bench.SWOptimal != bench.TDMOptimal {
+			suffix = gran
+		}
+		prog := bench.Generate(gran, base.Machine)
+		path := filepath.Join(dir, programFileName(prog.Name, suffix))
+		if err := task.WriteProgramFile(path, prog); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %-60s %6d tasks -> %s\n", prog.Name, prog.NumTasks(), path)
+		count++
+	}
+	fmt.Printf("%d programs recorded\n", count)
+	return nil
+}
+
+// programFileName sanitizes a program name into a file name, suffixed with
+// the explicit granularity when one was requested.
+func programFileName(name string, gran int64) string {
+	s := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+	if gran != 0 {
+		s += fmt.Sprintf("-g%d", gran)
+	}
+	return s + ".json"
+}
+
 // buildGrid parses the comma-separated dimension flags.
 func buildGrid(benchmarks, runtimes, schedulers, cores, granularities string) (runner.Grid, error) {
 	g := runner.Grid{
-		Benchmarks: splitList(benchmarks),
+		Benchmarks: splitWorkloads(benchmarks),
 		Schedulers: splitList(schedulers),
 	}
 	for _, r := range splitList(runtimes) {
@@ -185,6 +325,25 @@ func buildGrid(benchmarks, runtimes, schedulers, cores, granularities string) (r
 		g.Granularities = append(g.Granularities, n)
 	}
 	return g, g.Validate()
+}
+
+// splitWorkloads splits a comma-separated workload list while keeping the
+// key=value parameter block of a synth spec attached to its spec: a fragment
+// containing "=" continues the previous synthetic spec unless it starts a
+// new one.
+func splitWorkloads(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		if len(out) > 0 && strings.Contains(part, "=") && !strings.HasPrefix(part, "synth:") {
+			out[len(out)-1] += "," + part
+			continue
+		}
+		out = append(out, part)
+	}
+	return out
 }
 
 func splitList(s string) []string {

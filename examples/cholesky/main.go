@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,6 +16,8 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "fewer schedulers (smoke tests)")
+	flag.Parse()
 	baselineCfg := core.DefaultConfig(core.Software)
 	baseline, err := core.RunBenchmark("cholesky", baselineCfg)
 	if err != nil {
@@ -33,7 +36,11 @@ func main() {
 	}
 	report("software + fifo", baseline)
 
-	for _, scheduler := range core.Schedulers() {
+	schedulers := core.Schedulers()
+	if *quick {
+		schedulers = schedulers[:2]
+	}
+	for _, scheduler := range schedulers {
 		cfg := core.DefaultConfig(core.TDM)
 		cfg.Scheduler = scheduler
 		res, err := core.RunBenchmark("cholesky", cfg)

@@ -1,0 +1,14 @@
+// Package examples documents the runnable example programs of this
+// repository. Each subdirectory is a standalone main package:
+//
+//   - quickstart: build a small task graph by hand, compare software vs TDM.
+//   - cholesky: the paper's running example under every software scheduler.
+//   - granularity: the Figure 6 task-granularity trade-off on Blackscholes.
+//   - scheduler_study: why flexible software scheduling matters (Section VI-A).
+//   - synth_sweep: synthetic DAG families across all runtimes, plus a
+//     program record/replay round trip.
+//
+// Every example accepts -quick for a reduced problem size; smoke_test.go
+// builds and runs each one that way so `go test ./examples` keeps them all
+// working.
+package examples

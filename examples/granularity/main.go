@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -16,10 +17,16 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "fewer sweep points (smoke tests)")
+	flag.Parse()
 	const benchmark = "blackscholes"
 	bench, err := workloads.ByName(benchmark)
 	if err != nil {
 		log.Fatal(err)
+	}
+	sweep := bench.Sweep
+	if *quick {
+		sweep = sweep[len(sweep)-2:]
 	}
 
 	fmt.Printf("%s: execution time across task granularities (%s)\n\n", benchmark, bench.Unit)
@@ -27,10 +34,10 @@ func main() {
 	fmt.Printf("%12s %10s | %14s %13s | %14s %13s\n", "", "", "cycles", "vs best", "cycles", "vs best")
 
 	type point struct{ sw, tdm int64 }
-	points := make([]point, len(bench.Sweep))
-	tasks := make([]int, len(bench.Sweep))
+	points := make([]point, len(sweep))
+	tasks := make([]int, len(sweep))
 	bestSW, bestTDM := int64(0), int64(0)
-	for i, g := range bench.Sweep {
+	for i, g := range sweep {
 		sw, err := core.RunBenchmarkAt(benchmark, g, core.DefaultConfig(core.Software))
 		if err != nil {
 			log.Fatal(err)
@@ -48,7 +55,7 @@ func main() {
 			bestTDM = tdm.Cycles
 		}
 	}
-	for i, g := range bench.Sweep {
+	for i, g := range sweep {
 		fmt.Printf("%12d %10d | %14d %12.3fx | %14d %12.3fx\n",
 			g, tasks[i],
 			points[i].sw, float64(points[i].sw)/float64(bestSW),

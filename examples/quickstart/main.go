@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,16 +16,18 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "reduced problem size (smoke tests)")
+	flag.Parse()
 	m := machine.Default()
 
 	// A miniature blocked computation: a chain of "factorize" steps, each
 	// followed by a fan-out of independent "update" tasks that all feed the
 	// next step (a diamond per iteration).
-	const (
-		iterations = 40
-		updates    = 24
-		blockBytes = 16 << 10
-	)
+	iterations, updates := 40, 24
+	if *quick {
+		iterations, updates = 8, 6
+	}
+	const blockBytes = 16 << 10
 	b := task.NewBuilder("quickstart")
 	b.Region(0)
 	diag := uint64(0x1000_0000)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -19,6 +20,8 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "fewer schedulers (smoke tests)")
+	flag.Parse()
 	fmt.Println("Dedup pipeline under TDM with different software schedulers")
 	fmt.Println()
 
@@ -34,7 +37,11 @@ func main() {
 
 	best := ""
 	bestSpeedup := 0.0
-	for _, scheduler := range core.Schedulers() {
+	schedulers := core.Schedulers()
+	if *quick {
+		schedulers = schedulers[:2]
+	}
+	for _, scheduler := range schedulers {
 		cfg := core.DefaultConfig(core.TDM)
 		cfg.Scheduler = scheduler
 		res, err := core.RunBenchmark("dedup", cfg)

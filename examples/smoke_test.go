@@ -1,0 +1,65 @@
+package examples
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// examplePackages lists every example main package. Keep in sync with the
+// subdirectories; TestAllExamplesCovered enforces it.
+var examplePackages = []string{
+	"quickstart",
+	"cholesky",
+	"granularity",
+	"scheduler_study",
+	"synth_sweep",
+}
+
+// TestExamplesBuildAndRun builds each example binary and executes it with
+// -quick (reduced problem sizes), requiring a zero exit status.
+func TestExamplesBuildAndRun(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not in PATH")
+	}
+	bindir := t.TempDir()
+	for _, name := range examplePackages {
+		t.Run(name, func(t *testing.T) {
+			bin := filepath.Join(bindir, name)
+			build := exec.Command("go", "build", "-o", bin, "repro/examples/"+name)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build: %v\n%s", err, out)
+			}
+			run := exec.Command(bin, "-quick")
+			out, err := run.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s -quick: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("%s produced no output", name)
+			}
+		})
+	}
+}
+
+// TestAllExamplesCovered fails when a new example directory is not in the
+// smoke list above.
+func TestAllExamplesCovered(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := make(map[string]bool)
+	for _, name := range examplePackages {
+		covered[name] = true
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if !covered[e.Name()] {
+			t.Errorf("example %q missing from the smoke-test list", e.Name())
+		}
+	}
+}

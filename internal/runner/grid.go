@@ -6,6 +6,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/taskrt"
 	"repro/internal/workloads"
+	"repro/internal/workloads/synth"
 )
 
 // Grid describes a cartesian sweep: every combination of the listed
@@ -13,6 +14,11 @@ import (
 // becomes one job. Empty dimensions fall back to defaults (all benchmarks,
 // all runtimes, the FIFO scheduler, the base core count, the Table II
 // optimal granularity).
+//
+// Benchmarks accepts synthetic workload specs ("synth:<family>:key=value,...")
+// next to benchmark names, and the pseudo-entry "synth:all" expands to one
+// default-parameter spec per synthetic family, so grids enumerate the open
+// synthetic workload space exactly like the paper's nine benchmarks.
 type Grid struct {
 	Benchmarks    []string
 	Runtimes      []taskrt.Kind
@@ -21,10 +27,30 @@ type Grid struct {
 	Granularities []int64
 }
 
+// synthAll is the pseudo-benchmark expanding to every synthetic family.
+const synthAll = "synth:all"
+
+// expandBenchmarks resolves the Benchmarks dimension, substituting the
+// synth:all pseudo-entry.
+func (g Grid) expandBenchmarks() []string {
+	if len(g.Benchmarks) == 0 {
+		return workloads.Names()
+	}
+	var out []string
+	for _, b := range g.Benchmarks {
+		if b == synthAll {
+			out = append(out, synth.DefaultSpecs()...)
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
 // Validate rejects unknown benchmarks, runtimes and schedulers before a
 // sweep starts.
 func (g Grid) Validate() error {
-	for _, b := range g.Benchmarks {
+	for _, b := range g.expandBenchmarks() {
 		if _, err := workloads.ByName(b); err != nil {
 			return err
 		}
@@ -51,10 +77,7 @@ func (g Grid) Validate() error {
 // scheduling policy, so the grid emits a single point for them per
 // (benchmark, cores, granularity) combination instead of one per scheduler.
 func (g Grid) Jobs() []Job {
-	benchmarks := g.Benchmarks
-	if len(benchmarks) == 0 {
-		benchmarks = workloads.Names()
-	}
+	benchmarks := g.expandBenchmarks()
 	runtimes := g.Runtimes
 	if len(runtimes) == 0 {
 		runtimes = taskrt.Kinds()

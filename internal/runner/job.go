@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/task"
 	"repro/internal/taskrt"
 )
 
@@ -46,6 +47,12 @@ type Job struct {
 	// Mutate optionally customizes the resolved configuration. It must be
 	// deterministic: the job key is derived from the mutated config.
 	Mutate func(*core.Config)
+	// Program optionally supplies a pre-built program (record/replay
+	// sweeps, see task.ReadProgramFile). When non-nil it is executed
+	// directly: Benchmark becomes a display label only and Granularity is
+	// ignored. The job key covers the program's canonical JSON encoding,
+	// so replayed points content-address like generated ones.
+	Program *task.Program
 }
 
 // Config resolves the effective configuration of the job on top of a base
@@ -77,12 +84,21 @@ const SchemaVersion = 1
 // core.Config. Jobs that simulate the same system have equal keys
 // regardless of which sweep or figure enumerated them.
 func (j Job) Key(base core.Config) string {
+	var program []byte
+	if j.Program != nil {
+		var err error
+		program, err = task.MarshalProgram(j.Program)
+		if err != nil {
+			panic(fmt.Sprintf("runner: cannot encode replay program: %v", err))
+		}
+	}
 	payload, err := json.Marshal(struct {
 		Schema      int
 		Benchmark   string
 		Granularity int64
+		Program     string `json:",omitempty"`
 		Config      core.Config
-	}{SchemaVersion, j.Benchmark, j.Granularity, j.Config(base)})
+	}{SchemaVersion, j.Benchmark, j.Granularity, string(program), j.Config(base)})
 	if err != nil {
 		// core.Config is plain data; this only fires if a non-serializable
 		// field is ever added to it.
@@ -112,9 +128,12 @@ func (j Job) Run(base core.Config) (*core.Result, error) {
 	cfg := j.Config(base)
 	var res *core.Result
 	var err error
-	if j.Granularity == 0 {
+	switch {
+	case j.Program != nil:
+		res, err = core.Run(j.Program, cfg)
+	case j.Granularity == 0:
 		res, err = core.RunBenchmark(j.Benchmark, cfg)
-	} else {
+	default:
 		res, err = core.RunBenchmarkAt(j.Benchmark, j.Granularity, cfg)
 	}
 	if err != nil {

@@ -11,8 +11,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sched"
+	"repro/internal/task"
 	"repro/internal/taskrt"
 	"repro/internal/workloads"
+	"repro/internal/workloads/synth"
 )
 
 // testBase is the shared base configuration: the default machine shrunk to
@@ -251,5 +253,102 @@ func TestGridExpansion(t *testing.T) {
 	bad = Grid{Runtimes: []taskrt.Kind{"nope"}}
 	if err := bad.Validate(); err == nil {
 		t.Error("unknown runtime accepted")
+	}
+}
+
+func TestGridSyntheticWorkloads(t *testing.T) {
+	g := Grid{
+		Benchmarks: []string{"histogram", "synth:layered:seed=7,width=6,depth=6", "synth:chain"},
+		Runtimes:   []taskrt.Kind{taskrt.Software, taskrt.TDM},
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	jobs := g.Jobs()
+	if want := 3 * 2; len(jobs) != want {
+		t.Fatalf("grid expanded to %d jobs, want %d", len(jobs), want)
+	}
+
+	// synth:all expands to one spec per family.
+	all := Grid{Benchmarks: []string{"synth:all"}, Runtimes: []taskrt.Kind{taskrt.TDM}}
+	if err := all.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if want := len(synth.Families()); len(all.Jobs()) != want {
+		t.Fatalf("synth:all expanded to %d jobs, want %d", len(all.Jobs()), want)
+	}
+
+	bad := Grid{Benchmarks: []string{"synth:nosuchfamily"}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown synthetic family accepted")
+	}
+
+	// A synthetic point runs end to end through the engine.
+	eng := &Engine{Base: testBase(), Store: NewStore()}
+	res, err := eng.Run(Job{
+		Benchmark: "synth:layered:seed=7,width=6,depth=6",
+		Runtime:   taskrt.TDM,
+		Scheduler: sched.FIFO,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksExecuted != res.Program.NumTasks() || res.Program.NumTasks() != 36 {
+		t.Fatalf("synthetic run executed %d of %d tasks", res.TasksExecuted, res.Program.NumTasks())
+	}
+}
+
+func TestReplayJobs(t *testing.T) {
+	base := testBase()
+	prog, err := synth.Generate("synth:stencil:width=4,depth=3,mean=10", base.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	generated := Job{Benchmark: "synth:stencil:width=4,depth=3,mean=10", Runtime: taskrt.TDM, Scheduler: sched.FIFO}
+	replayed := Job{Benchmark: prog.Name, Runtime: taskrt.TDM, Scheduler: sched.FIFO, Program: prog}
+
+	// The replay program contributes to the key: a replayed point is
+	// distinct from the generated point of the same name, and two replays
+	// of different programs differ.
+	if replayed.Key(base) == generated.Key(base) {
+		t.Error("replay program did not contribute to the job key")
+	}
+	other, err := synth.Generate("synth:stencil:width=4,depth=3,mean=20", base.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherJob := replayed
+	otherJob.Program = other
+	if otherJob.Key(base) == replayed.Key(base) {
+		t.Error("different replay programs share a key")
+	}
+	if replayed.Key(base) != replayed.Key(base) {
+		t.Error("replay key not deterministic")
+	}
+
+	// Replaying the serialized program reproduces the generated run
+	// cycle-for-cycle.
+	data, err := task.MarshalProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := task.UnmarshalProgram(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{Base: base, Store: NewStore()}
+	direct, err := eng.Run(generated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile := replayed
+	fromFile.Program = back
+	res, err := eng.Run(fromFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != direct.Cycles {
+		t.Fatalf("replayed run took %d cycles, generated run %d", res.Cycles, direct.Cycles)
 	}
 }

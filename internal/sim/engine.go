@@ -196,15 +196,23 @@ func (e *Engine) Shutdown() {
 		return
 	}
 	e.stopped = true
+	// Snapshot the parked processes before waking anything: while the
+	// engine holds control every live process goroutine is quiescent in
+	// park, but as soon as e.killed closes they unwind concurrently and
+	// write their own done flags.
+	var parked []*Proc
+	for p := range e.procs {
+		if p.parkedNow && !p.done {
+			parked = append(parked, p)
+		}
+	}
 	close(e.killed)
 	// Give every parked process a chance to unwind. Processes park on
 	// their own resume channel and the shared killed channel; closing the
 	// latter unparks them with errKilled, which the goroutine wrapper
 	// swallows.
-	for p := range e.procs {
-		if p.parkedNow && !p.done {
-			<-p.yield
-		}
+	for _, p := range parked {
+		<-p.yield
 	}
 }
 

@@ -1,0 +1,168 @@
+package task_test
+
+// External test package so the codec tests can feed programs from the
+// synthetic workload generator (which itself imports internal/task).
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/task"
+	"repro/internal/workloads/synth"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden program files")
+
+// goldenSpecs pins one small program per synthetic family. Keep the
+// parameters tiny: the golden files are checked into testdata/.
+var goldenSpecs = []struct {
+	file string
+	spec string
+}{
+	{"chain.golden.json", "synth:chain:width=2,depth=3,mean=5"},
+	{"forkjoin.golden.json", "synth:forkjoin:width=2,depth=2,mean=5"},
+	{"tree.golden.json", "synth:tree:fanout=2,depth=2,mean=5"},
+	{"pipeline.golden.json", "synth:pipeline:width=3,stages=2,mean=5"},
+	{"stencil.golden.json", "synth:stencil:width=2,depth=2,mean=5"},
+	{"blockdense.golden.json", "synth:blockdense:width=3,mean=5"},
+	{"layered.golden.json", "synth:layered:width=3,depth=3,density=0.5,seed=4,inout=0.3,dist=uniform,mean=5"},
+}
+
+func generate(t *testing.T, spec string) *task.Program {
+	t.Helper()
+	prog, err := synth.Generate(spec, machine.Default())
+	if err != nil {
+		t.Fatalf("Generate(%q): %v", spec, err)
+	}
+	return prog
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	for _, g := range goldenSpecs {
+		prog := generate(t, g.spec)
+		data, err := task.MarshalProgram(prog)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", g.spec, err)
+		}
+		back, err := task.UnmarshalProgram(data)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", g.spec, err)
+		}
+		if !reflect.DeepEqual(prog, back) {
+			t.Errorf("%s: round trip changed the program", g.spec)
+		}
+		again, err := task.MarshalProgram(back)
+		if err != nil {
+			t.Fatalf("%s: re-marshal: %v", g.spec, err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Errorf("%s: serialization not byte-identical after round trip", g.spec)
+		}
+	}
+}
+
+func TestProgramGoldenFiles(t *testing.T) {
+	for _, g := range goldenSpecs {
+		path := filepath.Join("testdata", g.file)
+		data, err := task.MarshalProgram(generate(t, g.spec))
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", g.spec, err)
+		}
+		if *updateGolden {
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatalf("update %s: %v", path, err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s (run `go test ./internal/task -update` to create): %v", path, err)
+		}
+		if !bytes.Equal(data, want) {
+			t.Errorf("%s: serialization drifted from golden file %s (run with -update if intended)",
+				g.spec, g.file)
+		}
+	}
+}
+
+func TestProgramFileRoundTrip(t *testing.T) {
+	prog := generate(t, goldenSpecs[0].spec)
+	path := filepath.Join(t.TempDir(), "prog.json")
+	if err := task.WriteProgramFile(path, prog); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := task.ReadProgramFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !reflect.DeepEqual(prog, back) {
+		t.Error("file round trip changed the program")
+	}
+}
+
+func TestUnmarshalRejectsBadInput(t *testing.T) {
+	valid, err := task.MarshalProgram(generate(t, goldenSpecs[0].spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":           nil,
+		"not json":        []byte("not json"),
+		"wrong schema":    bytes.Replace(valid, []byte(`"schema": 1`), []byte(`"schema": 99`), 1),
+		"bad direction":   bytes.Replace(valid, []byte(`"dir": "inout"`), []byte(`"dir": "rw"`), 1),
+		"bad address":     bytes.Replace(valid, []byte(`"addr": "0x`), []byte(`"addr": "zz`), 1),
+		"unknown field":   bytes.Replace(valid, []byte(`"kernel"`), []byte(`"colonel"`), 1),
+		"invalid program": bytes.Replace(valid, []byte(`"id": 0`), []byte(`"id": 7`), 1),
+	}
+	for name, data := range cases {
+		if _, err := task.UnmarshalProgram(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMarshalRejectsInvalidProgram(t *testing.T) {
+	if _, err := task.MarshalProgram(nil); err == nil {
+		t.Error("nil program accepted")
+	}
+	bad := &task.Program{Name: "bad", Regions: []task.Region{{
+		Index: 0,
+		Tasks: []*task.Spec{{ID: 0, Kernel: "k", Duration: -1}},
+	}}}
+	if _, err := task.MarshalProgram(bad); err == nil {
+		t.Error("invalid program accepted")
+	}
+}
+
+func TestGoldenFilesStayReadable(t *testing.T) {
+	// Guards the schema version discipline: every committed golden file
+	// must decode with the current codec.
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Skip("no testdata directory yet")
+	}
+	found := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".golden.json") {
+			continue
+		}
+		found++
+		prog, err := task.ReadProgramFile(filepath.Join("testdata", e.Name()))
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		if prog.NumTasks() == 0 {
+			t.Errorf("%s: decoded empty program", e.Name())
+		}
+	}
+	if found == 0 && !*updateGolden {
+		t.Error("no golden files present; run `go test ./internal/task -update`")
+	}
+}

@@ -1,0 +1,160 @@
+package taskrt
+
+// Property-based cross-backend conformance: every synthetic program, on
+// every runtime system, must (1) execute each task exactly once, (2) respect
+// every declared dependence in the observed execution order, and (3)
+// terminate. Run enforces (2) internally through task.OrderValidator (the
+// golden TDG) because ValidateOrder is on, and a simulator deadlock or
+// livelock surfaces as an error from the discrete-event engine, so a clean
+// Run return plus the exactly-once counters covers all three properties.
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/task"
+	"repro/internal/workloads/synth"
+)
+
+// conformanceSpecs enumerates ~50 seeded synthetic programs across all
+// seven DAG families, varying seeds, widths, duration distributions, the
+// inout (antidependence) ratio and region counts. Parameters are kept small
+// so the full matrix (specs x 4 backends) stays fast.
+var conformanceSpecs = []string{
+	// chain: independent serial chains.
+	"synth:chain:width=4,depth=6,mean=8",
+	"synth:chain:width=12,depth=4,mean=8,dist=uniform,seed=1",
+	"synth:chain:width=2,depth=20,mean=8,dist=exp,seed=2",
+	"synth:chain:width=6,depth=6,mean=8,regions=2",
+	"synth:chain:width=1,depth=12,mean=8",
+	"synth:chain:width=9,depth=5,mean=8,dist=bimodal,seed=3",
+	"synth:chain:width=5,depth=5,mean=8,seed=17",
+
+	// forkjoin: barrier-like phases.
+	"synth:forkjoin:width=6,depth=4,mean=8",
+	"synth:forkjoin:width=12,depth=2,mean=8,dist=uniform,seed=4",
+	"synth:forkjoin:width=3,depth=8,mean=8,dist=exp,seed=5",
+	"synth:forkjoin:width=5,depth=3,mean=8,inout=0.5,seed=6",
+	"synth:forkjoin:width=8,depth=3,mean=8,regions=2",
+	"synth:forkjoin:width=2,depth=10,mean=8,dist=bimodal,seed=7",
+	"synth:forkjoin:width=10,depth=3,mean=8,seq=20",
+
+	// tree: reduction trees of different arities.
+	"synth:tree:fanout=2,depth=4,mean=8",
+	"synth:tree:fanout=3,depth=3,mean=8,dist=uniform,seed=8",
+	"synth:tree:fanout=4,depth=2,mean=8,dist=exp,seed=9",
+	"synth:tree:fanout=2,depth=5,mean=8,inout=0.4,seed=10",
+	"synth:tree:fanout=7,depth=2,mean=8,dist=bimodal,seed=11",
+	"synth:tree:fanout=2,depth=3,mean=8,regions=3",
+	"synth:tree:fanout=5,depth=2,mean=8,seed=23",
+
+	// pipeline: serialized stages (Dedup/Ferret shape).
+	"synth:pipeline:width=12,stages=3,mean=8",
+	"synth:pipeline:width=6,stages=6,mean=8,dist=uniform,seed=12",
+	"synth:pipeline:width=20,stages=2,mean=8,dist=exp,seed=13",
+	"synth:pipeline:width=8,stages=4,mean=8,inout=0.6,seed=14",
+	"synth:pipeline:width=10,stages=3,mean=8,regions=2",
+	"synth:pipeline:width=4,stages=8,mean=8,dist=bimodal,seed=15",
+	"synth:pipeline:width=16,stages=2,mean=8,seq=15",
+
+	// stencil: double-buffered 5-point sweeps.
+	"synth:stencil:width=4,depth=4,mean=8",
+	"synth:stencil:width=6,depth=2,mean=8,dist=uniform,seed=16",
+	"synth:stencil:width=3,depth=7,mean=8,dist=exp,seed=17",
+	"synth:stencil:width=5,depth=3,mean=8,inout=0.5,seed=18",
+	"synth:stencil:width=4,depth=3,mean=8,regions=2",
+	"synth:stencil:width=2,depth=10,mean=8,dist=bimodal,seed=19",
+	"synth:stencil:width=7,depth=2,mean=8,seed=29",
+
+	// blockdense: factorization wavefronts.
+	"synth:blockdense:width=4,mean=8",
+	"synth:blockdense:width=6,mean=8,dist=uniform,seed=20",
+	"synth:blockdense:width=3,mean=8,dist=exp,seed=21",
+	"synth:blockdense:width=5,mean=8,inout=0.5,seed=22",
+	"synth:blockdense:width=4,mean=8,regions=2",
+	"synth:blockdense:width=2,mean=8,dist=bimodal,seed=23",
+	"synth:blockdense:width=5,mean=8,seq=25",
+
+	// layered: random DAGs across the density range.
+	"synth:layered:width=6,depth=6,density=0.15,mean=8,seed=24",
+	"synth:layered:width=6,depth=6,density=0.5,mean=8,seed=25",
+	"synth:layered:width=6,depth=6,density=0.9,mean=8,seed=26",
+	"synth:layered:width=12,depth=3,density=0.3,mean=8,dist=uniform,seed=27",
+	"synth:layered:width=3,depth=15,density=0.4,mean=8,dist=exp,seed=28",
+	"synth:layered:width=8,depth=5,density=0.3,inout=0.5,mean=8,seed=29",
+	"synth:layered:width=5,depth=6,density=0.6,mean=8,regions=2,seed=30",
+	"synth:layered:width=10,depth=4,density=0.2,mean=8,dist=bimodal,seed=31",
+}
+
+func TestSyntheticConformanceAcrossBackends(t *testing.T) {
+	if len(conformanceSpecs) < 50 {
+		t.Fatalf("conformance matrix has %d specs, want >= 50", len(conformanceSpecs))
+	}
+	m := machine.Default()
+	for _, spec := range conformanceSpecs {
+		prog, err := synth.Generate(spec, m)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("%s: invalid program: %v", spec, err)
+		}
+		if !task.BuildProgramGraph(prog).IsAcyclic() {
+			t.Fatalf("%s: cyclic golden graph", spec)
+		}
+		for _, kind := range Kinds() {
+			cfg := testConfig(kind, 4)
+			if !cfg.ValidateOrder {
+				t.Fatal("conformance requires ValidateOrder")
+			}
+			res, err := Run(prog, cfg)
+			if err != nil {
+				// Any dependence violation, deadlock or livelock lands here.
+				t.Errorf("%s on %s: %v", spec, kind, err)
+				continue
+			}
+			if res.TasksCreated != prog.NumTasks() || res.TasksExecuted != prog.NumTasks() {
+				t.Errorf("%s on %s: created %d executed %d, want exactly once for %d tasks",
+					spec, kind, res.TasksCreated, res.TasksExecuted, prog.NumTasks())
+			}
+			sum := 0
+			for _, n := range res.ExecutedByCore {
+				sum += n
+			}
+			if sum != prog.NumTasks() {
+				t.Errorf("%s on %s: per-core execution counts sum to %d, want %d",
+					spec, kind, sum, prog.NumTasks())
+			}
+			if res.Cycles <= 0 {
+				t.Errorf("%s on %s: non-positive execution time", spec, kind)
+			}
+		}
+	}
+}
+
+// TestSyntheticConformanceDeterministic pins one spec per family: two runs
+// of the same program under the same backend must agree cycle-for-cycle.
+func TestSyntheticConformanceDeterministic(t *testing.T) {
+	m := machine.Default()
+	for _, spec := range []string{
+		"synth:chain:width=4,depth=6,mean=8",
+		"synth:forkjoin:width=6,depth=4,mean=8",
+		"synth:tree:fanout=2,depth=4,mean=8",
+		"synth:pipeline:width=12,stages=3,mean=8",
+		"synth:stencil:width=4,depth=4,mean=8",
+		"synth:blockdense:width=4,mean=8",
+		"synth:layered:width=6,depth=6,density=0.5,mean=8,seed=25",
+	} {
+		prog, err := synth.Generate(spec, m)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		for _, kind := range Kinds() {
+			a := mustRun(t, prog, testConfig(kind, 4))
+			b := mustRun(t, prog, testConfig(kind, 4))
+			if a.Cycles != b.Cycles {
+				t.Errorf("%s on %s: non-deterministic cycles %d vs %d", spec, kind, a.Cycles, b.Cycles)
+			}
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package synth
+
+import "repro/internal/task"
+
+// The seven DAG families. Each builder emits the tasks of one parallel
+// region in creation order; dependence matching (last writer / readers, see
+// task.BuildGraph) turns the annotations into the intended graph shape.
+// Edges always point from older to newer tasks, so every family is acyclic
+// by construction.
+
+// blockBytes is the size of every synthetic dependence object. The value
+// matches the finer block sizes of the paper's benchmarks so DAT index-bit
+// selection behaves comparably.
+const blockBytes = 4096
+
+// Address-space bases keep the footprints of structural roles apart.
+const (
+	baseBlocks = uint64(0x4000_0000) // per-task / per-tile data blocks
+	baseTokens = uint64(0x7000_0000) // serialization tokens, join cells
+)
+
+func blockAt(i int) uint64 { return baseBlocks + uint64(i)*blockBytes }
+func tokenAt(i int) uint64 { return baseTokens + uint64(i)*blockBytes }
+
+func init() {
+	registerFamily(&Family{
+		Name:        "chain",
+		Description: "width independent serial chains of depth tasks (Blackscholes-like)",
+		defaults:    Params{Width: 8, Depth: 16, MeanUS: 20, Dist: DistConst},
+		build:       buildChain,
+	})
+	registerFamily(&Family{
+		Name:        "forkjoin",
+		Description: "depth fork-join phases of width parallel tasks (Streamcluster-like)",
+		defaults:    Params{Width: 12, Depth: 8, MeanUS: 20, Dist: DistConst},
+		build:       buildForkJoin,
+	})
+	registerFamily(&Family{
+		Name:        "tree",
+		Description: "fanout-ary reduction tree of the given depth (Histogram-like)",
+		defaults:    Params{Width: 1, Depth: 5, Fanout: 2, MeanUS: 20, Dist: DistConst},
+		build:       buildTree,
+	})
+	registerFamily(&Family{
+		Name:        "pipeline",
+		Description: "width items through stages stages, each stage serialized (Dedup/Ferret-like)",
+		defaults:    Params{Width: 24, Stages: 4, Depth: 1, MeanUS: 20, Dist: DistConst},
+		build:       buildPipeline,
+	})
+	registerFamily(&Family{
+		Name:        "stencil",
+		Description: "depth double-buffered sweeps of a width x width 5-point stencil (Fluidanimate-like)",
+		defaults:    Params{Width: 6, Depth: 6, MeanUS: 20, Dist: DistConst},
+		build:       buildStencil,
+	})
+	registerFamily(&Family{
+		Name:        "blockdense",
+		Description: "right-looking tiled factorization wavefront on width x width tiles (Cholesky/LU-like)",
+		defaults:    Params{Width: 6, Depth: 1, MeanUS: 20, Dist: DistConst},
+		build:       buildBlockDense,
+	})
+	registerFamily(&Family{
+		Name:        "layered",
+		Description: "depth layers of width tasks with random edges of the given density",
+		defaults:    Params{Width: 8, Depth: 10, Density: 0.3, MeanUS: 20, Dist: DistConst},
+		build:       buildLayered,
+	})
+}
+
+// buildChain emits width independent chains: every step of a chain reads and
+// writes the chain's block, so steps serialize within a chain and chains run
+// in parallel.
+func buildChain(g *gen) {
+	for step := 0; step < g.p.Depth; step++ {
+		for c := 0; c < g.p.Width; c++ {
+			g.b.Task("step", g.dur()).
+				InOut(blockAt(c), blockBytes).
+				Meta("chain=%d,step=%d", c, step).
+				Add()
+		}
+	}
+}
+
+// buildForkJoin emits depth phases: a fork task writes a phase token every
+// worker reads, the workers write private blocks, and a join task reads all
+// of them and the token, feeding the next phase's fork.
+func buildForkJoin(g *gen) {
+	token := tokenAt(0)
+	for phase := 0; phase < g.p.Depth; phase++ {
+		g.b.Task("fork", g.dur()).InOut(token, blockBytes).Add()
+		for w := 0; w < g.p.Width; w++ {
+			g.b.Task("work", g.dur()).
+				Dep(depOf(g.readDir(), token)).
+				Out(blockAt(w), blockBytes).
+				Meta("phase=%d,worker=%d", phase, w).
+				Add()
+		}
+		join := g.b.Task("join", g.dur()).InOut(token, blockBytes)
+		for w := 0; w < g.p.Width; w++ {
+			join.In(blockAt(w), blockBytes)
+		}
+		join.Add()
+	}
+}
+
+// treeTasks returns the node count of a fanout-ary tree with depth levels
+// below the root.
+func treeTasks(fanout, depth int) int {
+	n, level := 0, 1
+	for d := 0; d <= depth; d++ {
+		n += level
+		level *= fanout
+	}
+	return n
+}
+
+// buildTree emits a reduction tree: the leaves produce blocks, every inner
+// node reads its fanout children's blocks and writes its own, and the root
+// finishes the reduction. Tasks are created leaves-first so all edges point
+// forward.
+func buildTree(g *gen) {
+	fanout, depth := g.p.Fanout, g.p.Depth
+	// node numbering: level d has fanout^d nodes; node (d, i)'s block index
+	// is its breadth-first rank.
+	rank := func(d, i int) int {
+		r := 0
+		for l, width := 0, 1; l < d; l++ {
+			r += width
+			width *= fanout
+		}
+		return r + i
+	}
+	width := 1
+	for d := 0; d < depth; d++ {
+		width *= fanout
+	}
+	for d := depth; d >= 0; d-- {
+		for i := 0; i < width; i++ {
+			decl := g.b.Task(kernelForLevel(d, depth), g.dur()).
+				Out(blockAt(rank(d, i)), blockBytes).
+				Meta("level=%d,node=%d", d, i)
+			if d < depth {
+				for c := 0; c < fanout; c++ {
+					decl.Dep(depOf(g.readDir(), blockAt(rank(d+1, i*fanout+c))))
+				}
+			}
+			decl.Add()
+		}
+		width /= fanout
+	}
+}
+
+func kernelForLevel(d, depth int) string {
+	if d == depth {
+		return "leaf"
+	}
+	return "reduce"
+}
+
+// buildPipeline emits width items flowing through stages stages. Each stage
+// is serialized on its own token (the shared filter state of a Ferret stage
+// or Dedup's output file), and each item's buffer links consecutive stages.
+func buildPipeline(g *gen) {
+	for item := 0; item < g.p.Width; item++ {
+		for stage := 0; stage < g.p.Stages; stage++ {
+			decl := g.b.Task(stageKernel(stage), g.dur()).
+				InOut(tokenAt(stage), blockBytes).
+				Meta("item=%d,stage=%d", item, stage)
+			if stage > 0 {
+				decl.Dep(depOf(g.readDir(), blockAt(item*g.p.Stages+stage-1)))
+			}
+			decl.Out(blockAt(item*g.p.Stages+stage), blockBytes)
+			decl.Add()
+		}
+	}
+}
+
+func stageKernel(stage int) string { return "stage" + string(rune('A'+stage%26)) }
+
+// buildStencil emits depth double-buffered Jacobi sweeps over a width x
+// width tile grid: every task writes its tile in the current buffer and
+// reads its own and the four neighbour tiles from the previous buffer,
+// reproducing Fluidanimate's neighbour exchange. Writing the same bank every
+// other sweep adds the WAW/WAR pressure of buffer reuse.
+func buildStencil(g *gen) {
+	w := g.p.Width
+	tile := func(bank, i, j int) uint64 { return blockAt(bank*w*w + i*w + j) }
+	for it := 0; it < g.p.Depth; it++ {
+		cur, prev := it%2, 1-it%2
+		for i := 0; i < w; i++ {
+			for j := 0; j < w; j++ {
+				decl := g.b.Task("sweep", g.dur()).
+					Out(tile(cur, i, j), blockBytes).
+					Meta("iter=%d,tile=%d.%d", it, i, j)
+				if it > 0 {
+					decl.Dep(depOf(g.readDir(), tile(prev, i, j)))
+					if i > 0 {
+						decl.Dep(depOf(g.readDir(), tile(prev, i-1, j)))
+					}
+					if i < w-1 {
+						decl.Dep(depOf(g.readDir(), tile(prev, i+1, j)))
+					}
+					if j > 0 {
+						decl.Dep(depOf(g.readDir(), tile(prev, i, j-1)))
+					}
+					if j < w-1 {
+						decl.Dep(depOf(g.readDir(), tile(prev, i, j+1)))
+					}
+				}
+				decl.Add()
+			}
+		}
+	}
+}
+
+// blockdenseTasks returns the task count of a right-looking factorization on
+// n x n tiles.
+func blockdenseTasks(n int) int {
+	total := 0
+	for k := 0; k < n; k++ {
+		r := n - k - 1
+		total += 1 + r + r*r
+	}
+	return total
+}
+
+// buildBlockDense emits the wavefront of a right-looking tiled factorization
+// on width x width tiles: per step k a diagonal task, a panel task per
+// remaining row, and a trailing update per remaining tile — the Cholesky/LU
+// shape with a shrinking frontier.
+func buildBlockDense(g *gen) {
+	n := g.p.Width
+	tile := func(i, j int) uint64 { return blockAt(i*n + j) }
+	for k := 0; k < n; k++ {
+		g.b.Task("diag", g.dur()).
+			InOut(tile(k, k), blockBytes).
+			Meta("k=%d", k).
+			Add()
+		for i := k + 1; i < n; i++ {
+			g.b.Task("panel", g.dur()).
+				Dep(depOf(g.readDir(), tile(k, k))).
+				InOut(tile(i, k), blockBytes).
+				Meta("k=%d,i=%d", k, i).
+				Add()
+		}
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j < n; j++ {
+				g.b.Task("update", g.dur()).
+					Dep(depOf(g.readDir(), tile(i, k))).
+					Dep(depOf(g.readDir(), tile(k, j))).
+					InOut(tile(i, j), blockBytes).
+					Meta("k=%d,tile=%d.%d", k, i, j).
+					Add()
+			}
+		}
+	}
+}
+
+// buildLayered emits depth layers of width tasks. Every task writes its own
+// block; a task reads each block of the previous layer with probability
+// density (always at least one, so no layer floats free).
+func buildLayered(g *gen) {
+	for layer := 0; layer < g.p.Depth; layer++ {
+		for i := 0; i < g.p.Width; i++ {
+			decl := g.b.Task("node", g.dur()).
+				Meta("layer=%d,node=%d", layer, i)
+			if layer > 0 {
+				linked := false
+				for j := 0; j < g.p.Width; j++ {
+					if g.rng.Float64() < g.p.Density {
+						decl.Dep(depOf(g.readDir(), blockAt((layer-1)%2*g.p.Width+j)))
+						linked = true
+					}
+				}
+				if !linked {
+					// Guarantee one predecessor so the layer structure holds.
+					j := g.rng.Intn(g.p.Width)
+					decl.Dep(depOf(g.readDir(), blockAt((layer-1)%2*g.p.Width+j)))
+				}
+			}
+			decl.Out(blockAt(layer%2*g.p.Width+i), blockBytes)
+			decl.Add()
+		}
+	}
+}
+
+// depOf builds a dependence annotation on addr with the given direction
+// (used where the direction comes from the inout promotion roll).
+func depOf(dir task.Dir, addr uint64) task.Dep {
+	return task.Dep{Addr: addr, Size: blockBytes, Dir: dir}
+}
+
+// TaskCount returns the total number of tasks the resolved parameters
+// generate, in closed form — callers sizing sweeps (workloads.ByName) need
+// it without paying for program construction. Kept in lockstep with the
+// builders by tests.
+func (f *Family) TaskCount(p Params) int {
+	p = f.Resolve(p)
+	var region int
+	switch f.Name {
+	case "chain", "layered":
+		region = p.Width * p.Depth
+	case "forkjoin":
+		region = (p.Width + 2) * p.Depth
+	case "tree":
+		region = treeTasks(p.Fanout, p.Depth)
+	case "pipeline":
+		region = p.Width * p.Stages
+	case "stencil":
+		region = p.Width * p.Width * p.Depth
+	case "blockdense":
+		region = blockdenseTasks(p.Width)
+	default:
+		panic("synth: TaskCount not implemented for family " + f.Name)
+	}
+	return region * p.Regions
+}

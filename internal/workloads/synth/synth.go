@@ -1,0 +1,470 @@
+// Package synth generates deterministic, seedable synthetic task programs:
+// parameterized DAG families that open the workload space beyond the nine
+// fixed benchmarks of the paper's Table II. Each family reproduces a
+// dependence-graph shape task runtimes meet in the wild — serial chains,
+// fork-join phases, reduction trees, software pipelines, 2D stencils, tiled
+// linear-algebra wavefronts, and layered random DAGs with tunable dependence
+// density — with task-duration distributions and an inout (antidependence)
+// ratio as further knobs.
+//
+// A family plus a Params value fully determines the generated program: the
+// same spec always produces byte-identical programs (checked by tests), so
+// synthetic programs can be content-addressed, recorded and replayed like
+// benchmark programs.
+//
+// Specs have a textual form accepted by Parse and by workloads.ByName:
+//
+//	synth:<family>[:key=value,key=value,...]
+//
+// for example
+//
+//	synth:layered:seed=7,width=12,depth=20,density=0.4
+//	synth:stencil:width=8,depth=10,mean=35
+//	synth:tree:fanout=4,depth=4,dist=bimodal
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/task"
+)
+
+// Prefix marks a workload name as a synthetic spec.
+const Prefix = "synth:"
+
+// IsSpec reports whether the workload name is a synthetic spec.
+func IsSpec(name string) bool { return strings.HasPrefix(name, Prefix) }
+
+// Duration distribution names.
+const (
+	DistConst   = "const"
+	DistUniform = "uniform"
+	DistExp     = "exp"
+	DistBimodal = "bimodal"
+)
+
+// Dists lists the supported task-duration distributions.
+func Dists() []string { return []string{DistConst, DistUniform, DistExp, DistBimodal} }
+
+// Params parameterizes a family. The zero value of a field means "use the
+// family default"; Family.Resolve fills the defaults in.
+type Params struct {
+	// Seed seeds the deterministic random source used for durations,
+	// layered-DAG edges and inout promotion.
+	Seed int64
+
+	// Tasks is an approximate total task-count target. When positive the
+	// family scales its depth (or width) to approach it; it is also the
+	// granularity knob exposed through the workloads.Benchmark bridge.
+	Tasks int
+
+	// Width is the family's parallelism knob: number of chains, fork width,
+	// pipeline items, stencil grid side, matrix tiles per side, or tasks
+	// per layer.
+	Width int
+
+	// Depth is the family's length knob: chain length, fork-join phases,
+	// tree depth, stencil iterations, or number of layers.
+	Depth int
+
+	// Fanout is the tree arity (tree family only).
+	Fanout int
+
+	// Stages is the number of pipeline stages (pipeline family only).
+	Stages int
+
+	// Density is the probability of an edge between a task and each task of
+	// the previous layer (layered family only).
+	Density float64
+
+	// InOut is the probability that a read annotation is declared inout
+	// instead of in, introducing antidependences among readers.
+	InOut float64
+
+	// MeanUS is the mean task body duration in microseconds.
+	MeanUS float64
+
+	// Dist selects the duration distribution: const, uniform, exp, bimodal.
+	Dist string
+
+	// SeqUS is master-only sequential work per region, in microseconds.
+	SeqUS float64
+
+	// Regions repeats the family graph in that many barrier-separated
+	// parallel regions.
+	Regions int
+}
+
+// Family is one synthetic DAG family.
+type Family struct {
+	// Name identifies the family in specs.
+	Name string
+	// Description is a one-line summary for listings.
+	Description string
+
+	defaults Params
+	build    func(g *gen)
+}
+
+// Resolve returns the parameters with family defaults filled in for every
+// zero field and the Tasks target applied to the scaling knob.
+func (f *Family) Resolve(p Params) Params {
+	d := f.defaults
+	if p.Width <= 0 {
+		p.Width = d.Width
+	}
+	if p.Depth <= 0 {
+		p.Depth = d.Depth
+	}
+	if p.Fanout <= 0 {
+		p.Fanout = d.Fanout
+	}
+	if p.Stages <= 0 {
+		p.Stages = d.Stages
+	}
+	if p.Density <= 0 {
+		p.Density = d.Density
+	}
+	if p.InOut < 0 {
+		p.InOut = 0
+	}
+	if f.Name == "chain" {
+		// Chains have no plain reads to promote (every step is already
+		// inout on its chain's block); zeroing the knob keeps specs that
+		// differ only in a no-op parameter on one canonical name and one
+		// job key.
+		p.InOut = 0
+	}
+	if p.MeanUS <= 0 {
+		p.MeanUS = d.MeanUS
+	}
+	if p.Dist == "" {
+		p.Dist = d.Dist
+	}
+	if p.SeqUS < 0 {
+		p.SeqUS = 0
+	}
+	if p.Regions <= 0 {
+		p.Regions = 1
+	}
+	if p.Tasks > 0 {
+		p = f.scaleToTasks(p)
+	}
+	return p
+}
+
+// scaleToTasks adjusts the family's length knob so one region approaches the
+// Tasks target.
+func (f *Family) scaleToTasks(p Params) Params {
+	target := p.Tasks / p.Regions
+	if target < 1 {
+		target = 1
+	}
+	switch f.Name {
+	case "chain", "layered":
+		p.Depth = max(1, target/p.Width)
+	case "forkjoin":
+		p.Depth = max(1, target/(p.Width+2))
+	case "tree":
+		// Deepest tree with at most target tasks (at least the root).
+		depth := 1
+		for treeTasks(p.Fanout, depth+1) <= target {
+			depth++
+		}
+		p.Depth = depth
+	case "pipeline":
+		p.Width = max(1, target/p.Stages)
+	case "stencil":
+		p.Depth = max(1, target/(p.Width*p.Width))
+	case "blockdense":
+		width := 2
+		for blockdenseTasks(width+1) <= target {
+			width++
+		}
+		p.Width = width
+	}
+	return p
+}
+
+// Generate builds the program for the parameters. The machine configuration
+// only converts microsecond durations to cycles.
+func (f *Family) Generate(p Params, m machine.Config) *task.Program {
+	p = f.Resolve(p)
+	b := task.NewBuilder(Canonical(f, p))
+	g := &gen{
+		f:   f,
+		p:   p,
+		m:   m,
+		b:   b,
+		rng: rand.New(rand.NewSource(p.Seed)),
+	}
+	// Sequential cycles may legitimately be zero; the 1-cycle floor only
+	// applies to task bodies.
+	seq := m.MicrosToCycles(p.SeqUS)
+	for r := 0; r < p.Regions; r++ {
+		b.Region(seq)
+		f.build(g)
+	}
+	prog := b.Build()
+	prog.Granularity = int64(prog.NumTasks())
+	prog.GranularityUnit = "tasks"
+	return prog
+}
+
+// gen carries the state shared by family builders.
+type gen struct {
+	f   *Family
+	p   Params
+	m   machine.Config
+	b   *task.Builder
+	rng *rand.Rand
+}
+
+// dur samples one task body duration in cycles.
+func (g *gen) dur() int64 {
+	mean := g.p.MeanUS
+	var usv float64
+	switch g.p.Dist {
+	case DistUniform:
+		// Uniform on [0.5, 1.5) x mean.
+		usv = mean * (0.5 + g.rng.Float64())
+	case DistExp:
+		usv = mean * g.rng.ExpFloat64()
+	case DistBimodal:
+		// 90% short tasks, 10% long stragglers; mean preserved.
+		if g.rng.Float64() < 0.1 {
+			usv = mean * 5.5
+		} else {
+			usv = mean * 0.5
+		}
+	default: // DistConst
+		usv = mean
+	}
+	return us(g.m, usv)
+}
+
+// readDir returns In, promoted to InOut with probability p.InOut.
+func (g *gen) readDir() task.Dir {
+	if g.p.InOut > 0 && g.rng.Float64() < g.p.InOut {
+		return task.InOut
+	}
+	return task.In
+}
+
+// us converts microseconds to cycles with a 1-cycle floor so programs always
+// validate.
+func us(m machine.Config, micros float64) int64 {
+	c := m.MicrosToCycles(micros)
+	if c < 1 {
+		return 1
+	}
+	return c
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// families is the registry, populated in families.go.
+var families []*Family
+
+func registerFamily(f *Family) {
+	for _, known := range families {
+		if known.Name == f.Name {
+			panic(fmt.Sprintf("synth: duplicate family %q", f.Name))
+		}
+	}
+	families = append(families, f)
+}
+
+// Families returns every family in registration order.
+func Families() []*Family { return families }
+
+// FamilyNames returns every family name in registration order.
+func FamilyNames() []string {
+	out := make([]string, len(families))
+	for i, f := range families {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// ByName looks a family up by name.
+func ByName(name string) (*Family, error) {
+	for _, f := range families {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("synth: unknown family %q (known: %v)", name, FamilyNames())
+}
+
+// Parse decodes a spec of the form "synth:family:key=value,..." (the synth:
+// prefix is optional) into a family and parameters.
+func Parse(spec string) (*Family, Params, error) {
+	body := strings.TrimPrefix(spec, Prefix)
+	name, args, _ := strings.Cut(body, ":")
+	f, err := ByName(name)
+	if err != nil {
+		return nil, Params{}, err
+	}
+	var p Params
+	if args == "" {
+		return f, p, nil
+	}
+	for _, kv := range strings.Split(args, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, value, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, Params{}, fmt.Errorf("synth: malformed parameter %q in spec %q (want key=value)", kv, spec)
+		}
+		if err := setParam(&p, key, value); err != nil {
+			return nil, Params{}, fmt.Errorf("synth: spec %q: %w", spec, err)
+		}
+	}
+	return f, p, nil
+}
+
+// setParam assigns one key=value pair. Keys whose zero value would be
+// indistinguishable from "unset" (and silently replaced by the family
+// default in Resolve) must be positive.
+func setParam(p *Params, key, value string) error {
+	parseInt := func() (int, error) {
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("parameter %s=%q is not a non-negative integer", key, value)
+		}
+		return n, nil
+	}
+	parsePositiveInt := func() (int, error) {
+		n, err := strconv.Atoi(value)
+		if err != nil || n <= 0 {
+			return 0, fmt.Errorf("parameter %s=%q must be a positive integer", key, value)
+		}
+		return n, nil
+	}
+	parseFloat := func() (float64, error) {
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("parameter %s=%q is not a non-negative number", key, value)
+		}
+		return v, nil
+	}
+	parsePositiveFloat := func() (float64, error) {
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil || v <= 0 {
+			return 0, fmt.Errorf("parameter %s=%q must be positive (zero is indistinguishable from unset)", key, value)
+		}
+		return v, nil
+	}
+	var err error
+	switch key {
+	case "seed":
+		var n int64
+		n, err = strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("parameter seed=%q is not an integer", value)
+		}
+		p.Seed = n
+	case "tasks":
+		p.Tasks, err = parseInt()
+	case "width":
+		p.Width, err = parsePositiveInt()
+	case "depth":
+		p.Depth, err = parsePositiveInt()
+	case "fanout":
+		p.Fanout, err = parsePositiveInt()
+	case "stages":
+		p.Stages, err = parsePositiveInt()
+	case "density":
+		p.Density, err = parsePositiveFloat()
+		if err == nil && p.Density > 1 {
+			err = fmt.Errorf("parameter density=%q exceeds 1", value)
+		}
+	case "inout":
+		p.InOut, err = parseFloat()
+		if err == nil && p.InOut > 1 {
+			err = fmt.Errorf("parameter inout=%q exceeds 1", value)
+		}
+	case "mean":
+		p.MeanUS, err = parsePositiveFloat()
+	case "dist":
+		switch value {
+		case DistConst, DistUniform, DistExp, DistBimodal:
+			p.Dist = value
+		default:
+			err = fmt.Errorf("parameter dist=%q unknown (want %v)", value, Dists())
+		}
+	case "seq":
+		p.SeqUS, err = parseFloat()
+	case "regions":
+		p.Regions, err = parsePositiveInt()
+	default:
+		keys := []string{"seed", "tasks", "width", "depth", "fanout", "stages",
+			"density", "inout", "mean", "dist", "seq", "regions"}
+		sort.Strings(keys)
+		err = fmt.Errorf("unknown parameter %q (known: %v)", key, keys)
+	}
+	return err
+}
+
+// Canonical returns the canonical spec string of resolved parameters: the
+// same logical workload always renders to the same name regardless of how
+// its spec was written. It doubles as the generated program's name.
+func Canonical(f *Family, p Params) string {
+	p = f.Resolve(p)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s%s:seed=%d,width=%d,depth=%d", Prefix, f.Name, p.Seed, p.Width, p.Depth)
+	switch f.Name {
+	case "tree":
+		fmt.Fprintf(&sb, ",fanout=%d", p.Fanout)
+	case "pipeline":
+		fmt.Fprintf(&sb, ",stages=%d", p.Stages)
+	case "layered":
+		fmt.Fprintf(&sb, ",density=%s", trimFloat(p.Density))
+	}
+	if p.InOut > 0 {
+		fmt.Fprintf(&sb, ",inout=%s", trimFloat(p.InOut))
+	}
+	fmt.Fprintf(&sb, ",mean=%s,dist=%s", trimFloat(p.MeanUS), p.Dist)
+	if p.SeqUS > 0 {
+		fmt.Fprintf(&sb, ",seq=%s", trimFloat(p.SeqUS))
+	}
+	if p.Regions > 1 {
+		fmt.Fprintf(&sb, ",regions=%d", p.Regions)
+	}
+	return sb.String()
+}
+
+func trimFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Generate parses a spec and builds its program.
+func Generate(spec string, m machine.Config) (*task.Program, error) {
+	f, p, err := Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return f.Generate(p, m), nil
+}
+
+// DefaultSpecs returns one representative spec per family at default
+// parameters. runner.Grid expands the pseudo-benchmark "synth:all" to this
+// list, and conformance tests seed from it.
+func DefaultSpecs() []string {
+	out := make([]string, len(families))
+	for i, f := range families {
+		out[i] = Prefix + f.Name
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+package synth
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/task"
+)
+
+func TestFamiliesRegistered(t *testing.T) {
+	want := []string{"chain", "forkjoin", "tree", "pipeline", "stencil", "blockdense", "layered"}
+	got := FamilyNames()
+	if len(got) != len(want) {
+		t.Fatalf("families = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("families = %v, want %v", got, want)
+		}
+	}
+	if len(DefaultSpecs()) != len(want) {
+		t.Fatalf("DefaultSpecs returned %d specs for %d families", len(DefaultSpecs()), len(want))
+	}
+}
+
+func TestAllFamiliesValidAndAcyclic(t *testing.T) {
+	m := machine.Default()
+	for _, f := range Families() {
+		for _, p := range []Params{
+			{},
+			{Seed: 3, InOut: 0.3, Dist: DistUniform},
+			{Seed: 9, Dist: DistBimodal, Regions: 2, SeqUS: 15},
+		} {
+			prog := f.Generate(p, m)
+			if err := prog.Validate(); err != nil {
+				t.Errorf("%s %+v: invalid program: %v", f.Name, p, err)
+				continue
+			}
+			if prog.NumTasks() == 0 {
+				t.Errorf("%s %+v: empty program", f.Name, p)
+			}
+			if !task.BuildProgramGraph(prog).IsAcyclic() {
+				t.Errorf("%s %+v: cyclic dependence graph", f.Name, p)
+			}
+		}
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	m := machine.Default()
+	for _, f := range Families() {
+		p := Params{Seed: 42, InOut: 0.2, Dist: DistExp}
+		a, err := task.MarshalProgram(f.Generate(p, m))
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", f.Name, err)
+		}
+		b, err := task.MarshalProgram(f.Generate(p, m))
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", f.Name, err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: same spec produced different programs", f.Name)
+		}
+	}
+}
+
+func TestSeedChangesRandomizedFamilies(t *testing.T) {
+	m := machine.Default()
+	f, err := ByName("layered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := task.BuildProgramGraph(f.Generate(Params{Seed: 1}, m))
+	b := task.BuildProgramGraph(f.Generate(Params{Seed: 2}, m))
+	if a.NumEdges() == b.NumEdges() && a.CriticalPath() == b.CriticalPath() {
+		t.Error("layered family ignored the seed (identical edge count and critical path)")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"synth:chain",
+		"synth:layered:seed=7,width=12,depth=20,density=0.4",
+		"stencil:width=4,depth=3,mean=35,dist=bimodal",
+		"synth:tree:fanout=4,depth=3,inout=0.25",
+		"synth:pipeline:stages=5,width=10,seq=25,regions=3",
+	} {
+		f, p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		canon := Canonical(f, p)
+		f2, p2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Parse(canonical %q): %v", canon, err)
+		}
+		if got := Canonical(f2, p2); got != canon {
+			t.Errorf("canonical not a fixed point: %q -> %q", canon, got)
+		}
+		m := machine.Default()
+		a, _ := task.MarshalProgram(f.Generate(p, m))
+		b, _ := task.MarshalProgram(f2.Generate(p2, m))
+		if !bytes.Equal(a, b) {
+			t.Errorf("spec %q and its canonical form generate different programs", spec)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"synth:nosuchfamily",
+		"synth:chain:width",
+		"synth:chain:width=-3",
+		"synth:chain:bogus=1",
+		"synth:layered:density=1.5",
+		"synth:chain:dist=pareto",
+		// Explicit zeros would be silently replaced by family defaults
+		// (zero field = unset), so the parser must reject them.
+		"synth:chain:width=0",
+		"synth:layered:density=0",
+		"synth:chain:mean=0",
+		"synth:tree:fanout=0",
+		"synth:chain:regions=0",
+	} {
+		if _, _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed spec", spec)
+		}
+	}
+}
+
+func TestTaskCountMatchesGeneration(t *testing.T) {
+	m := machine.Default()
+	for _, f := range Families() {
+		for _, p := range []Params{
+			{},
+			{Width: 3, Depth: 4, Fanout: 3, Stages: 3, Regions: 2, Seed: 1},
+			{Tasks: 100},
+		} {
+			want := f.Generate(p, m).NumTasks()
+			if got := f.TaskCount(p); got != want {
+				t.Errorf("%s %+v: TaskCount = %d, generated program has %d tasks", f.Name, p, got, want)
+			}
+		}
+	}
+}
+
+func TestChainIgnoresInOutCanonically(t *testing.T) {
+	// The chain family has no plain reads to promote; a spec differing
+	// only in the no-op inout knob must resolve to the same canonical
+	// name (and therefore the same job key downstream).
+	f, a, err := Parse("synth:chain:width=4,depth=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := Parse("synth:chain:width=4,depth=4,inout=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Canonical(f, a) != Canonical(f, b) {
+		t.Errorf("chain canonical names differ on no-op inout: %q vs %q",
+			Canonical(f, a), Canonical(f, b))
+	}
+}
+
+func TestTasksTargetScalesFamilies(t *testing.T) {
+	m := machine.Default()
+	for _, f := range Families() {
+		small := f.Generate(Params{Tasks: 30}, m).NumTasks()
+		large := f.Generate(Params{Tasks: 300}, m).NumTasks()
+		if large <= small {
+			t.Errorf("%s: tasks=300 produced %d tasks, not more than tasks=30 (%d)",
+				f.Name, large, small)
+		}
+	}
+}
+
+func TestInOutPromotionSerializesReaders(t *testing.T) {
+	// Promoting reads to inout makes readers of a block mutually ordered
+	// (each becomes the new last writer), so the critical path must grow
+	// even though edge restructuring can shrink the raw edge count.
+	m := machine.Default()
+	f, err := ByName("layered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := task.BuildProgramGraph(f.Generate(Params{Seed: 5, Width: 8, Depth: 8}, m))
+	promoted := task.BuildProgramGraph(f.Generate(Params{Seed: 5, Width: 8, Depth: 8, InOut: 0.8}, m))
+	if promoted.CriticalPath() <= plain.CriticalPath() {
+		t.Errorf("inout promotion did not lengthen the critical path: %d vs %d",
+			promoted.CriticalPath(), plain.CriticalPath())
+	}
+}
+
+func TestDurationDistributions(t *testing.T) {
+	m := machine.Default()
+	f, err := ByName("chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	constant := f.Generate(Params{Seed: 1, Width: 8, Depth: 16, Dist: DistConst}, m)
+	varied := f.Generate(Params{Seed: 1, Width: 8, Depth: 16, Dist: DistBimodal}, m)
+	durs := make(map[int64]bool)
+	for _, s := range constant.Tasks() {
+		durs[s.Duration] = true
+	}
+	if len(durs) != 1 {
+		t.Errorf("const distribution produced %d distinct durations", len(durs))
+	}
+	durs = make(map[int64]bool)
+	for _, s := range varied.Tasks() {
+		durs[s.Duration] = true
+	}
+	if len(durs) < 2 {
+		t.Error("bimodal distribution produced uniform durations")
+	}
+	// Mean roughly preserved across distributions (bimodal is 0.5/5.5 split).
+	ratio := float64(varied.TotalWork()) / float64(constant.TotalWork())
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("bimodal total work is %.2fx const; mean badly off", ratio)
+	}
+}
+
+func TestFamilyShapes(t *testing.T) {
+	m := machine.Default()
+	gen := func(spec string) *task.Graph {
+		t.Helper()
+		prog, err := Generate(spec, m)
+		if err != nil {
+			t.Fatalf("Generate(%q): %v", spec, err)
+		}
+		return task.BuildProgramGraph(prog)
+	}
+
+	// Chains: width roots, width leaves, max parallelism = width.
+	chain := gen("synth:chain:width=5,depth=7")
+	if len(chain.Roots()) != 5 || len(chain.Leaves()) != 5 {
+		t.Errorf("chain: %d roots, %d leaves, want 5 and 5", len(chain.Roots()), len(chain.Leaves()))
+	}
+	if w := chain.MaxWidth(); w != 5 {
+		t.Errorf("chain: max width %d, want 5", w)
+	}
+
+	// Fork-join: single root (the first fork), and the join of each phase
+	// serializes, so the graph is 1 wide at phase boundaries.
+	fj := gen("synth:forkjoin:width=6,depth=3")
+	if len(fj.Roots()) != 1 {
+		t.Errorf("forkjoin: %d roots, want 1", len(fj.Roots()))
+	}
+	if w := fj.MaxWidth(); w != 6 {
+		t.Errorf("forkjoin: max width %d, want 6", w)
+	}
+
+	// Tree: fanout^depth leaf tasks are the roots of the reduction (no
+	// predecessors), one final reduce (the tree root) is the single leaf.
+	tree := gen("synth:tree:fanout=3,depth=2")
+	if len(tree.Roots()) != 9 {
+		t.Errorf("tree: %d DAG roots, want 9 leaves", len(tree.Roots()))
+	}
+	if len(tree.Leaves()) != 1 {
+		t.Errorf("tree: %d DAG leaves, want the single tree root", len(tree.Leaves()))
+	}
+
+	// Pipeline: stage tokens serialize each stage, so at most stages tasks
+	// run at once.
+	pipe := gen("synth:pipeline:width=10,stages=3")
+	if w := pipe.MaxWidth(); w > 3 {
+		t.Errorf("pipeline: max width %d exceeds stage count 3", w)
+	}
+
+	// Stencil: every interior task of iteration >= 1 depends on its own tile
+	// history and neighbours; first iteration is fully parallel.
+	st := gen("synth:stencil:width=4,depth=3")
+	if len(st.Roots()) != 16 {
+		t.Errorf("stencil: %d roots, want 16 (first sweep fully parallel)", len(st.Roots()))
+	}
+
+	// Blockdense: single diagonal task starts the wavefront.
+	bd := gen("synth:blockdense:width=4")
+	if len(bd.Roots()) != 1 {
+		t.Errorf("blockdense: %d roots, want 1", len(bd.Roots()))
+	}
+
+	// Layered: layer 0 is parallel; every later task has >= 1 predecessor.
+	lay := gen("synth:layered:width=6,depth=4,density=0.5,seed=11")
+	if len(lay.Roots()) != 6 {
+		t.Errorf("layered: %d roots, want 6", len(lay.Roots()))
+	}
+}
+
+func TestCanonicalNameIsProgramName(t *testing.T) {
+	m := machine.Default()
+	f, p, err := Parse("synth:layered:seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := f.Generate(p, m)
+	if prog.Name != Canonical(f, p) {
+		t.Errorf("program name %q != canonical %q", prog.Name, Canonical(f, p))
+	}
+	if !strings.HasPrefix(prog.Name, Prefix) {
+		t.Errorf("program name %q lacks synth prefix", prog.Name)
+	}
+}

@@ -1,0 +1,60 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/task"
+	"repro/internal/workloads/synth"
+)
+
+// Synthetic workloads ride the same Benchmark interface as the paper's nine
+// benchmarks: any name of the form "synth:<family>[:key=value,...]" resolves
+// through ByName to an on-the-fly Benchmark whose granularity knob is the
+// total task count (see internal/workloads/synth). Everything downstream —
+// core.RunBenchmark, runner grids, cmd/sweep — therefore accepts synthetic
+// specs wherever it accepts a benchmark name.
+
+// syntheticBenchmark wraps a parsed synth spec as a Benchmark.
+func syntheticBenchmark(spec string) (*Benchmark, error) {
+	family, params, err := synth.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	name := synth.Canonical(family, params)
+	// The spec's own task count is the "optimal" granularity: granularity 0
+	// reproduces the spec exactly, any other value rescales the family.
+	defaultTasks := int64(family.TaskCount(params))
+	sweep := []int64{defaultTasks / 4, defaultTasks / 2, defaultTasks, defaultTasks * 2}
+	var cleaned []int64
+	for _, g := range sweep {
+		if g >= 1 {
+			cleaned = append(cleaned, g)
+		}
+	}
+	return &Benchmark{
+		Name:       name,
+		Short:      spec,
+		Unit:       "tasks",
+		SWOptimal:  defaultTasks,
+		TDMOptimal: defaultTasks,
+		Sweep:      cleaned,
+		Generate: func(granularity int64, m machine.Config) *task.Program {
+			p := params
+			if granularity > 0 {
+				p.Tasks = int(granularity)
+			}
+			return family.Generate(p, m)
+		},
+	}, nil
+}
+
+// SyntheticFamilies returns the available synthetic family names with
+// one-line descriptions, for CLI listings.
+func SyntheticFamilies() []string {
+	var out []string
+	for _, f := range synth.Families() {
+		out = append(out, fmt.Sprintf("%s%s — %s", synth.Prefix, f.Name, f.Description))
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package workloads
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/task"
+)
+
+func TestByNameSyntheticSpecs(t *testing.T) {
+	m := machine.Default()
+	b, err := ByName("synth:layered:seed=7,width=6,depth=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Unit != "tasks" || b.SWOptimal != 36 || b.TDMOptimal != 36 {
+		t.Fatalf("synthetic benchmark metadata wrong: %+v", b)
+	}
+	if len(b.Sweep) == 0 {
+		t.Fatal("synthetic benchmark has no granularity sweep")
+	}
+
+	// Granularity 0 and the optimal granularity reproduce the spec exactly.
+	def, err := task.MarshalProgram(b.Generate(0, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := task.MarshalProgram(b.GenerateOptimal(true, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(def, opt) {
+		t.Error("optimal granularity does not reproduce the spec's own program")
+	}
+
+	// An explicit granularity rescales the family.
+	big := b.Generate(144, m)
+	if big.NumTasks() <= 36 {
+		t.Errorf("granularity 144 produced %d tasks, want more than 36", big.NumTasks())
+	}
+
+	if _, err := ByName("synth:nosuchfamily"); err == nil {
+		t.Error("unknown synthetic family accepted")
+	}
+	if _, err := ByName("synth:chain:bogus=1"); err == nil {
+		t.Error("malformed synthetic spec accepted")
+	}
+}
+
+func TestSyntheticFamiliesListing(t *testing.T) {
+	lines := SyntheticFamilies()
+	if len(lines) < 7 {
+		t.Fatalf("expected at least 7 synthetic families, got %d", len(lines))
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "synth:") {
+			t.Errorf("family listing %q lacks synth: prefix", line)
+		}
+	}
+}

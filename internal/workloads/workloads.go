@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/task"
+	"repro/internal/workloads/synth"
 )
 
 // Benchmark describes one benchmark generator.
@@ -106,7 +107,12 @@ func Names() []string {
 }
 
 // ByName looks a benchmark up by full or short name, case-sensitively.
+// Names of the form "synth:<family>[:key=value,...]" resolve to synthetic
+// workloads (see internal/workloads/synth) instead of the registry.
 func ByName(name string) (*Benchmark, error) {
+	if synth.IsSpec(name) {
+		return syntheticBenchmark(name)
+	}
 	if b, ok := registry[name]; ok {
 		return b, nil
 	}
