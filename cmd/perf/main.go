@@ -1,0 +1,121 @@
+// Command perf runs the repository's pinned benchmark suite and manages the
+// performance trajectory.
+//
+// Run the quick (PR-gating) suite and write the trajectory file:
+//
+//	go run ./cmd/perf -quick -out bench.json
+//
+// Run the full suite (defaults to BENCH_<date>.json):
+//
+//	go run ./cmd/perf
+//
+// Compare two result files, failing (exit 1) on any ns/op regression beyond
+// the threshold:
+//
+//	go run ./cmd/perf -diff -threshold 0.15 perf/baseline.json bench.json
+//
+// CI runs the quick suite on every pull request and diffs against the
+// committed perf/baseline.json; refresh the baseline (and say why in the
+// commit) whenever a PR intentionally shifts performance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"time"
+
+	"repro/internal/perf"
+)
+
+func main() {
+	var (
+		quick     = flag.Bool("quick", false, "run the quick (PR-gating) probe subset")
+		out       = flag.String("out", "", "output file (default BENCH_<date>.json)")
+		benchRe   = flag.String("bench", "", "only run probes matching this regexp")
+		list      = flag.Bool("list", false, "list probe names and exit")
+		diff      = flag.Bool("diff", false, "compare two result files: -diff OLD NEW")
+		threshold = flag.Float64("threshold", 0.15, "relative ns/op regression gate for -diff")
+		quiet     = flag.Bool("q", false, "suppress per-probe progress output")
+	)
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fatalf("usage: perf -diff [-threshold 0.15] OLD.json NEW.json")
+		}
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *threshold))
+	}
+
+	suiteName := "full"
+	if *quick {
+		suiteName = "quick"
+	}
+	probes := perf.Suite(*quick)
+
+	if *list {
+		for _, p := range probes {
+			fmt.Println(p.Name)
+		}
+		return
+	}
+
+	var filter *regexp.Regexp
+	if *benchRe != "" {
+		re, err := regexp.Compile(*benchRe)
+		if err != nil {
+			fatalf("bad -bench regexp: %v", err)
+		}
+		filter = re
+	}
+
+	rep := perf.NewReport(suiteName)
+	// The interface must be assigned nil directly: a nil *os.File boxed in
+	// io.Writer would defeat perf.Run's log != nil guard.
+	var log io.Writer = os.Stderr
+	if *quiet {
+		log = nil
+	}
+	if err := perf.Run(rep, probes, filter, log); err != nil {
+		fatalf("%v", err)
+	}
+	if len(rep.Results) == 0 {
+		fatalf("no probe matched -bench %q", *benchRe)
+	}
+
+	path := *out
+	if path == "" {
+		path = perf.DefaultFileName(time.Now())
+	}
+	if err := rep.WriteFile(path); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
+	fmt.Printf("wrote %d results to %s (git %.12s)\n", len(rep.Results), path, rep.GitSHA)
+}
+
+func runDiff(oldPath, newPath string, threshold float64) int {
+	old, err := perf.ReadReportFile(oldPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cur, err := perf.ReadReportFile(newPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	entries := perf.Diff(old, cur, threshold)
+	perf.WriteDiff(os.Stdout, entries)
+	if regs := perf.Regressions(entries); len(regs) > 0 {
+		fmt.Printf("\nFAIL: %d probe(s) regressed more than %.0f%% vs %s\n",
+			len(regs), threshold*100, oldPath)
+		return 1
+	}
+	fmt.Printf("\nOK: no probe regressed more than %.0f%% vs %s\n", threshold*100, oldPath)
+	return 0
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

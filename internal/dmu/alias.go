@@ -25,7 +25,20 @@ type aliasTable struct {
 	assoc   int
 	policy  IndexPolicy
 	byID    []setWay // reverse map: ID -> location, for O(1) eviction
-	freeIDs []int
+
+	// freeIDs is a FIFO ring of free IDs: IDs are handed out in release
+	// order starting from 0..entries-1, mirroring a hardware free-list
+	// initialised in order. A ring avoids the slice-drift reallocation a
+	// naive queue would pay on every simulated task.
+	freeIDs  []int
+	freeHead int
+	freeLen  int
+
+	// setLive[i] counts valid entries in set i, and liveSets counts sets
+	// with at least one valid entry, so occupancy statistics are O(1)
+	// instead of a full-table scan on every insert.
+	setLive  []int
+	liveSets int
 
 	// Statistics.
 	lookups        uint64
@@ -54,17 +67,41 @@ func newAliasTable(name string, entries, assoc int, policy IndexPolicy) *aliasTa
 		policy:  policy,
 		sets:    make([][]aliasEntry, numSets),
 		byID:    make([]setWay, entries),
-		freeIDs: make([]int, 0, entries),
+		freeIDs: make([]int, entries),
+		freeLen: entries,
+		setLive: make([]int, numSets),
 	}
 	for i := range t.sets {
 		t.sets[i] = make([]aliasEntry, assoc)
 	}
 	// IDs are handed out lowest-first so direct-mapped tables indexed by ID
-	// stay dense, mirroring a hardware free-list initialised in order.
+	// stay dense.
 	for id := 0; id < entries; id++ {
-		t.freeIDs = append(t.freeIDs, id)
+		t.freeIDs[id] = id
 	}
 	return t
+}
+
+// popFreeID removes and returns the oldest free ID. The caller must check
+// freeLen > 0.
+func (t *aliasTable) popFreeID() int {
+	id := t.freeIDs[t.freeHead]
+	t.freeHead++
+	if t.freeHead == len(t.freeIDs) {
+		t.freeHead = 0
+	}
+	t.freeLen--
+	return id
+}
+
+// pushFreeID returns an ID to the tail of the free queue.
+func (t *aliasTable) pushFreeID(id int) {
+	tail := t.freeHead + t.freeLen
+	if tail >= len(t.freeIDs) {
+		tail -= len(t.freeIDs)
+	}
+	t.freeIDs[tail] = id
+	t.freeLen++
 }
 
 // index computes the set index for an address. For the dynamic policy the
@@ -98,16 +135,11 @@ func (t *aliasTable) lookup(addr, size uint64) (int, bool) {
 // canInsert reports whether an insert of addr would succeed: the set has a
 // free way and a free ID remains.
 func (t *aliasTable) canInsert(addr, size uint64) bool {
-	if len(t.freeIDs) == 0 {
+	if t.freeLen == 0 {
 		return false
 	}
-	set := t.sets[t.index(addr, size)]
-	for w := range set {
-		if !set[w].valid {
-			return true
-		}
-	}
-	return false
+	si := t.index(addr, size)
+	return t.setLive[si] < t.assoc
 }
 
 // insert maps addr to a freshly allocated ID. It fails (returning false) when
@@ -115,7 +147,7 @@ func (t *aliasTable) canInsert(addr, size uint64) bool {
 // stall until an in-flight task frees an entry.
 func (t *aliasTable) insert(addr, size uint64) (int, bool) {
 	t.inserts++
-	if len(t.freeIDs) == 0 {
+	if t.freeLen == 0 {
 		t.idExhaustions++
 		return noID, false
 	}
@@ -123,14 +155,17 @@ func (t *aliasTable) insert(addr, size uint64) (int, bool) {
 	set := t.sets[si]
 	for w := range set {
 		if !set[w].valid {
-			id := t.freeIDs[0]
-			t.freeIDs = t.freeIDs[1:]
+			id := t.popFreeID()
 			set[w] = aliasEntry{valid: true, addr: addr, id: id}
 			t.byID[id] = setWay{set: si, way: w, valid: true}
 			t.occupied++
 			if t.occupied > t.maxOccupied {
 				t.maxOccupied = t.occupied
 			}
+			if t.setLive[si] == 0 {
+				t.liveSets++
+			}
+			t.setLive[si]++
 			t.sampleOccupancy()
 			return id, true
 		}
@@ -149,8 +184,12 @@ func (t *aliasTable) removeByID(id int) error {
 	t.removes++
 	t.sets[loc.set][loc.way].valid = false
 	t.byID[id] = setWay{}
-	t.freeIDs = append(t.freeIDs, id)
+	t.pushFreeID(id)
 	t.occupied--
+	t.setLive[loc.set]--
+	if t.setLive[loc.set] == 0 {
+		t.liveSets--
+	}
 	return nil
 }
 
@@ -159,23 +198,12 @@ func (t *aliasTable) occupiedEntries() int { return t.occupied }
 
 // occupiedSets returns the number of sets with at least one valid entry
 // (Figure 11's metric).
-func (t *aliasTable) occupiedSets() int {
-	n := 0
-	for _, set := range t.sets {
-		for w := range set {
-			if set[w].valid {
-				n++
-				break
-			}
-		}
-	}
-	return n
-}
+func (t *aliasTable) occupiedSets() int { return t.liveSets }
 
 // sampleOccupancy accumulates the occupied-set count so that averages over
 // the execution can be reported.
 func (t *aliasTable) sampleOccupancy() {
-	t.occupiedSample += uint64(t.occupiedSets())
+	t.occupiedSample += uint64(t.liveSets)
 	t.sampleCount++
 }
 

@@ -89,6 +89,15 @@ type DMU struct {
 
 	ready *readyQueue
 
+	// Scratch buffers reused by the hot operations (AddDependence walks a
+	// reader list, FinishTask walks the successor and dependence lists) so
+	// steady-state protocol traffic performs no allocation. Distinct
+	// buffers because successor and dependence results overlap in
+	// FinishTask.
+	readerScratch []int32
+	succScratch   []int32
+	depScratch    []int32
+
 	stats Stats
 }
 
@@ -302,7 +311,8 @@ func (d *DMU) AddDependence(desc, addr, size uint64, dir task.Dir) (OpResult, er
 	// Output (or inout): the task must wait for all readers of the
 	// dependence (WAR); afterwards the reader list is flushed and the task
 	// becomes the last writer.
-	readers, a := d.rla.walk(de.readerList)
+	readers, a := d.rla.walkAppend(de.readerList, d.readerScratch[:0])
+	d.readerScratch = readers
 	accesses += a
 	for _, r := range readers {
 		if int(r) == taskID {
@@ -343,7 +353,8 @@ func (d *DMU) FinishTask(desc uint64) (OpResult, error) {
 	ready := 0
 
 	// Wake successors.
-	succs, a := d.sla.walk(te.succList)
+	succs, a := d.sla.walkAppend(te.succList, d.succScratch[:0])
+	d.succScratch = succs
 	accesses += a
 	for _, s := range succs {
 		succ := &d.taskTable[s]
@@ -362,7 +373,8 @@ func (d *DMU) FinishTask(desc uint64) (OpResult, error) {
 	}
 
 	// Detach from dependences.
-	deps, a := d.dla.walk(te.depList)
+	deps, a := d.dla.walkAppend(te.depList, d.depScratch[:0])
+	d.depScratch = deps
 	accesses += a
 	for _, depID := range deps {
 		de := &d.depTable[depID]
@@ -462,9 +474,13 @@ func (d *DMU) SuccessorCount(desc uint64) (int, OpResult, error) {
 	return d.taskTable[id].numSucc, d.result(2, 0), nil
 }
 
-// readyQueue is the FIFO of ready task IDs.
+// readyQueue is the FIFO of ready task IDs, backed by a ring buffer that
+// grows on demand up to the configured capacity (popping from the front of a
+// plain slice would shed its capacity and reallocate continuously).
 type readyQueue struct {
 	buf      []int32
+	head     int
+	count    int
 	capacity int
 	maxLen   int
 }
@@ -474,23 +490,52 @@ func newReadyQueue(capacity int) *readyQueue {
 }
 
 func (q *readyQueue) push(id int32) bool {
-	if len(q.buf) >= q.capacity {
+	if q.count >= q.capacity {
 		return false
 	}
-	q.buf = append(q.buf, id)
-	if len(q.buf) > q.maxLen {
-		q.maxLen = len(q.buf)
+	if q.count == len(q.buf) {
+		q.grow()
+	}
+	tail := q.head + q.count
+	if tail >= len(q.buf) {
+		tail -= len(q.buf)
+	}
+	q.buf[tail] = id
+	q.count++
+	if q.count > q.maxLen {
+		q.maxLen = q.count
 	}
 	return true
 }
 
+// grow doubles the ring, re-linearizing the live elements at the front.
+func (q *readyQueue) grow() {
+	size := len(q.buf) * 2
+	if size < 8 {
+		size = 8
+	}
+	if size > q.capacity {
+		size = q.capacity
+	}
+	fresh := make([]int32, size)
+	for i := 0; i < q.count; i++ {
+		fresh[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = fresh
+	q.head = 0
+}
+
 func (q *readyQueue) pop() (int32, bool) {
-	if len(q.buf) == 0 {
+	if q.count == 0 {
 		return 0, false
 	}
-	id := q.buf[0]
-	q.buf = q.buf[1:]
+	id := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
+	q.count--
 	return id, true
 }
 
-func (q *readyQueue) len() int { return len(q.buf) }
+func (q *readyQueue) len() int { return q.count }

@@ -128,19 +128,26 @@ func (la *listArray) append(head int, value int32) (int, bool) {
 // walk returns all values of the list rooted at head and the number of entry
 // accesses performed. A noList head yields an empty result at zero cost.
 func (la *listArray) walk(head int) ([]int32, int) {
+	return la.walkAppend(head, nil)
+}
+
+// walkAppend is walk with a caller-provided destination buffer, so hot loops
+// can reuse a scratch slice instead of allocating per walk. It appends the
+// list's values to dst and returns the extended slice plus the entry accesses
+// performed.
+func (la *listArray) walkAppend(head int, dst []int32) ([]int32, int) {
 	if head == noList {
-		return nil, 0
+		return dst, 0
 	}
-	var out []int32
 	accesses := 0
 	idx := head
 	for {
 		accesses++
 		la.accesses++
 		e := &la.entries[idx]
-		out = append(out, e.elems...)
+		dst = append(dst, e.elems...)
 		if e.next == idx {
-			return out, accesses
+			return dst, accesses
 		}
 		idx = e.next
 	}

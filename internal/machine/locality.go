@@ -32,18 +32,57 @@ type LocalityTracker struct {
 	misses uint64
 }
 
+// lruNode is one resident address in a core footprint, linked in recency
+// order so eviction is O(1) instead of a full scan of the footprint.
+type lruNode struct {
+	addr       uint64
+	prev, next *lruNode
+}
+
 type coreFootprint struct {
-	blocks map[uint64]int // address -> last-touch timestamp (for LRU)
-	clock  int
+	blocks map[uint64]*lruNode // address -> recency-list node
+	// head is the most recently touched address, tail the eviction victim.
+	head, tail *lruNode
 }
 
 // NewLocalityTracker creates a tracker for the given number of cores.
 func NewLocalityTracker(cores int, cfg LocalityConfig) *LocalityTracker {
 	t := &LocalityTracker{cfg: cfg, cores: make([]coreFootprint, cores)}
 	for i := range t.cores {
-		t.cores[i].blocks = make(map[uint64]int)
+		t.cores[i].blocks = make(map[uint64]*lruNode)
 	}
 	return t
+}
+
+// pushFront links the (unlinked) node as the most recent entry.
+func (fp *coreFootprint) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = fp.head
+	if fp.head != nil {
+		fp.head.prev = n
+	}
+	fp.head = n
+	if fp.tail == nil {
+		fp.tail = n
+	}
+}
+
+// moveToFront unlinks n (if linked) and makes it the most recent entry.
+func (fp *coreFootprint) moveToFront(n *lruNode) {
+	if fp.head == n {
+		return
+	}
+	// Unlink.
+	if n.prev != nil {
+		n.prev.next = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	if fp.tail == n {
+		fp.tail = n.prev
+	}
+	fp.pushFront(n)
 }
 
 // AdjustedDuration returns the task's duration after applying the locality
@@ -86,25 +125,28 @@ func (t *LocalityTracker) RecordExecution(core int, spec *task.Spec) {
 }
 
 func (t *LocalityTracker) touch(fp *coreFootprint, addr uint64) {
-	if _, ok := fp.blocks[addr]; ok {
-		fp.blocks[addr] = fp.clock
-		fp.clock++
+	if n, ok := fp.blocks[addr]; ok {
+		fp.moveToFront(n)
 		return
 	}
+	var n *lruNode
 	if len(fp.blocks) >= t.cfg.BlocksPerCore {
-		// Evict the least recently used address.
-		var victim uint64
-		oldest := int(^uint(0) >> 1)
-		for a, when := range fp.blocks {
-			if when < oldest {
-				oldest = when
-				victim = a
-			}
+		// Evict the least recently used address and recycle its node.
+		n = fp.tail
+		fp.tail = n.prev
+		if fp.tail != nil {
+			fp.tail.next = nil
+		} else {
+			fp.head = nil
 		}
-		delete(fp.blocks, victim)
+		delete(fp.blocks, n.addr)
+		n.prev, n.next = nil, nil
+	} else {
+		n = &lruNode{}
 	}
-	fp.blocks[addr] = fp.clock
-	fp.clock++
+	n.addr = addr
+	fp.blocks[addr] = n
+	fp.pushFront(n)
 }
 
 // HitRate returns the fraction of dependence lookups that hit a core

@@ -1,0 +1,92 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DiffStatus classifies one probe's movement between two reports.
+type DiffStatus string
+
+const (
+	// Regression: ns/op grew beyond the threshold.
+	Regression DiffStatus = "REGRESSION"
+	// Improvement: ns/op shrank beyond the threshold.
+	Improvement DiffStatus = "improvement"
+	// Unchanged: within the threshold either way.
+	Unchanged DiffStatus = "unchanged"
+	// OnlyOld: the probe exists only in the old report.
+	OnlyOld DiffStatus = "only-old"
+	// OnlyNew: the probe exists only in the new report.
+	OnlyNew DiffStatus = "only-new"
+)
+
+// DiffEntry compares one probe across two reports.
+type DiffEntry struct {
+	Name   string
+	OldNs  float64
+	NewNs  float64
+	Ratio  float64 // NewNs / OldNs; 0 when either side is missing
+	Status DiffStatus
+}
+
+// Diff compares two reports probe-by-probe with a relative ns/op threshold
+// (0.15 means "fail at +15%"). Probes present on only one side are reported
+// but never count as regressions, so adding or retiring probes does not
+// require a lockstep baseline refresh.
+func Diff(old, newer *Report, threshold float64) []DiffEntry {
+	var out []DiffEntry
+	seen := make(map[string]bool)
+	for _, o := range old.Results {
+		seen[o.Name] = true
+		n, ok := newer.Lookup(o.Name)
+		if !ok {
+			out = append(out, DiffEntry{Name: o.Name, OldNs: o.NsPerOp, Status: OnlyOld})
+			continue
+		}
+		e := DiffEntry{Name: o.Name, OldNs: o.NsPerOp, NewNs: n.NsPerOp, Status: Unchanged}
+		if o.NsPerOp > 0 {
+			e.Ratio = n.NsPerOp / o.NsPerOp
+			if e.Ratio > 1+threshold {
+				e.Status = Regression
+			} else if e.Ratio < 1-threshold {
+				e.Status = Improvement
+			}
+		}
+		out = append(out, e)
+	}
+	for _, n := range newer.Results {
+		if !seen[n.Name] {
+			out = append(out, DiffEntry{Name: n.Name, NewNs: n.NsPerOp, Status: OnlyNew})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Regressions filters a diff down to the entries that should fail a gate.
+func Regressions(entries []DiffEntry) []DiffEntry {
+	var out []DiffEntry
+	for _, e := range entries {
+		if e.Status == Regression {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteDiff renders a diff as an aligned human-readable table.
+func WriteDiff(w io.Writer, entries []DiffEntry) {
+	for _, e := range entries {
+		switch e.Status {
+		case OnlyOld:
+			fmt.Fprintf(w, "%-32s %12.0f ns/op -> (removed)\n", e.Name, e.OldNs)
+		case OnlyNew:
+			fmt.Fprintf(w, "%-32s (new) -> %12.0f ns/op\n", e.Name, e.NewNs)
+		default:
+			fmt.Fprintf(w, "%-32s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+				e.Name, e.OldNs, e.NewNs, (e.Ratio-1)*100, e.Status)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package perf is the repository's benchmark-regression harness: a pinned
+// suite of performance probes (simulation-engine and DMU micro-benchmarks,
+// quick figure regenerations, a synthetic-workload sweep) that both
+// developers and CI run through cmd/perf.
+//
+// A run produces a versioned report — ns/op, allocs/op and
+// simulated-cycles/second per probe, stamped with the git SHA — conventionally
+// committed as BENCH_<date>.json so the repository carries its own
+// performance trajectory. Two reports can be diffed with a relative
+// threshold; CI fails pull requests whose quick-suite ns/op regresses more
+// than the threshold against the committed perf/baseline.json.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Schema is the report format version, bumped on incompatible changes.
+const Schema = 1
+
+// Result is the outcome of one benchmark probe.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Extra holds probe-specific metrics; simulation probes report
+	// "sim_cycles_per_op" and the derived "sim_cycles_per_sec" (how many
+	// simulated cycles the simulator retires per wall-clock second).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is one full harness run.
+type Report struct {
+	Schema    int      `json:"schema"`
+	Date      string   `json:"date"`
+	GitSHA    string   `json:"git_sha"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Suite     string   `json:"suite"` // "quick" or "full"
+	Results   []Result `json:"results"`
+}
+
+// Lookup returns the result with the given probe name.
+func (r *Report) Lookup(name string) (Result, bool) {
+	for _, res := range r.Results {
+		if res.Name == name {
+			return res, true
+		}
+	}
+	return Result{}, false
+}
+
+// NewReport stamps an empty report with the environment: date, git SHA (best
+// effort — empty outside a git checkout), Go version and host shape.
+func NewReport(suite string) *Report {
+	return &Report{
+		Schema:    Schema,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GitSHA:    GitSHA(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Suite:     suite,
+		Results:   []Result{},
+	}
+}
+
+// GitSHA returns the current commit hash, or "" when not in a git checkout.
+func GitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// DefaultFileName returns the conventional trajectory file name for a report
+// produced today: BENCH_<yyyy-mm-dd>.json.
+func DefaultFileName(now time.Time) string {
+	return fmt.Sprintf("BENCH_%s.json", now.UTC().Format("2006-01-02"))
+}
+
+// Write encodes the report as indented JSON with results sorted by name.
+func (r *Report) Write(w io.Writer) error {
+	sort.Slice(r.Results, func(i, j int) bool { return r.Results[i].Name < r.Results[j].Name })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path.
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadReport decodes a report and validates its schema.
+func ReadReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("perf: decode report: %w", err)
+	}
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("perf: report schema %d, this binary understands %d", rep.Schema, Schema)
+	}
+	return &rep, nil
+}
+
+// ReadReportFile reads a report from path.
+func ReadReportFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := ReadReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}

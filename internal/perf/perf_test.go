@@ -1,0 +1,171 @@
+package perf
+
+import (
+	"bytes"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func report(results ...Result) *Report {
+	r := NewReport("quick")
+	r.Results = results
+	return r
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := report(
+		Result{Name: "b/a", NsPerOp: 2, AllocsPerOp: 1, Extra: map[string]float64{"sim_cycles_per_op": 10}},
+		Result{Name: "a/b", NsPerOp: 1},
+	)
+	path := filepath.Join(t.TempDir(), "r.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != Schema || back.Suite != "quick" {
+		t.Fatalf("schema/suite = %d/%q", back.Schema, back.Suite)
+	}
+	// Write sorts results by name.
+	if back.Results[0].Name != "a/b" || back.Results[1].Name != "b/a" {
+		t.Fatalf("results not sorted: %+v", back.Results)
+	}
+	if got := back.Results[1].Extra["sim_cycles_per_op"]; got != 10 {
+		t.Fatalf("extra metric lost: %v", back.Results[1].Extra)
+	}
+}
+
+func TestReadReportRejectsWrongSchema(t *testing.T) {
+	_, err := ReadReport(strings.NewReader(`{"schema": 999}`))
+	if err == nil {
+		t.Fatal("schema 999 accepted")
+	}
+}
+
+func TestDefaultFileName(t *testing.T) {
+	now := time.Date(2026, 7, 29, 12, 0, 0, 0, time.UTC)
+	if got := DefaultFileName(now); got != "BENCH_2026-07-29.json" {
+		t.Fatalf("DefaultFileName = %q", got)
+	}
+}
+
+func TestDiffThresholds(t *testing.T) {
+	old := report(
+		Result{Name: "steady", NsPerOp: 100},
+		Result{Name: "slower", NsPerOp: 100},
+		Result{Name: "faster", NsPerOp: 100},
+		Result{Name: "retired", NsPerOp: 100},
+	)
+	cur := report(
+		Result{Name: "steady", NsPerOp: 110},
+		Result{Name: "slower", NsPerOp: 120},
+		Result{Name: "faster", NsPerOp: 50},
+		Result{Name: "added", NsPerOp: 7},
+	)
+	entries := Diff(old, cur, 0.15)
+	want := map[string]DiffStatus{
+		"steady":  Unchanged, // +10% is inside the 15% gate
+		"slower":  Regression,
+		"faster":  Improvement,
+		"retired": OnlyOld,
+		"added":   OnlyNew,
+	}
+	if len(entries) != len(want) {
+		t.Fatalf("got %d entries, want %d: %+v", len(entries), len(want), entries)
+	}
+	for _, e := range entries {
+		if e.Status != want[e.Name] {
+			t.Errorf("%s: status %s, want %s", e.Name, e.Status, want[e.Name])
+		}
+	}
+	regs := Regressions(entries)
+	if len(regs) != 1 || regs[0].Name != "slower" {
+		t.Fatalf("regressions = %+v, want just slower", regs)
+	}
+}
+
+func TestDiffZeroOldNs(t *testing.T) {
+	entries := Diff(report(Result{Name: "x"}), report(Result{Name: "x", NsPerOp: 5}), 0.15)
+	if len(entries) != 1 || entries[0].Status != Unchanged || entries[0].Ratio != 0 {
+		t.Fatalf("zero-baseline entry = %+v", entries)
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	full := Suite(false)
+	quick := Suite(true)
+	if len(quick) == 0 || len(full) <= len(quick) {
+		t.Fatalf("suite sizes: quick=%d full=%d", len(quick), len(full))
+	}
+	seen := make(map[string]bool)
+	for _, p := range full {
+		if seen[p.Name] {
+			t.Errorf("duplicate probe name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Body == nil {
+			t.Errorf("probe %q has no body", p.Name)
+		}
+	}
+	// The pinned quick suite must cover the three areas CI gates on.
+	for _, prefix := range []string{"sim/", "dmu/", "figures/", "sweep/", "taskrt/"} {
+		found := false
+		for _, p := range quick {
+			if strings.HasPrefix(p.Name, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("quick suite has no %s* probe", prefix)
+		}
+	}
+}
+
+// TestRunReportsFailedProbe pins the failure path: a probe that aborts with
+// b.Fatal must surface by name instead of emitting a NaN-filled result.
+func TestRunReportsFailedProbe(t *testing.T) {
+	rep := NewReport("quick")
+	probes := []Probe{
+		{Name: "always-fails", Body: func(b *testing.B, _ map[string]float64) { b.Fatal("boom") }},
+		{Name: "fine", Body: func(b *testing.B, _ map[string]float64) {}},
+	}
+	err := Run(rep, probes, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "always-fails") {
+		t.Fatalf("err = %v, want mention of always-fails", err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Name != "fine" {
+		t.Fatalf("results = %+v, want only the passing probe", rep.Results)
+	}
+}
+
+// TestRunProbe drives the harness end-to-end on the cheapest probe and checks
+// the derived rate metrics appear.
+func TestRunProbe(t *testing.T) {
+	rep := NewReport("quick")
+	var log bytes.Buffer
+	if err := Run(rep, Suite(true), regexp.MustCompile(`^sim/engine-waits$`), &log); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 {
+		t.Fatalf("results = %+v, want exactly sim/engine-waits", rep.Results)
+	}
+	res := rep.Results[0]
+	if res.NsPerOp <= 0 || res.Iterations <= 0 {
+		t.Fatalf("implausible result %+v", res)
+	}
+	if res.Extra["sim_cycles_per_op"] != 2000 {
+		t.Fatalf("sim_cycles_per_op = %v, want 2000", res.Extra["sim_cycles_per_op"])
+	}
+	if res.Extra["sim_cycles_per_sec"] <= 0 {
+		t.Fatalf("derived sim_cycles_per_sec missing: %v", res.Extra)
+	}
+	if !strings.Contains(log.String(), "sim/engine-waits") {
+		t.Fatalf("progress log missing probe name: %q", log.String())
+	}
+}

@@ -17,10 +17,16 @@
 //
 // The package is the substrate for the multicore machine model in
 // internal/machine and the runtime systems in internal/taskrt.
+//
+// The event queue and the process handoff are the hot path of every
+// simulated cycle, so both are built for speed: events are pooled on a free
+// list (steady-state scheduling performs no allocation), the queue is an
+// inlined 4-ary implicit heap specialized for the (Time, seq) key, and the
+// engine hands control to a process through a single reusable per-process
+// channel instead of a two-channel handshake.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -32,56 +38,40 @@ type Time int64
 // Infinity is a time value larger than any realistic simulation horizon.
 const Infinity Time = 1<<62 - 1
 
-// event is a single entry in the engine's event queue.
+// event is a single entry in the engine's event queue. Events are engine-
+// owned and recycled through a free list: one is taken from the pool on
+// Schedule and returned the moment it is popped for execution, so a
+// simulation's steady state schedules events without allocating.
 type event struct {
-	at    Time
-	seq   uint64
-	fn    func()
-	index int
-}
-
-// eventHeap orders events by (time, sequence number).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	at  Time
+	seq uint64
+	fn  func()
+	// next links events on the engine's free list while recycled. It is
+	// nil for events that are live in the queue.
+	next *event
 }
 
 // Engine is a discrete-event simulation kernel.
 //
 // The zero value is not usable; construct engines with NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
+	now Time
+	seq uint64
+
+	// events is a 4-ary implicit min-heap ordered by (at, seq): children
+	// of slot i live in slots 4i+1..4i+4. A 4-ary layout halves the tree
+	// depth of a binary heap, and the comparisons are inlined below
+	// rather than dispatched through container/heap interfaces.
+	events []*event
+
+	// pool is the free list of recycled event structs, with counters
+	// exposed to tests and diagnostics.
+	pool        *event
+	poolNew     uint64 // events allocated fresh
+	poolReused  uint64 // events taken from the free list
+	poolResides int    // events currently on the free list
+
 	procs   map[*Proc]struct{}
-	killed  chan struct{}
 	running *Proc
 	stopped bool
 
@@ -96,10 +86,7 @@ type Engine struct {
 
 // NewEngine returns an empty engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{
-		procs:  make(map[*Proc]struct{}),
-		killed: make(chan struct{}),
-	}
+	return &Engine{procs: make(map[*Proc]struct{})}
 }
 
 // Now returns the current simulated time.
@@ -111,17 +98,18 @@ func (e *Engine) EventsExecuted() uint64 { return e.eventCount }
 // Pending returns the number of events currently scheduled.
 func (e *Engine) Pending() int { return len(e.events) }
 
-// Schedule registers fn to run delay cycles in the future. A negative delay
-// is treated as zero. Schedule may be called both from outside the simulation
-// (before Run) and from event callbacks or processes during the simulation.
+// Schedule registers fn to run delay cycles in the future. Schedule may be
+// called both from outside the simulation (before Run) and from event
+// callbacks or processes during the simulation. A negative delay is a bug in
+// the caller — it would have to run in the simulated past — and panics.
 func (e *Engine) Schedule(delay Time, fn func()) {
 	if fn == nil {
 		panic("sim: Schedule called with nil function")
 	}
 	if delay < 0 {
-		delay = 0
+		panic(fmt.Sprintf("sim: Schedule called with negative delay %d at cycle %d", delay, e.now))
 	}
-	e.scheduleAt(e.now+delay, fn)
+	e.push(e.newEvent(e.now+delay, fn))
 }
 
 // ScheduleAt registers fn to run at absolute time at. Times in the past are
@@ -133,13 +121,100 @@ func (e *Engine) ScheduleAt(at Time, fn func()) {
 	if at < e.now {
 		at = e.now
 	}
-	e.scheduleAt(at, fn)
+	e.push(e.newEvent(at, fn))
 }
 
-func (e *Engine) scheduleAt(at Time, fn func()) {
-	ev := &event{at: at, seq: e.seq, fn: fn}
+// newEvent takes an event from the free list (or allocates one) and stamps it
+// with the next sequence number.
+func (e *Engine) newEvent(at Time, fn func()) *event {
+	ev := e.pool
+	if ev != nil {
+		e.pool = ev.next
+		ev.next = nil
+		e.poolReused++
+		e.poolResides--
+	} else {
+		ev = &event{}
+		e.poolNew++
+	}
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
-	heap.Push(&e.events, ev)
+	return ev
+}
+
+// recycle returns an executed event to the free list. The function reference
+// is dropped so the pool does not pin closures (and their captures) live.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.next = e.pool
+	e.pool = ev
+	e.poolResides++
+}
+
+// less orders events by (time, sequence number).
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts ev into the 4-ary heap, sifting it up to its slot.
+func (e *Engine) push(ev *event) {
+	h := append(e.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		p := h[parent]
+		if !less(ev, p) {
+			break
+		}
+		h[i] = p
+		i = parent
+	}
+	h[i] = ev
+	e.events = h
+}
+
+// pop removes and returns the earliest event, sifting the displaced tail
+// element down. The caller must ensure the heap is non-empty.
+func (e *Engine) pop() *event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	moved := h[n]
+	h[n] = nil
+	h = h[:n]
+	e.events = h
+	if n > 0 {
+		i := 0
+		for {
+			first := i<<2 + 1
+			if first >= n {
+				break
+			}
+			end := first + 4
+			if end > n {
+				end = n
+			}
+			min := first
+			mv := h[first]
+			for c := first + 1; c < end; c++ {
+				if cv := h[c]; less(cv, mv) {
+					min, mv = c, cv
+				}
+			}
+			if !less(mv, moved) {
+				break
+			}
+			h[i] = mv
+			i = min
+		}
+		h[i] = moved
+	}
+	return top
 }
 
 // Run executes events until the event queue drains. It returns the final
@@ -161,10 +236,12 @@ func (e *Engine) RunUntil(horizon Time) (Time, error) {
 			e.now = horizon
 			return e.now, nil
 		}
-		heap.Pop(&e.events)
+		e.pop()
 		e.now = next.at
 		e.eventCount++
-		next.fn()
+		fn := next.fn
+		e.recycle(next)
+		fn()
 		if e.procFailure != nil {
 			return e.now, e.procFailure
 		}
@@ -181,10 +258,12 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	next := heap.Pop(&e.events).(*event)
+	next := e.pop()
 	e.now = next.at
 	e.eventCount++
-	next.fn()
+	fn := next.fn
+	e.recycle(next)
+	fn()
 	return true
 }
 
@@ -196,23 +275,14 @@ func (e *Engine) Shutdown() {
 		return
 	}
 	e.stopped = true
-	// Snapshot the parked processes before waking anything: while the
-	// engine holds control every live process goroutine is quiescent in
-	// park, but as soon as e.killed closes they unwind concurrently and
-	// write their own done flags.
-	var parked []*Proc
+	// Every live process goroutine is quiescent in park while the engine
+	// holds control, so each can be unwound with one kill token; the
+	// handoff channel synchronizes the unwind, one process at a time.
 	for p := range e.procs {
 		if p.parkedNow && !p.done {
-			parked = append(parked, p)
+			p.ch <- sigKill
+			<-p.ch
 		}
-	}
-	close(e.killed)
-	// Give every parked process a chance to unwind. Processes park on
-	// their own resume channel and the shared killed channel; closing the
-	// latter unparks them with errKilled, which the goroutine wrapper
-	// swallows.
-	for _, p := range parked {
-		<-p.yield
 	}
 }
 
@@ -220,7 +290,7 @@ func (e *Engine) blockedProcs() []string {
 	var out []string
 	for p := range e.procs {
 		if !p.done && p.parkedNow {
-			out = append(out, fmt.Sprintf("%s (waiting: %s)", p.name, p.waitingOn))
+			out = append(out, fmt.Sprintf("%s (waiting: %s)", p.name, p.waitReason()))
 		}
 	}
 	sort.Strings(out)

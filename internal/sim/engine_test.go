@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -40,20 +41,22 @@ func TestScheduleSameTimeFIFO(t *testing.T) {
 	}
 }
 
-func TestScheduleNegativeDelayClamped(t *testing.T) {
+// Regression test: scheduling at a negative delay used to be silently
+// clamped to zero, which hid caller bugs (an event meant for the simulated
+// past); it now panics with a clear message.
+func TestScheduleNegativeDelayPanics(t *testing.T) {
 	e := NewEngine()
-	ran := false
-	e.Schedule(-5, func() { ran = true })
-	end, err := e.Run()
-	if err != nil {
-		t.Fatalf("Run: %v", err)
-	}
-	if !ran {
-		t.Fatal("event with negative delay did not run")
-	}
-	if end != 0 {
-		t.Fatalf("end time = %d, want 0", end)
-	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Schedule(-5, ...) did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "negative delay") {
+			t.Fatalf("panic = %v, want message mentioning the negative delay", r)
+		}
+	}()
+	e.Schedule(-5, func() {})
 }
 
 func TestScheduleAtPastClamped(t *testing.T) {

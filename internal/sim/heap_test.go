@@ -1,0 +1,204 @@
+package sim
+
+// Tests pinning the two hot-path mechanisms of the engine: the inlined 4-ary
+// event heap (dequeue order must be indistinguishable from the previous
+// container/heap implementation, including insertion order within a tick)
+// and the event free list (steady-state scheduling must recycle instead of
+// allocating).
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refEvent/refHeap reimplement the engine's original container/heap event
+// queue as the ordering oracle.
+type refEvent struct {
+	at  Time
+	seq uint64
+}
+
+type refHeap []refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)     { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)       { *h = append(*h, x.(refEvent)) }
+func (h *refHeap) Pop() any         { old := *h; n := len(old); ev := old[n-1]; *h = old[:n-1]; return ev }
+func (h *refHeap) push(ev refEvent) { heap.Push(h, ev) }
+func (h *refHeap) pop() refEvent    { return heap.Pop(h).(refEvent) }
+
+// drainOrder schedules the delays on a fresh engine and returns the (time,
+// seq) order in which the events actually ran.
+func drainOrder(t *testing.T, delays []Time) []refEvent {
+	t.Helper()
+	e := NewEngine()
+	var order []refEvent
+	for i, d := range delays {
+		seq := uint64(i)
+		d := d
+		e.Schedule(d, func() { order = append(order, refEvent{at: e.Now(), seq: seq}) })
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return order
+}
+
+// TestFourAryHeapMatchesContainerHeap is the property test required for the
+// heap replacement: under random schedules (with deliberately heavy tick
+// collisions) the engine must dequeue in exactly the order the old
+// container/heap implementation would have.
+func TestFourAryHeapMatchesContainerHeap(t *testing.T) {
+	f := func(raw []uint8) bool {
+		// Map delays into a tiny range so many events share a tick and
+		// the (time, seq) tie-break is exercised hard.
+		delays := make([]Time, len(raw))
+		ref := refHeap{}
+		for i, r := range raw {
+			delays[i] = Time(r % 8)
+			ref.push(refEvent{at: delays[i], seq: uint64(i)})
+		}
+		got := drainOrder(t, delays)
+		if len(got) != len(raw) {
+			return false
+		}
+		for i := range got {
+			want := ref.pop()
+			if got[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFourAryHeapInterleavedPushPop drives the heap through mixed
+// push/pop traffic (events scheduling more events), comparing against the
+// oracle at every dequeue.
+func TestFourAryHeapInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		ref := refHeap{}
+		var seq uint64
+		var got []refEvent
+		var schedule func(d Time)
+		schedule = func(d Time) {
+			// Every Schedule call here is the engine's next sequence
+			// number, so the oracle's seq mirrors the engine's exactly.
+			mySeq := seq
+			seq++
+			ref.push(refEvent{at: e.Now() + d, seq: mySeq})
+			e.Schedule(d, func() {
+				got = append(got, refEvent{at: e.Now(), seq: mySeq})
+				// Events spawn up to two follow-ups while the queue drains.
+				if len(got) < 200 && rng.Intn(3) > 0 {
+					schedule(Time(rng.Intn(5)))
+					if rng.Intn(2) == 0 {
+						schedule(Time(rng.Intn(50)))
+					}
+				}
+			})
+		}
+		for i := 0; i < 10; i++ {
+			schedule(Time(rng.Intn(20)))
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(got) != ref.Len() {
+			t.Fatalf("trial %d: engine ran %d events, oracle holds %d", trial, len(got), ref.Len())
+		}
+		for i := range got {
+			want := ref.pop()
+			if got[i] != want {
+				t.Fatalf("trial %d, event %d: ran (at=%d seq=%d), oracle says (at=%d seq=%d)",
+					trial, i, got[i].at, got[i].seq, want.at, want.seq)
+			}
+		}
+	}
+}
+
+// TestEventPoolRecycles pins the free-list behaviour: once the engine has
+// warmed up, scheduling draws from the pool instead of allocating.
+func TestEventPoolRecycles(t *testing.T) {
+	e := NewEngine()
+	const n = 64
+	for i := 0; i < n; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	if e.poolNew != n || e.poolReused != 0 {
+		t.Fatalf("after cold scheduling: poolNew=%d poolReused=%d, want %d/0", e.poolNew, e.poolReused, n)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.poolResides != n {
+		t.Fatalf("after drain: %d events on free list, want %d", e.poolResides, n)
+	}
+	// A second wave of the same size must be served entirely from the pool.
+	for i := 0; i < n; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	if e.poolNew != n {
+		t.Fatalf("warm scheduling allocated fresh events: poolNew=%d, want still %d", e.poolNew, n)
+	}
+	if e.poolReused != n {
+		t.Fatalf("warm scheduling reused %d events, want %d", e.poolReused, n)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEventPoolDropsClosures ensures recycled events do not pin their
+// callbacks (the free list must not leak closure captures).
+func TestEventPoolDropsClosures(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(0, func() {})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.pool == nil {
+		t.Fatal("no recycled event on the free list")
+	}
+	if e.pool.fn != nil {
+		t.Fatal("recycled event still references its callback")
+	}
+}
+
+// TestPoolSteadyStateDoesNotAllocate measures allocation behaviour of the
+// full process hot path: after warm-up, a Wait cycle performs zero
+// allocations.
+func TestPoolSteadyStateDoesNotAllocate(t *testing.T) {
+	e := NewEngine()
+	stop := false
+	e.Spawn("w", func(p *Proc) {
+		for !stop {
+			p.Wait(1)
+		}
+	})
+	// Warm up: start the process and let the pool fill.
+	for i := 0; i < 10; i++ {
+		e.Step()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		e.Step()
+	})
+	stop = true
+	e.Shutdown()
+	if allocs > 0 {
+		t.Fatalf("steady-state Wait cycle allocates %.1f objects per event", allocs)
+	}
+}

@@ -10,6 +10,22 @@ import (
 // engine shuts down.
 var errKilled = errors.New("sim: process killed by engine shutdown")
 
+// token is the value exchanged on a process's handoff channel. Control
+// strictly alternates between the engine and the process, so one unbuffered
+// channel per process carries the whole protocol; the value distinguishes a
+// normal resume from an engine-shutdown kill.
+type token uint8
+
+const (
+	sigRun  token = iota // resume (proc side) / parked or finished (engine side)
+	sigKill              // engine shutdown: unwind the process goroutine
+)
+
+// waitReasonTimer marks a process blocked in Wait; blockedProcs formats it
+// together with the stored duration. Wait is the hottest park reason, so it
+// must not cost a fmt.Sprintf per call.
+const waitReasonTimer = "\x00timer"
+
 // Proc is a simulation process: ordinary Go code that runs inside the engine
 // and can block on simulated time, signals and resources. At most one process
 // executes at any instant, which makes simulations deterministic.
@@ -17,14 +33,22 @@ type Proc struct {
 	eng  *Engine
 	name string
 
-	// resume carries wake-ups from the engine to the process goroutine;
-	// yield carries park/finish notifications back to the engine.
-	resume chan struct{}
-	yield  chan struct{}
+	// ch is the single handoff channel between the engine and the process
+	// goroutine. Exactly one side is ever blocked on it: the engine sends
+	// to transfer control to the process and then receives to take it
+	// back; the process receives to wake and sends when it parks or
+	// finishes.
+	ch chan token
+
+	// resumeFn is the pre-bound wake-up event, scheduled every time the
+	// process must resume. Binding it once at spawn keeps Wait, Signal and
+	// Resource wake-ups allocation-free.
+	resumeFn func()
 
 	done      bool
 	parkedNow bool
 	waitingOn string
+	waitArg   Time
 }
 
 // Spawn creates a new process named name and schedules it to start at the
@@ -41,15 +65,15 @@ func (e *Engine) SpawnAt(delay Time, name string, fn func(*Proc)) *Proc {
 		panic("sim: Spawn called with nil function")
 	}
 	p := &Proc{
-		eng:    e,
-		name:   name,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
+		eng:  e,
+		name: name,
+		ch:   make(chan token),
 	}
+	p.resumeFn = func() { e.resumeProc(p) }
 	e.procs[p] = struct{}{}
 	e.Schedule(delay, func() {
 		go p.run(fn)
-		<-p.yield
+		<-p.ch
 	})
 	return p
 }
@@ -58,23 +82,15 @@ func (e *Engine) SpawnAt(delay Time, name string, fn func(*Proc)) *Proc {
 // the engine.
 func (p *Proc) run(fn func(*Proc)) {
 	defer func() {
-		r := recover()
-		if r == nil {
-			p.done = true
-			p.yield <- struct{}{}
-			return
+		if r := recover(); r != nil {
+			if err, ok := r.(error); !ok || !errors.Is(err, errKilled) {
+				p.eng.procFailure = fmt.Errorf(
+					"sim: process %q panicked: %v\n%s", p.name, r, debug.Stack())
+			}
+			// Engine-shutdown kills unwind quietly.
 		}
-		if err, ok := r.(error); ok && errors.Is(err, errKilled) {
-			// Engine shutdown: unwind quietly. The engine is
-			// draining yield channels of parked processes.
-			p.done = true
-			p.yield <- struct{}{}
-			return
-		}
-		p.eng.procFailure = fmt.Errorf(
-			"sim: process %q panicked: %v\n%s", p.name, r, debug.Stack())
 		p.done = true
-		p.yield <- struct{}{}
+		p.ch <- sigRun
 	}()
 	fn(p)
 }
@@ -84,14 +100,22 @@ func (p *Proc) run(fn func(*Proc)) {
 func (p *Proc) park(reason string) {
 	p.waitingOn = reason
 	p.parkedNow = true
-	p.yield <- struct{}{}
-	select {
-	case <-p.resume:
-		p.parkedNow = false
-		p.waitingOn = ""
-	case <-p.eng.killed:
+	p.ch <- sigRun
+	if <-p.ch == sigKill {
 		panic(errKilled)
 	}
+	p.parkedNow = false
+	p.waitingOn = ""
+}
+
+// waitReason renders the diagnostic description of what the process is
+// blocked on. The hot park paths store precomputed strings and defer
+// formatting to this (cold) accessor.
+func (p *Proc) waitReason() string {
+	if p.waitingOn == waitReasonTimer {
+		return fmt.Sprintf("wait %d cycles", p.waitArg)
+	}
+	return p.waitingOn
 }
 
 // resumeProc wakes a parked process and blocks until it parks again or
@@ -102,8 +126,8 @@ func (e *Engine) resumeProc(p *Proc) {
 	}
 	prev := e.running
 	e.running = p
-	p.resume <- struct{}{}
-	<-p.yield
+	p.ch <- sigRun
+	<-p.ch
 	e.running = prev
 }
 
@@ -113,8 +137,9 @@ func (p *Proc) Wait(d Time) {
 	if d < 0 {
 		d = 0
 	}
-	p.eng.Schedule(d, func() { p.eng.resumeProc(p) })
-	p.park(fmt.Sprintf("wait %d cycles", d))
+	p.eng.Schedule(d, p.resumeFn)
+	p.waitArg = d
+	p.park(waitReasonTimer)
 }
 
 // WaitUntil blocks the process until absolute simulated time at. If at is in

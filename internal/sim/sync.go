@@ -11,6 +11,10 @@ type Signal struct {
 	name    string
 	waiters []*Proc
 
+	// parkReason is precomputed so blocking on the signal does not format
+	// a string on every park.
+	parkReason string
+
 	// broadcasts and notifies count wake operations, mostly for tests and
 	// diagnostics.
 	broadcasts uint64
@@ -19,7 +23,7 @@ type Signal struct {
 
 // NewSignal creates a named signal bound to the engine.
 func (e *Engine) NewSignal(name string) *Signal {
-	return &Signal{eng: e, name: name}
+	return &Signal{eng: e, name: name, parkReason: fmt.Sprintf("signal %q", name)}
 }
 
 // Name returns the signal's name.
@@ -34,7 +38,7 @@ func (s *Signal) Waiting() int { return len(s.waiters) }
 // predicate.
 func (s *Signal) Wait(p *Proc) {
 	s.waiters = append(s.waiters, p)
-	p.park(fmt.Sprintf("signal %q", s.name))
+	p.park(s.parkReason)
 }
 
 // WaitFor blocks the process until cond() evaluates to true, re-checking the
@@ -55,8 +59,7 @@ func (s *Signal) Broadcast() {
 	ws := s.waiters
 	s.waiters = nil
 	for _, w := range ws {
-		w := w
-		s.eng.Schedule(0, func() { s.eng.resumeProc(w) })
+		s.eng.Schedule(0, w.resumeFn)
 	}
 }
 
@@ -68,7 +71,7 @@ func (s *Signal) Notify() {
 	}
 	w := s.waiters[0]
 	s.waiters = s.waiters[1:]
-	s.eng.Schedule(0, func() { s.eng.resumeProc(w) })
+	s.eng.Schedule(0, w.resumeFn)
 }
 
 // Resource is an exclusive server with FIFO admission. It models hardware or
@@ -80,6 +83,10 @@ type Resource struct {
 	owner *Proc
 	queue []*Proc
 
+	// parkReason is precomputed; contending for a resource is on the hot
+	// path of every DMU instruction.
+	parkReason string
+
 	// contended counts Acquire calls that had to wait.
 	contended uint64
 	acquired  uint64
@@ -87,7 +94,7 @@ type Resource struct {
 
 // NewResource creates a named exclusive resource bound to the engine.
 func (e *Engine) NewResource(name string) *Resource {
-	return &Resource{eng: e, name: name}
+	return &Resource{eng: e, name: name, parkReason: fmt.Sprintf("resource %q", name)}
 }
 
 // Name returns the resource's name.
@@ -103,7 +110,7 @@ func (r *Resource) Acquire(p *Proc) {
 	}
 	r.contended++
 	r.queue = append(r.queue, p)
-	p.park(fmt.Sprintf("resource %q", r.name))
+	p.park(r.parkReason)
 }
 
 // TryAcquire grants ownership only if the resource is currently free and
@@ -130,7 +137,7 @@ func (r *Resource) Release(p *Proc) {
 	next := r.queue[0]
 	r.queue = r.queue[1:]
 	r.owner = next
-	r.eng.Schedule(0, func() { r.eng.resumeProc(next) })
+	r.eng.Schedule(0, next.resumeFn)
 }
 
 // Owner returns the current owner, or nil if the resource is free.
