@@ -19,17 +19,29 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/experiments"
 	"repro/internal/runner"
 )
 
 func main() {
+	// Ctrl-C or SIGTERM cancels the regeneration: in-flight simulations
+	// stop at their next task boundary, and points already persisted to
+	// -store stay warm for the next invocation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Deregister the handler once the first signal has cancelled the
+	// context, so a second Ctrl-C force-kills a run that is slow to reach
+	// its next task boundary.
+	context.AfterFunc(ctx, stop)
 	var (
 		list       = flag.Bool("list", false, "list the available experiments and exit")
 		experiment = flag.String("experiment", "", "run a single experiment by id (fig2, fig6, ..., tab3)")
@@ -92,7 +104,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		if err := experiments.Prewarm(opt, jobs); err != nil {
+		if err := experiments.PrewarmContext(ctx, opt, jobs); err != nil {
 			return err
 		}
 		tables, err := e.Run(opt)
@@ -115,7 +127,7 @@ func main() {
 		// cache hits (no worker barrier at experiment boundaries).
 		jobs, err := experiments.JobsFor(opt, experiments.All()...)
 		if err == nil {
-			err = experiments.Prewarm(opt, jobs)
+			err = experiments.PrewarmContext(ctx, opt, jobs)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)

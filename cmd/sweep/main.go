@@ -28,14 +28,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/runner"
@@ -63,44 +67,70 @@ type point struct {
 }
 
 func main() {
+	// Ctrl-C or SIGTERM cancels the sweep: in-flight simulations stop at
+	// their next task boundary, and points already persisted to -store stay
+	// warm for the next invocation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Deregister the handler once the first signal has cancelled the
+	// context, so a second Ctrl-C force-kills a sweep that is slow to
+	// reach its next task boundary.
+	context.AfterFunc(ctx, stop)
+	err := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return // -h printed usage; that is a successful exit
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole CLI behind a testable seam: parse args, expand the grid,
+// execute, emit. stdout receives results, stderr progress logs.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list          = flag.Bool("list", false, "list workloads, runtimes and schedulers, then exit")
-		benchmarks    = flag.String("benchmarks", "", "comma-separated benchmarks (default: all)")
-		workload      = flag.String("workload", "", "comma-separated extra workload specs, e.g. synth:layered:seed=7 or synth:all")
-		dumpProgram   = flag.String("dump-program", "", "record every workload of the grid as a JSON program file into this directory, then exit")
-		replayProgram = flag.String("replay-program", "", "comma-separated program JSON files to replay across the grid instead of generating workloads")
-		runtimes      = flag.String("runtimes", "", "comma-separated runtimes (default: all)")
-		schedulers    = flag.String("schedulers", "", "comma-separated schedulers (default: fifo)")
-		cores         = flag.String("cores", "", "comma-separated core counts (default: 32)")
-		granularities = flag.String("granularities", "", "comma-separated granularities, 0 = Table II optimal (default: 0)")
-		workers       = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		store         = flag.String("store", "", "directory persisting results as JSON for warm resume")
-		format        = flag.String("format", "table", "output format: table, csv or json")
-		out           = flag.String("o", "", "write results to a file instead of stdout")
-		dryRun        = flag.Bool("dry-run", false, "print the expanded job list without simulating")
-		verbose       = flag.Bool("v", false, "log per-simulation progress to stderr")
+		list          = fs.Bool("list", false, "list workloads, runtimes and schedulers, then exit")
+		benchmarks    = fs.String("benchmarks", "", "comma-separated benchmarks (default: all)")
+		workload      = fs.String("workload", "", "comma-separated extra workload specs, e.g. synth:layered:seed=7 or synth:all")
+		dumpProgram   = fs.String("dump-program", "", "record every workload of the grid as a JSON program file into this directory, then exit")
+		replayProgram = fs.String("replay-program", "", "comma-separated program JSON files to replay across the grid instead of generating workloads")
+		runtimes      = fs.String("runtimes", "", "comma-separated runtimes (default: all)")
+		schedulers    = fs.String("schedulers", "", "comma-separated schedulers (default: fifo)")
+		cores         = fs.String("cores", "", "comma-separated core counts (default: 32)")
+		granularities = fs.String("granularities", "", "comma-separated granularities, 0 = Table II optimal (default: 0)")
+		workers       = fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		store         = fs.String("store", "", "directory persisting results as JSON for warm resume")
+		format        = fs.String("format", "table", "output format: table, csv or json")
+		out           = fs.String("o", "", "write results to a file instead of stdout")
+		dryRun        = fs.Bool("dry-run", false, "print the expanded job list without simulating or touching the filesystem")
+		verbose       = fs.Bool("v", false, "log per-simulation progress to stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
-		fmt.Printf("benchmarks: %s\n", strings.Join(workloads.Names(), ", "))
+		fmt.Fprintf(stdout, "benchmarks: %s\n", strings.Join(workloads.Names(), ", "))
 		var kinds []string
 		for _, k := range taskrt.Kinds() {
 			kinds = append(kinds, string(k))
 		}
-		fmt.Printf("runtimes:   %s\n", strings.Join(kinds, ", "))
-		fmt.Printf("schedulers: %s\n", strings.Join(sched.Names(), ", "))
-		fmt.Println("synthetic families (-workload synth:<family>:key=value,..., or synth:all):")
+		fmt.Fprintf(stdout, "runtimes:   %s\n", strings.Join(kinds, ", "))
+		fmt.Fprintf(stdout, "schedulers: %s\n", strings.Join(sched.Names(), ", "))
+		fmt.Fprintln(stdout, "synthetic families (-workload synth:<family>:key=value,..., or synth:all):")
 		for _, line := range workloads.SyntheticFamilies() {
-			fmt.Printf("  %s\n", line)
+			fmt.Fprintf(stdout, "  %s\n", line)
 		}
-		return
+		return nil
 	}
 
 	switch *format {
 	case "table", "csv", "json":
 	default:
-		fatal(fmt.Errorf("unknown format %q (table, csv, json)", *format))
+		return fmt.Errorf("unknown format %q (table, csv, json)", *format)
 	}
 	benchList := *benchmarks
 	if *workload != "" {
@@ -112,28 +142,28 @@ func main() {
 	replayFiles := splitList(*replayProgram)
 	if len(replayFiles) > 0 {
 		if benchList != "" || *granularities != "" {
-			fatal(fmt.Errorf("-replay-program replaces the workload dimension; drop -benchmarks/-workload/-granularities"))
+			return fmt.Errorf("-replay-program replaces the workload dimension; drop -benchmarks/-workload/-granularities")
 		}
 		if *dumpProgram != "" {
-			fatal(fmt.Errorf("-dump-program and -replay-program are mutually exclusive"))
+			return fmt.Errorf("-dump-program and -replay-program are mutually exclusive")
 		}
 		// Validate only the non-workload dimensions.
 		benchList = ""
 	}
 	grid, err := buildGrid(benchList, *runtimes, *schedulers, *cores, *granularities)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var jobs []runner.Job
 	if len(replayFiles) > 0 {
 		if jobs, err = replayJobs(grid, replayFiles); err != nil {
-			fatal(err)
+			return err
 		}
 	} else {
 		jobs = grid.Jobs()
 	}
 	if len(jobs) == 0 {
-		fatal(fmt.Errorf("empty grid"))
+		return fmt.Errorf("empty grid")
 	}
 
 	engine := &runner.Engine{
@@ -142,34 +172,35 @@ func main() {
 		Workers: *workers,
 	}
 	if *verbose {
-		engine.Log = os.Stderr
+		engine.Log = stderr
 	}
+
+	// Everything above is side-effect free; a dry run (and a grid-expansion
+	// error) must leave the filesystem untouched, so the store directory and
+	// output file are only created past this point.
+	if *dryRun {
+		for _, j := range jobs {
+			fmt.Fprintf(stdout, "%s  %s\n", engine.Key(j)[:12], j.Desc())
+		}
+		fmt.Fprintf(stdout, "%d jobs\n", len(jobs))
+		return nil
+	}
+
+	if *dumpProgram != "" {
+		return dumpPrograms(stdout, *dumpProgram, jobs, engine.Base)
+	}
+
 	if *store != "" {
 		st, err := runner.NewDiskStore(*store)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		engine.Store = st
 	}
 
-	if *dumpProgram != "" {
-		if err := dumpPrograms(*dumpProgram, jobs, engine.Base); err != nil {
-			fatal(err)
-		}
-		return
-	}
-
-	if *dryRun {
-		for _, j := range jobs {
-			fmt.Printf("%s  %s\n", engine.Key(j)[:12], j.Desc())
-		}
-		fmt.Printf("%d jobs\n", len(jobs))
-		return
-	}
-
-	results, err := engine.RunAll(jobs)
+	results, err := engine.RunAllContext(ctx, jobs)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	points := make([]point, len(jobs))
 	for i, j := range jobs {
@@ -197,18 +228,16 @@ func main() {
 		}
 	}
 
-	var w io.Writer = os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
-	if err := emit(w, *format, points); err != nil {
-		fatal(err)
-	}
+	return emit(w, *format, points)
 }
 
 // replayJobs expands the grid's runtime/scheduler/core dimensions over
@@ -239,7 +268,7 @@ func replayJobs(grid runner.Grid, files []string) ([]runner.Job, error) {
 
 // dumpPrograms records every distinct workload of the job list as a JSON
 // program file under dir (the record half of record/replay).
-func dumpPrograms(dir string, jobs []runner.Job, base core.Config) error {
+func dumpPrograms(stdout io.Writer, dir string, jobs []runner.Job, base core.Config) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("create dump directory: %w", err)
 	}
@@ -276,10 +305,10 @@ func dumpPrograms(dir string, jobs []runner.Job, base core.Config) error {
 		if err := task.WriteProgramFile(path, prog); err != nil {
 			return err
 		}
-		fmt.Printf("recorded %-60s %6d tasks -> %s\n", prog.Name, prog.NumTasks(), path)
+		fmt.Fprintf(stdout, "recorded %-60s %6d tasks -> %s\n", prog.Name, prog.NumTasks(), path)
 		count++
 	}
-	fmt.Printf("%d programs recorded\n", count)
+	fmt.Fprintf(stdout, "%d programs recorded\n", count)
 	return nil
 }
 
@@ -385,9 +414,4 @@ func emit(w io.Writer, format string, points []point) error {
 	default:
 		return fmt.Errorf("sweep: unknown format %q (table, csv, json)", format)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sweep:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDryRunHasNoSideEffects pins the -dry-run contract: combined with
+// -store (and -o) it must not create the store directory, the output file, or
+// anything else on the filesystem.
+func TestDryRunHasNoSideEffects(t *testing.T) {
+	parent := t.TempDir()
+	storeDir := filepath.Join(parent, "results")
+	outFile := filepath.Join(parent, "out.json")
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{
+		"-dry-run",
+		"-store", storeDir,
+		"-o", outFile,
+		"-benchmarks", "histogram",
+		"-runtimes", "software,tdm",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(storeDir); !os.IsNotExist(err) {
+		t.Errorf("-dry-run created the store directory: %v", err)
+	}
+	if _, err := os.Stat(outFile); !os.IsNotExist(err) {
+		t.Errorf("-dry-run created the output file: %v", err)
+	}
+	entries, err := os.ReadDir(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("-dry-run left files behind: %v", entries)
+	}
+	if !strings.Contains(stdout.String(), "2 jobs") {
+		t.Errorf("dry run output missing job count:\n%s", stdout.String())
+	}
+	// -dump-program combined with -dry-run must stay side-effect free too.
+	dumpDir := filepath.Join(parent, "programs")
+	if err := run(context.Background(), []string{
+		"-dry-run", "-dump-program", dumpDir, "-benchmarks", "histogram", "-runtimes", "software",
+	}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dumpDir); !os.IsNotExist(err) {
+		t.Errorf("-dry-run -dump-program created the dump directory: %v", err)
+	}
+}
+
+// TestRunCancelledContext: a sweep started under a dead context simulates
+// nothing and reports the cancellation.
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var stdout, stderr bytes.Buffer
+	err := run(ctx, []string{"-benchmarks", "histogram", "-runtimes", "software"}, &stdout, &stderr)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("cancelled sweep emitted results:\n%s", stdout.String())
+	}
+}
+
+// TestHelpIsNotAnError: -h must surface flag.ErrHelp so main can exit 0.
+func TestHelpIsNotAnError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{"-h"}, &stdout, &stderr)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("run(-h) = %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(stderr.String(), "-benchmarks") {
+		t.Errorf("usage output missing flags:\n%s", stderr.String())
+	}
+}
+
+// TestRunRejectsBadSpecs: grid validation errors surface before any
+// simulation or filesystem work.
+func TestRunRejectsBadSpecs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	for _, args := range [][]string{
+		{"-benchmarks", "nope"},
+		{"-workload", "synth:chain:widht=8"},
+		{"-workload", "synth:chain:fanout=2"},
+		{"-format", "xml"},
+		{"-runtimes", "nope"},
+	} {
+		if err := run(context.Background(), args, &stdout, &stderr); err == nil {
+			t.Errorf("run(%v) accepted invalid arguments", args)
+		}
+	}
+}

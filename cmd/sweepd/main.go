@@ -1,0 +1,116 @@
+// Command sweepd is the long-running sweep service: an HTTP daemon that
+// accepts simulation-grid submissions, executes them on the shared parallel
+// sweep engine, and streams per-point results as NDJSON while they complete.
+//
+//	sweepd -addr :8080 -store results/
+//
+// Submit a grid and stream its results on the same connection (aborting the
+// request cancels the sweep's in-flight simulations):
+//
+//	curl -N -X POST 'localhost:8080/sweeps?stream=1' -d '{
+//	  "benchmarks": ["cholesky", "synth:layered:seed=7"],
+//	  "runtimes": ["software", "tdm"],
+//	  "schedulers": ["fifo", "locality"],
+//	  "cores": [16, 32]
+//	}'
+//
+// Or submit asynchronously and follow by ID:
+//
+//	curl -X POST localhost:8080/sweeps -d '{"benchmarks":["histogram"]}'
+//	curl localhost:8080/sweeps/s0001
+//	curl -N localhost:8080/sweeps/s0001/stream
+//	curl -X POST localhost:8080/sweeps/s0001/cancel
+//
+// With -store the service shares one content-addressed disk store across
+// every sweep: identical points are simulated once, and because result files
+// are written atomically (temp file + rename) the store survives crashes — a
+// killed daemon restarts with every completed point warm.
+//
+// SIGTERM (or SIGINT) drains gracefully: new submissions get 503, running
+// sweeps are cancelled — in-flight simulation points stop at task-boundary
+// granularity — their final state is flushed to open streams, and the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/service"
+	"repro/internal/taskrt"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		store    = flag.String("store", "", "directory persisting results as JSON for warm resume across restarts")
+		workers  = flag.Int("workers", 0, "concurrent simulations across all sweeps (0 = GOMAXPROCS)")
+		verbose  = flag.Bool("v", false, "log per-simulation progress")
+		drainFor = flag.Duration("drain-timeout", 30*time.Second, "maximum time to wait for connections to close after drain")
+	)
+	flag.Parse()
+
+	engine := &runner.Engine{
+		Base:    core.DefaultConfig(taskrt.Software),
+		Store:   runner.NewStore(),
+		Workers: *workers,
+	}
+	if *verbose {
+		engine.Log = os.Stderr
+	}
+	if *store != "" {
+		st, err := runner.NewDiskStore(*store)
+		if err != nil {
+			log.Fatalf("sweepd: %v", err)
+		}
+		engine.Store = st
+		log.Printf("sweepd: persisting results to %s", *store)
+	}
+
+	srv := service.New(engine, *workers)
+	hs := &http.Server{Handler: srv.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("sweepd: %v", err)
+	}
+	// The resolved address line doubles as the port-discovery protocol for
+	// scripts that start sweepd with port 0.
+	log.Printf("sweepd: listening on %s", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		log.Printf("sweepd: %s received, draining (in-flight points stop at the next task boundary)", got)
+	case err := <-errc:
+		log.Fatalf("sweepd: serve: %v", err)
+	}
+
+	// Drain: reject new submissions, cancel running sweeps, wait for their
+	// final state to flush, then close the listener and open connections.
+	srv.Drain(fmt.Errorf("sweepd: draining on signal"))
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("sweepd: shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("sweepd: serve: %v", err)
+	}
+	log.Printf("sweepd: drained, exiting")
+}

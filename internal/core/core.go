@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/area"
@@ -88,6 +89,14 @@ type Result struct {
 
 // Run simulates an arbitrary program under the configuration.
 func Run(prog *task.Program, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), prog, cfg)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the simulation
+// stops at the next task boundary (no further task is created or acquired)
+// and the returned error wraps the context's cancellation cause and
+// taskrt.ErrCancelled. A background context adds no overhead.
+func RunContext(ctx context.Context, prog *task.Program, cfg Config) (*Result, error) {
 	rtCfg := taskrt.Config{
 		Machine:        cfg.Machine,
 		Runtime:        cfg.Runtime,
@@ -99,7 +108,7 @@ func Run(prog *task.Program, cfg Config) (*Result, error) {
 	if err := cfg.Power.Validate(); err != nil {
 		return nil, err
 	}
-	res, err := taskrt.Run(prog, rtCfg)
+	res, err := taskrt.RunContext(ctx, prog, rtCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -110,23 +119,33 @@ func Run(prog *task.Program, cfg Config) (*Result, error) {
 // RunBenchmark generates the named benchmark at the optimal granularity for
 // the configured runtime (Table II) and simulates it.
 func RunBenchmark(name string, cfg Config) (*Result, error) {
+	return RunBenchmarkContext(context.Background(), name, cfg)
+}
+
+// RunBenchmarkContext is RunBenchmark with cancellation (see RunContext).
+func RunBenchmarkContext(ctx context.Context, name string, cfg Config) (*Result, error) {
 	bench, err := workloads.ByName(name)
 	if err != nil {
 		return nil, err
 	}
 	prog := bench.GenerateOptimal(cfg.Runtime.UsesDMU(), cfg.Machine)
-	return Run(prog, cfg)
+	return RunContext(ctx, prog, cfg)
 }
 
 // RunBenchmarkAt generates the named benchmark at an explicit granularity and
 // simulates it (used by the Figure 6 sweep).
 func RunBenchmarkAt(name string, granularity int64, cfg Config) (*Result, error) {
+	return RunBenchmarkAtContext(context.Background(), name, granularity, cfg)
+}
+
+// RunBenchmarkAtContext is RunBenchmarkAt with cancellation (see RunContext).
+func RunBenchmarkAtContext(ctx context.Context, name string, granularity int64, cfg Config) (*Result, error) {
 	bench, err := workloads.ByName(name)
 	if err != nil {
 		return nil, err
 	}
 	prog := bench.Generate(granularity, cfg.Machine)
-	return Run(prog, cfg)
+	return RunContext(ctx, prog, cfg)
 }
 
 // ActivityOf converts a runtime result into the power model's activity

@@ -18,6 +18,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -104,10 +105,18 @@ func (o Options) run(j runner.Job) (*core.Result, error) {
 // cache, so that subsequent driver runs assemble their tables from warm
 // results. It is a no-op without a cache (the results could not be shared).
 func Prewarm(opt Options, jobs []runner.Job) error {
+	return PrewarmContext(context.Background(), opt, jobs)
+}
+
+// PrewarmContext is Prewarm with cancellation: a cancelled context stops
+// in-flight simulations at their next task boundary and skips the rest.
+// Points that completed before the cancellation stay cached (and persisted,
+// with a disk-backed cache), so a rerun resumes warm.
+func PrewarmContext(ctx context.Context, opt Options, jobs []runner.Job) error {
 	if opt.Cache == nil || len(jobs) == 0 {
 		return nil
 	}
-	_, err := opt.engine().RunAll(jobs)
+	_, err := opt.engine().RunAllContext(ctx, jobs)
 	return err
 }
 

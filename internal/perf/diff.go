@@ -20,6 +20,10 @@ const (
 	OnlyOld DiffStatus = "only-old"
 	// OnlyNew: the probe exists only in the new report.
 	OnlyNew DiffStatus = "only-new"
+	// NoBaseline: the probe exists on both sides but the baseline reported
+	// zero (or negative) ns/op, so no ratio can be formed. Treated like a
+	// new probe: reported, never a regression, never an Inf/NaN percentage.
+	NoBaseline DiffStatus = "no-baseline"
 )
 
 // DiffEntry compares one probe across two reports.
@@ -53,6 +57,10 @@ func Diff(old, newer *Report, threshold float64) []DiffEntry {
 			} else if e.Ratio < 1-threshold {
 				e.Status = Improvement
 			}
+		} else {
+			// A zero baseline admits no ratio: dividing would make every
+			// successor an Inf/NaN "regression". Report the probe as new.
+			e.Status = NoBaseline
 		}
 		out = append(out, e)
 	}
@@ -84,6 +92,8 @@ func WriteDiff(w io.Writer, entries []DiffEntry) {
 			fmt.Fprintf(w, "%-32s %12.0f ns/op -> (removed)\n", e.Name, e.OldNs)
 		case OnlyNew:
 			fmt.Fprintf(w, "%-32s (new) -> %12.0f ns/op\n", e.Name, e.NewNs)
+		case NoBaseline:
+			fmt.Fprintf(w, "%-32s (no baseline) -> %12.0f ns/op  new probe\n", e.Name, e.NewNs)
 		default:
 			fmt.Fprintf(w, "%-32s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
 				e.Name, e.OldNs, e.NewNs, (e.Ratio-1)*100, e.Status)

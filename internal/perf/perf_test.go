@@ -89,10 +89,36 @@ func TestDiffThresholds(t *testing.T) {
 	}
 }
 
+// TestDiffZeroOldNs pins the zero/absent-baseline handling: a probe whose
+// baseline reported 0 ns/op must surface as a new probe, never as an Inf/NaN
+// percentage and never as a regression that fails the CI gate.
 func TestDiffZeroOldNs(t *testing.T) {
 	entries := Diff(report(Result{Name: "x"}), report(Result{Name: "x", NsPerOp: 5}), 0.15)
-	if len(entries) != 1 || entries[0].Status != Unchanged || entries[0].Ratio != 0 {
+	if len(entries) != 1 || entries[0].Status != NoBaseline || entries[0].Ratio != 0 {
 		t.Fatalf("zero-baseline entry = %+v", entries)
+	}
+	if regs := Regressions(entries); len(regs) != 0 {
+		t.Fatalf("zero baseline counted as regression: %+v", regs)
+	}
+	var buf bytes.Buffer
+	WriteDiff(&buf, entries)
+	out := buf.String()
+	if !strings.Contains(out, "new probe") {
+		t.Errorf("WriteDiff output %q does not flag the new probe", out)
+	}
+	for _, bad := range []string{"Inf", "NaN", "-100"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("WriteDiff output %q contains a bogus %s percentage", out, bad)
+		}
+	}
+}
+
+// TestDiffZeroBothSides: zero on both sides is still no-baseline, not a
+// division by zero.
+func TestDiffZeroBothSides(t *testing.T) {
+	entries := Diff(report(Result{Name: "x"}), report(Result{Name: "x"}), 0.15)
+	if len(entries) != 1 || entries[0].Status != NoBaseline {
+		t.Fatalf("zero-on-both-sides entry = %+v", entries)
 	}
 }
 

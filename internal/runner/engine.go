@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -41,6 +42,10 @@ func (e *Engine) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// WorkerCount returns the resolved worker-pool size (Workers, or GOMAXPROCS
+// when unset), for callers that schedule work onto the engine themselves.
+func (e *Engine) WorkerCount() int { return e.workers() }
+
 func (e *Engine) logf(format string, args ...any) {
 	if e.Log == nil {
 		return
@@ -53,21 +58,30 @@ func (e *Engine) logf(format string, args ...any) {
 // Run executes one job through the store (when present), sharing both
 // completed and in-flight computations of the same point.
 func (e *Engine) Run(j Job) (*core.Result, error) {
+	return e.RunContext(context.Background(), j)
+}
+
+// RunContext is Run with cancellation: a cancelled context stops the
+// in-flight simulation at its next task boundary, and a request waiting on
+// another request's in-flight computation of the same point stops waiting.
+func (e *Engine) RunContext(ctx context.Context, j Job) (*core.Result, error) {
 	if e.Store == nil {
-		return e.exec(j)
+		return e.exec(ctx, j)
 	}
-	return e.runKeyed(j, e.Key(j))
+	return e.runKeyed(ctx, j, e.Key(j))
 }
 
 // exec simulates a job unconditionally, logging one progress line.
-func (e *Engine) exec(j Job) (*core.Result, error) {
+func (e *Engine) exec(ctx context.Context, j Job) (*core.Result, error) {
 	e.logf("running %-14s %-16s sched=%-9s %s", j.Benchmark, j.Runtime, j.Scheduler, j.Label)
-	return j.Run(e.Base)
+	return j.RunContext(ctx, e.Base)
 }
 
 // runKeyed executes a job through the store under an already-derived key.
-func (e *Engine) runKeyed(j Job, key string) (*core.Result, error) {
-	res, _, err := e.Store.Do(key, func() (*core.Result, error) { return e.exec(j) })
+func (e *Engine) runKeyed(ctx context.Context, j Job, key string) (*core.Result, error) {
+	res, _, err := e.Store.Do(ctx, key, func(ctx context.Context) (*core.Result, error) {
+		return e.exec(ctx, j)
+	})
 	return res, err
 }
 
@@ -77,6 +91,14 @@ func (e *Engine) runKeyed(j Job, key string) (*core.Result, error) {
 // simulated once and its result shared across all aliases. Errors from
 // distinct points are joined in job order.
 func (e *Engine) RunAll(jobs []Job) ([]*core.Result, error) {
+	return e.RunAllContext(context.Background(), jobs)
+}
+
+// RunAllContext is RunAll with cancellation: when ctx is cancelled, in-flight
+// simulations stop at their next task boundary, not-yet-started points are
+// skipped (their result slot stays nil), and the cancellation cause is
+// returned instead of the per-point error join.
+func (e *Engine) RunAllContext(ctx context.Context, jobs []Job) ([]*core.Result, error) {
 	// Deduplicate while preserving first-occurrence order.
 	type slot struct {
 		res *core.Result
@@ -110,12 +132,16 @@ func (e *Engine) RunAll(jobs []Job) ([]*core.Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
+				if err := context.Cause(ctx); err != nil {
+					slots[i] = slot{nil, err}
+					continue
+				}
 				var res *core.Result
 				var err error
 				if e.Store == nil {
-					res, err = e.exec(unique[i])
+					res, err = e.exec(ctx, unique[i])
 				} else {
-					res, err = e.runKeyed(unique[i], keys[i])
+					res, err = e.runKeyed(ctx, unique[i], keys[i])
 				}
 				slots[i] = slot{res, err}
 			}
@@ -131,6 +157,11 @@ func (e *Engine) RunAll(jobs []Job) ([]*core.Result, error) {
 	var errs []error
 	for i := range jobs {
 		out[i] = slots[slotOf[i]].res
+	}
+	// A cancelled sweep reports the cancellation itself: the per-point
+	// errors would all restate it once per in-flight or skipped point.
+	if err := context.Cause(ctx); err != nil {
+		return out, err
 	}
 	for i := range unique {
 		if slots[i].err != nil {

@@ -69,6 +69,16 @@ func (g Grid) Validate() error {
 			return err
 		}
 	}
+	for _, c := range g.Cores {
+		if c <= 0 {
+			return fmt.Errorf("runner: invalid core count %d", c)
+		}
+	}
+	for _, gr := range g.Granularities {
+		if gr < 0 {
+			return fmt.Errorf("runner: invalid granularity %d", gr)
+		}
+	}
 	return nil
 }
 

@@ -17,6 +17,7 @@
 package runner
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -125,16 +126,22 @@ func (j Job) Desc() string {
 
 // Run simulates the job's point under the base configuration.
 func (j Job) Run(base core.Config) (*core.Result, error) {
+	return j.RunContext(context.Background(), base)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the simulation
+// stops at the next task boundary and the error wraps the cancellation cause.
+func (j Job) RunContext(ctx context.Context, base core.Config) (*core.Result, error) {
 	cfg := j.Config(base)
 	var res *core.Result
 	var err error
 	switch {
 	case j.Program != nil:
-		res, err = core.Run(j.Program, cfg)
+		res, err = core.RunContext(ctx, j.Program, cfg)
 	case j.Granularity == 0:
-		res, err = core.RunBenchmark(j.Benchmark, cfg)
+		res, err = core.RunBenchmarkContext(ctx, j.Benchmark, cfg)
 	default:
-		res, err = core.RunBenchmarkAt(j.Benchmark, j.Granularity, cfg)
+		res, err = core.RunBenchmarkAtContext(ctx, j.Benchmark, j.Granularity, cfg)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s/%s: %w", j.Benchmark, j.Runtime, cfg.Scheduler, err)

@@ -2,10 +2,15 @@ package runner
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -162,15 +167,27 @@ func TestStoreIgnoresCorruptFiles(t *testing.T) {
 	e := &Engine{Base: testBase(), Store: store}
 	job := Job{Benchmark: "histogram", Runtime: taskrt.Software, Scheduler: sched.FIFO}
 	key := e.Key(job)
-	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte("{truncated"), 0o644); err != nil {
+	path := filepath.Join(dir, key+".json")
+	// A file truncated mid-write by a crash.
+	if err := os.WriteFile(path, []byte(`{"Cycles": 42, "Seconds": 0.0`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := store.Get(key); ok {
 		t.Fatal("corrupt file served as a cache hit")
 	}
+	// The corrupt file is quarantined, not deleted and not left in place: a
+	// resume never re-parses known garbage, and the operator can inspect it.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("corrupt file still in place after load: %v", err)
+	}
+	if data, err := os.ReadFile(path + CorruptSuffix); err != nil {
+		t.Errorf("corrupt file not quarantined: %v", err)
+	} else if !strings.HasPrefix(string(data), `{"Cycles"`) {
+		t.Errorf("quarantined file lost its content: %q", data)
+	}
 	// Valid JSON missing whole sections (a foreign or trimmed schema) must
 	// also be a miss, never a partially populated result.
-	if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte(`{"Cycles": 42}`), 0o644); err != nil {
+	if err := os.WriteFile(path, []byte(`{"Cycles": 42}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := store.Get(key); ok {
@@ -182,13 +199,22 @@ func TestStoreIgnoresCorruptFiles(t *testing.T) {
 	if _, ok := store.Get(key); !ok {
 		t.Error("re-simulated point not cached")
 	}
+	// The re-simulated result replaced the original file; a fresh store
+	// over the same directory serves it warm again.
+	fresh, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fresh.Get(key); !ok {
+		t.Error("re-simulated point not persisted under the original name")
+	}
 }
 
 func TestStoreSingleflight(t *testing.T) {
 	store := NewStore()
 	var calls int32
 	var mu sync.Mutex
-	fn := func() (*core.Result, error) {
+	fn := func(context.Context) (*core.Result, error) {
 		mu.Lock()
 		calls++
 		mu.Unlock()
@@ -200,7 +226,7 @@ func TestStoreSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, _, err := store.Do("k", fn); err != nil {
+			if _, _, err := store.Do(context.Background(), "k", fn); err != nil {
 				t.Error(err)
 			}
 		}()
@@ -208,6 +234,83 @@ func TestStoreSingleflight(t *testing.T) {
 	wg.Wait()
 	if calls != 1 {
 		t.Errorf("singleflight ran the computation %d times", calls)
+	}
+}
+
+// TestStoreDoWaiterCancellation: a waiter whose context dies stops blocking
+// on the in-flight owner and returns its own cancellation cause; the owner's
+// computation is unaffected.
+func TestStoreDoWaiterCancellation(t *testing.T) {
+	store := NewStore()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	ownerDone := make(chan struct{})
+	go func() {
+		defer close(ownerDone)
+		_, _, err := store.Do(context.Background(), "k", func(context.Context) (*core.Result, error) {
+			close(started)
+			<-release
+			return &core.Result{}, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	<-started
+
+	cause := errors.New("request dropped")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	if _, _, err := store.Do(ctx, "k", nil); !errors.Is(err, cause) {
+		t.Errorf("cancelled waiter returned %v, want its cancellation cause", err)
+	}
+	close(release)
+	<-ownerDone
+	if _, ok := store.Get("k"); !ok {
+		t.Error("owner's computation was lost after a waiter cancelled")
+	}
+}
+
+// TestStoreDoOwnerCancelRetry: when the owner's computation dies of the
+// owner's own cancellation, a waiter with a live context takes the key over
+// instead of inheriting the foreign cancellation error.
+func TestStoreDoOwnerCancelRetry(t *testing.T) {
+	store := NewStore()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_, _, err := store.Do(context.Background(), "k", func(context.Context) (*core.Result, error) {
+			close(started)
+			<-release
+			return nil, fmt.Errorf("point: %w", context.Canceled)
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("owner returned %v, want its own cancellation", err)
+		}
+	}()
+	<-started
+
+	waiterErr := make(chan error, 1)
+	var retried int32
+	go func() {
+		_, _, err := store.Do(context.Background(), "k", func(context.Context) (*core.Result, error) {
+			atomic.AddInt32(&retried, 1)
+			return &core.Result{}, nil
+		})
+		waiterErr <- err
+	}()
+	// Give the waiter time to park on the in-flight call, then fail the
+	// owner with its cancellation.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	if err := <-waiterErr; err != nil {
+		t.Fatalf("waiter did not take over after owner cancellation: %v", err)
+	}
+	if atomic.LoadInt32(&retried) != 1 {
+		t.Errorf("waiter ran the computation %d times, want 1", retried)
+	}
+	if _, ok := store.Get("k"); !ok {
+		t.Error("retried result not cached")
 	}
 }
 
@@ -295,6 +398,149 @@ func TestGridSyntheticWorkloads(t *testing.T) {
 	}
 	if res.TasksExecuted != res.Program.NumTasks() || res.Program.NumTasks() != 36 {
 		t.Fatalf("synthetic run executed %d of %d tasks", res.TasksExecuted, res.Program.NumTasks())
+	}
+}
+
+// renderResults serializes the fields a sweep report is assembled from, so
+// two runs can be compared byte-for-byte.
+func renderResults(t *testing.T, results []*core.Result) []byte {
+	t.Helper()
+	type row struct {
+		Tasks   int
+		Cycles  int64
+		Seconds float64
+		EnergyJ float64
+		EDP     float64
+	}
+	rows := make([]row, len(results))
+	for i, r := range results {
+		rows[i] = row{r.Program.NumTasks(), r.Cycles, r.Seconds, r.Energy.EnergyJoules, r.Energy.EDP}
+	}
+	data, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// cancelAfterLines is an Engine.Log sink that cancels a context when the n-th
+// progress line is written — i.e. while that simulation point is in flight.
+type cancelAfterLines struct {
+	mu     sync.Mutex
+	lines  int
+	at     int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfterLines) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lines++
+	if c.lines == c.at {
+		c.cancel()
+	}
+	return len(p), nil
+}
+
+// TestCrashResume is the crash-recovery integration test: a disk-backed sweep
+// is cancelled while its second point is in flight, then restarted against
+// the same store. Completed points must load warm (no re-simulation) and the
+// final results must be byte-identical to an uninterrupted run, with no
+// corrupt store entries surviving.
+func TestCrashResume(t *testing.T) {
+	jobs := []Job{
+		{Benchmark: "histogram", Runtime: taskrt.Software, Scheduler: sched.FIFO},
+		{Benchmark: "histogram", Runtime: taskrt.TDM, Scheduler: sched.FIFO},
+		{Benchmark: "fluidanimate", Runtime: taskrt.Software, Scheduler: sched.FIFO},
+		{Benchmark: "dedup", Runtime: taskrt.Software, Scheduler: sched.FIFO},
+	}
+
+	// Reference: an uninterrupted run of the same grid.
+	refStore, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refResults, err := (&Engine{Base: testBase(), Store: refStore, Workers: 1}).RunAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderResults(t, refResults)
+
+	// Interrupted run: cancel while point 2 is in flight (Workers: 1 makes
+	// the schedule deterministic: point 1 completes and persists first).
+	dir := t.TempDir()
+	store, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	log := &cancelAfterLines{at: 2, cancel: cancel}
+	e := &Engine{Base: testBase(), Store: store, Workers: 1, Log: log}
+	out, err := e.RunAllContext(ctx, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted sweep returned %v, want context.Canceled", err)
+	}
+	if out[0] == nil {
+		t.Fatal("point completed before the cancellation lost its result")
+	}
+	if out[1] != nil || out[3] != nil {
+		t.Fatal("cancelled sweep produced results for in-flight/skipped points")
+	}
+
+	// The store directory holds only complete, parsable results: exactly
+	// the points that finished, no temp files, no corrupt entries.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if !strings.HasSuffix(ent.Name(), ".json") {
+			t.Errorf("interrupted store left a non-result file behind: %s", ent.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("interrupted store holds %d results, want 1 (the completed point)", len(entries))
+	}
+
+	// Resume against the same directory with a fresh store (a new process).
+	resumed, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resumeLog bytes.Buffer
+	e2 := &Engine{Base: testBase(), Store: resumed, Workers: 1, Log: &resumeLog}
+	results, err := e2.RunAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(resumeLog.String(), "running"); got != len(jobs)-1 {
+		t.Errorf("resume re-simulated %d points, want %d (completed point must load warm)", got, len(jobs)-1)
+	}
+	if got := renderResults(t, results); !bytes.Equal(got, want) {
+		t.Errorf("resumed sweep differs from uninterrupted run:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestRunAllContextPreCancelled: a sweep submitted with a dead context does
+// not simulate anything and reports the cancellation cause.
+func TestRunAllContextPreCancelled(t *testing.T) {
+	cause := errors.New("drain")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	var log bytes.Buffer
+	e := &Engine{Base: testBase(), Store: NewStore(), Log: &log}
+	out, err := e.RunAllContext(ctx, testJobs())
+	if !errors.Is(err, cause) {
+		t.Fatalf("got %v, want the cancellation cause", err)
+	}
+	for i, r := range out {
+		if r != nil {
+			t.Errorf("point %d simulated under a dead context", i)
+		}
+	}
+	if log.Len() != 0 {
+		t.Errorf("dead-context sweep logged progress: %q", log.String())
 	}
 }
 

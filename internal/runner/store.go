@@ -1,7 +1,9 @@
 package runner
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,6 +12,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/taskrt"
 )
 
 // Store is a concurrency-safe result cache keyed by content-addressed job
@@ -102,20 +105,39 @@ func (s *Store) Put(key string, res *core.Result) error {
 	return s.save(key, res)
 }
 
-// Do returns the cached result for key, or computes it with fn. Concurrent
-// calls for the same key share a single computation. The second return value
-// reports whether the result came from the cache (memory, disk, or a
-// computation another goroutine had already started).
-func (s *Store) Do(key string, fn func() (*core.Result, error)) (*core.Result, bool, error) {
-	s.mu.Lock()
-	if res, ok := s.mem[key]; ok {
+// Do returns the cached result for key, or computes it with fn(ctx).
+// Concurrent calls for the same key share a single computation. The second
+// return value reports whether the result came from the cache (memory, disk,
+// or a computation another goroutine had already started).
+//
+// Cancellation is per caller: a waiter whose ctx dies stops waiting and
+// returns the cancellation cause without affecting the in-flight computation,
+// and a waiter whose owner dies of the *owner's* cancellation takes over the
+// key and computes it under its own (still live) context instead of
+// inheriting the foreign cancellation error.
+func (s *Store) Do(ctx context.Context, key string, fn func(context.Context) (*core.Result, error)) (*core.Result, bool, error) {
+	for {
+		s.mu.Lock()
+		if res, ok := s.mem[key]; ok {
+			s.mu.Unlock()
+			return res, true, nil
+		}
+		c, ok := s.inflight[key]
+		if !ok {
+			break // this caller becomes the owner; the lock is still held
+		}
 		s.mu.Unlock()
-		return res, true, nil
-	}
-	if c, ok := s.inflight[key]; ok {
-		s.mu.Unlock()
-		<-c.done
-		return c.res, true, c.err
+		select {
+		case <-ctx.Done():
+			return nil, false, context.Cause(ctx)
+		case <-c.done:
+			if c.err != nil && isCancellation(c.err) && ctx.Err() == nil {
+				// The owner's request died, ours is alive: retry, most
+				// likely becoming the new owner of the key.
+				continue
+			}
+			return c.res, true, c.err
+		}
 	}
 	c := &call{done: make(chan struct{})}
 	s.inflight[key] = c
@@ -127,7 +149,7 @@ func (s *Store) Do(key string, fn func() (*core.Result, error)) (*core.Result, b
 	if res, ok := s.load(key); ok {
 		c.res, cached = res, true
 	} else {
-		c.res, c.err = fn()
+		c.res, c.err = fn(ctx)
 		if c.err == nil {
 			// A failed persist leaves the key uncached everywhere, so
 			// the error and the cache state agree (a retry re-simulates).
@@ -144,6 +166,16 @@ func (s *Store) Do(key string, fn func() (*core.Result, error)) (*core.Result, b
 	return c.res, cached, c.err
 }
 
+// isCancellation reports whether an in-flight computation failed because its
+// owner's request was cancelled (rather than because the point itself is
+// broken, which every waiter should see). Contexts cancelled with a custom
+// cause surface through taskrt.ErrCancelled rather than context.Canceled.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, taskrt.ErrCancelled)
+}
+
 // path maps a key to its file. Keys are hex digests, but defend against
 // anything path-like all the same.
 func (s *Store) path(key string) string {
@@ -152,7 +184,9 @@ func (s *Store) path(key string) string {
 
 // load reads a persisted result. Unreadable or corrupt files (for example a
 // file truncated by a crash) are treated as cache misses so the point is
-// simply re-simulated.
+// simply re-simulated; corrupt files are additionally quarantined (renamed to
+// CorruptSuffix) so a resume never re-parses known garbage and the operator
+// can inspect what the crash left behind.
 func (s *Store) load(key string) (*core.Result, bool) {
 	if s.dir == "" {
 		return nil, false
@@ -166,9 +200,25 @@ func (s *Store) load(key string) (*core.Result, bool) {
 	// a foreign schema sharing the key space) is a cache miss, never a
 	// partially populated result.
 	if err := json.Unmarshal(data, &res); err != nil || res.Result == nil || res.Program == nil {
+		s.quarantine(key)
 		return nil, false
 	}
 	return &res, true
+}
+
+// CorruptSuffix is appended to the file name of a result file the store could
+// not parse (a write truncated by a crash, or a foreign file sharing the key
+// space). Quarantined files never serve cache hits and are preserved for
+// inspection; re-simulating the point writes a fresh file under the original
+// name.
+const CorruptSuffix = ".corrupt"
+
+// quarantine moves an unparsable result file aside, best-effort: a failed
+// rename (for example a concurrent re-simulation already replaced the file)
+// just leaves the file to be overwritten by the next save.
+func (s *Store) quarantine(key string) {
+	p := s.path(key)
+	_ = os.Rename(p, p+CorruptSuffix)
 }
 
 // save persists a result when the store is disk-backed, writing to a

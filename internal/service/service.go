@@ -1,0 +1,398 @@
+// Package service turns the sweep engine into a long-running HTTP service:
+// clients submit simulation grids (the same benchmarks x runtimes x
+// schedulers x cores x granularities grammar as cmd/sweep, including
+// synth:<family> specs), the service executes them on the shared
+// internal/runner engine — deduplicating points against every other sweep
+// through the content-addressed store — and streams per-point results back as
+// NDJSON while the sweep runs.
+//
+// Endpoints (see cmd/sweepd for the daemon wrapping this package):
+//
+//	POST /sweeps            submit a grid; ?stream=1 streams results on the
+//	                        same connection and cancels the sweep when the
+//	                        client disconnects
+//	GET  /sweeps            list sweep statuses
+//	GET  /sweeps/{id}        status and progress counters
+//	GET  /sweeps/{id}/stream replay + follow the sweep's results as NDJSON
+//	POST /sweeps/{id}/cancel stop the sweep's in-flight points
+//	GET  /healthz           liveness and drain state
+//
+// Cancellation is plumbed through the whole execution path: cancelling a
+// sweep (explicitly, by disconnecting a ?stream=1 submission, or by draining
+// the daemon) cancels the per-sweep context, which stops in-flight simulation
+// points at task-boundary granularity (taskrt checks the context before every
+// task creation and acquisition). Completed points are already persisted by
+// the disk-backed store, so a cancelled or crashed sweep resumes warm when
+// resubmitted.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/taskrt"
+)
+
+// Server executes submitted sweeps on a shared engine. Create with New.
+type Server struct {
+	engine *runner.Engine
+	mux    *http.ServeMux
+
+	// sem bounds concurrently executing simulation points across all
+	// sweeps (the engine's worker-pool equivalent for the service).
+	sem chan struct{}
+
+	// baseCtx parents every sweep's context; cancelBase is the drain
+	// switch that stops them all.
+	baseCtx    context.Context
+	cancelBase context.CancelCauseFunc
+
+	mu       sync.Mutex
+	sweeps   map[string]*sweep
+	order    []string // submission order for listings
+	nextID   int
+	draining bool
+
+	// maxRetained caps how many finished sweeps (and their per-point logs)
+	// stay queryable; beyond it the oldest terminal sweeps are evicted so a
+	// long-running daemon's memory stays bounded. Running sweeps are never
+	// evicted.
+	maxRetained int
+
+	// wg tracks running sweep executors so Drain can wait for them.
+	wg sync.WaitGroup
+
+	// now is the clock, swappable in tests.
+	now func() time.Time
+}
+
+// New creates a service executing sweeps on the engine. workers bounds the
+// number of concurrently executing simulation points across all sweeps; zero
+// or negative falls back to the engine's own worker-pool sizing.
+func New(engine *runner.Engine, workers int) *Server {
+	if workers <= 0 {
+		workers = engine.WorkerCount()
+	}
+	s := &Server{
+		engine:      engine,
+		sem:         make(chan struct{}, workers),
+		sweeps:      make(map[string]*sweep),
+		maxRetained: 256,
+		now:         time.Now,
+	}
+	s.baseCtx, s.cancelBase = context.WithCancelCause(context.Background())
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /sweeps", s.handleList)
+	mux.HandleFunc("GET /sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /sweeps/{id}/stream", s.handleStream)
+	mux.HandleFunc("POST /sweeps/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP handler serving the endpoints above.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ErrDraining is the cancellation cause installed by Drain.
+var ErrDraining = errors.New("service: draining")
+
+// Drain stops the service for shutdown: new submissions are rejected with
+// 503, every running sweep is cancelled with cause (in-flight simulation
+// points stop at their next task boundary), and Drain blocks until every
+// sweep executor has finished flushing its final state. Results persisted by
+// a disk-backed store survive, so resubmitted sweeps resume warm after a
+// restart. nil cause defaults to ErrDraining.
+func (s *Server) Drain(cause error) {
+	if cause == nil {
+		cause = ErrDraining
+	}
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.cancelBase(cause)
+	s.wg.Wait()
+}
+
+// SubmitRequest is the grid submission body of POST /sweeps. Empty
+// dimensions fall back to the grid defaults (all benchmarks, all runtimes,
+// FIFO, base core count, Table II optimal granularity).
+type SubmitRequest struct {
+	Benchmarks    []string `json:"benchmarks"`
+	Runtimes      []string `json:"runtimes"`
+	Schedulers    []string `json:"schedulers"`
+	Cores         []int    `json:"cores"`
+	Granularities []int64  `json:"granularities"`
+}
+
+// grid converts the request into a validated job grid.
+func (r SubmitRequest) grid() (runner.Grid, error) {
+	g := runner.Grid{
+		Benchmarks:    r.Benchmarks,
+		Schedulers:    r.Schedulers,
+		Cores:         r.Cores,
+		Granularities: r.Granularities,
+	}
+	for _, k := range r.Runtimes {
+		g.Runtimes = append(g.Runtimes, taskrt.Kind(k))
+	}
+	return g, g.Validate()
+}
+
+// SubmitResponse acknowledges an asynchronous submission.
+type SubmitResponse struct {
+	ID string `json:"id"`
+	// Jobs is the size of the grid expansion.
+	Jobs int `json:"jobs"`
+}
+
+// submit registers a sweep for the job list and starts executing it (the
+// core of POST /sweeps).
+func (s *Server) submit(jobs []runner.Job) (*sweep, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	s.nextID++
+	id := fmt.Sprintf("s%04d", s.nextID)
+	ctx, cancel := context.WithCancelCause(s.baseCtx)
+	sw := newSweep(id, jobs, cancel, s.now())
+	s.sweeps[id] = sw
+	s.order = append(s.order, id)
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go s.runSweep(ctx, sw)
+	return sw, nil
+}
+
+// runSweep executes a sweep's jobs over the shared point semaphore, appending
+// each finished point to the sweep log and settling the terminal state.
+func (s *Server) runSweep(ctx context.Context, sw *sweep) {
+	defer s.wg.Done()
+	var wg sync.WaitGroup
+launch:
+	for i, j := range sw.jobs {
+		// Acquire a point slot, abandoning the launch loop on cancellation
+		// so a cancelled sweep stops submitting new points immediately.
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			break launch
+		}
+		wg.Add(1)
+		go func(i int, j runner.Job) {
+			defer wg.Done()
+			defer func() { <-s.sem }()
+			key := s.engine.Key(j)
+			res, err := s.engine.RunContext(ctx, j)
+			cancelled := false
+			if err != nil {
+				cancelled = errors.Is(err, taskrt.ErrCancelled) || errors.Is(err, context.Canceled)
+				if cause := context.Cause(ctx); !cancelled && cause != nil {
+					// Custom cancellation causes (drain, client abort)
+					// surface bare from store waiters.
+					cancelled = errors.Is(err, cause)
+				}
+			}
+			sw.append(pointOf(i, j, key, s.engine.Base, res, err, cancelled))
+		}(i, j)
+	}
+	wg.Wait()
+	state := StateDone
+	if ctx.Err() != nil {
+		state = StateCancelled
+	}
+	sw.finish(state, s.now())
+	// Release the sweep's context resources once the last point settled.
+	sw.cancel(nil)
+	s.evict()
+}
+
+// evict drops the oldest finished sweeps beyond the retention cap. Results
+// themselves live in the engine's store; only the per-sweep progress logs
+// are released.
+func (s *Server) evict() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	finished := 0
+	for _, id := range s.order {
+		if s.sweeps[id].status().State != StateRunning {
+			finished++
+		}
+	}
+	if finished <= s.maxRetained {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if finished > s.maxRetained && s.sweeps[id].status().State != StateRunning {
+			delete(s.sweeps, id)
+			finished--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// get looks a sweep up by path ID.
+func (s *Server) get(id string) (*sweep, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	return sw, ok
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode submission: %w", err))
+		return
+	}
+	grid, err := req.grid()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	jobs := grid.Jobs()
+	if len(jobs) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("empty grid"))
+		return
+	}
+	sw, err := s.submit(jobs)
+	if errors.Is(err, ErrDraining) {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if stream, _ := strconv.ParseBool(r.URL.Query().Get("stream")); stream {
+		// Synchronous mode: stream results on this connection and cancel
+		// the sweep when the client goes away — an aborted curl stops the
+		// in-flight simulation points. ("" , "0" and "false" submit
+		// asynchronously.)
+		s.streamSweep(w, r, sw, true)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, SubmitResponse{ID: sw.id, Jobs: len(jobs)})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	statuses := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		statuses = append(statuses, s.sweeps[id].status())
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, statuses)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, sw.status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+		return
+	}
+	sw.cancel(fmt.Errorf("sweep %s cancelled by client", sw.id))
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, sw.status())
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+		return
+	}
+	s.streamSweep(w, r, sw, false)
+}
+
+// streamSweep replays the sweep's finished points and follows new ones as
+// NDJSON until the sweep reaches a terminal state (or the client goes away).
+// With cancelOnDisconnect the client's departure cancels the sweep itself.
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, sw *sweep, cancelOnDisconnect bool) {
+	if cancelOnDisconnect {
+		// Stop watching when the handler returns: the sweep outlives an
+		// ordinary (asynchronous) submission's HTTP exchange.
+		stop := context.AfterFunc(r.Context(), func() {
+			sw.cancel(fmt.Errorf("sweep %s cancelled: submitting client disconnected", sw.id))
+		})
+		defer stop()
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sent := 0
+	for {
+		points, done, changed := sw.next(sent)
+		for _, p := range points {
+			if err := enc.Encode(p); err != nil {
+				return // client gone
+			}
+		}
+		sent += len(points)
+		if len(points) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	n := len(s.sweeps)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, map[string]any{"ok": !draining, "draining": draining, "sweeps": n})
+}
+
+// httpError writes a JSON error body with the status code.
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	writeJSON(w, map[string]string{"error": err.Error()})
+}
+
+// writeJSON best-effort encodes v; the connection may already be gone.
+func writeJSON(w http.ResponseWriter, v any) {
+	_ = json.NewEncoder(w).Encode(v)
+}

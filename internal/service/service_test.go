@@ -1,0 +1,415 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/taskrt"
+)
+
+// testServer returns a service over a small, fast engine and its HTTP test
+// host.
+func testServer(t *testing.T, store *runner.Store) (*Server, *httptest.Server) {
+	t.Helper()
+	base := core.DefaultConfig(taskrt.Software)
+	base.Machine = base.Machine.WithCores(8)
+	if store == nil {
+		store = runner.NewStore()
+	}
+	srv := New(&runner.Engine{Base: base, Store: store}, 2)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, r io.Reader) T {
+	t.Helper()
+	var v T
+	if err := json.NewDecoder(r).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// waitState polls the status endpoint until the sweep reaches a terminal
+// state.
+func waitState(t *testing.T, url string) Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := decode[Status](t, resp.Body)
+		resp.Body.Close()
+		if st.State != StateRunning {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("sweep did not reach a terminal state")
+	return Status{}
+}
+
+func TestSubmitStatusStream(t *testing.T) {
+	_, ts := testServer(t, nil)
+
+	resp := postJSON(t, ts.URL+"/sweeps", `{
+		"benchmarks": ["synth:chain:width=4,depth=4,mean=5", "histogram"],
+		"runtimes": ["software", "tdm"],
+		"schedulers": ["fifo"]
+	}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	sub := decode[SubmitResponse](t, resp.Body)
+	resp.Body.Close()
+	if sub.Jobs != 4 {
+		t.Fatalf("grid expanded to %d jobs, want 4", sub.Jobs)
+	}
+
+	st := waitState(t, ts.URL+"/sweeps/"+sub.ID)
+	if st.State != StateDone || st.Completed != 4 || st.Failed != 0 {
+		t.Fatalf("terminal status = %+v", st)
+	}
+	if st.Finished.IsZero() || st.Submitted.IsZero() {
+		t.Errorf("status missing timestamps: %+v", st)
+	}
+
+	// The stream replays every point as one JSON object per line.
+	resp, err := http.Get(ts.URL + "/sweeps/" + sub.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type = %q", ct)
+	}
+	seen := make(map[int]bool)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var p Point
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			t.Fatalf("stream line %q: %v", sc.Text(), err)
+		}
+		if p.Error != "" {
+			t.Errorf("point %d failed: %s", p.Index, p.Error)
+		}
+		if p.Cycles <= 0 || p.Tasks <= 0 || p.Key == "" {
+			t.Errorf("implausible point %+v", p)
+		}
+		seen[p.Index] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("stream delivered %d distinct points, want 4", len(seen))
+	}
+
+	// The listing shows the sweep.
+	resp, err = http.Get(ts.URL + "/sweeps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decode[[]Status](t, resp.Body)
+	resp.Body.Close()
+	if len(list) != 1 || list[0].ID != sub.ID {
+		t.Fatalf("listing = %+v", list)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	_, ts := testServer(t, nil)
+	for _, body := range []string{
+		`{"benchmarks": ["no-such-benchmark"]}`,
+		`{"benchmarks": ["synth:chain:widht=8"]}`,
+		`{"benchmarks": ["synth:chain:fanout=2"]}`,
+		`{"runtimes": ["no-such-runtime"]}`,
+		`{"schedulers": ["no-such-policy"]}`,
+		`{"cores": [-1]}`,
+		`{"granularities": [-5]}`,
+		`{"bogus_field": 1}`,
+		`not json`,
+	} {
+		resp := postJSON(t, ts.URL+"/sweeps", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit(%s) status = %d, want 400", body, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/sweeps/s9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown sweep status = %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// bigGridBody expands to enough medium-sized points that a sweep cannot
+// finish before the test cancels it.
+const bigGridBody = `{
+	"benchmarks": ["synth:layered:width=16,depth=60,mean=20"],
+	"runtimes": ["software", "tdm"],
+	"schedulers": ["fifo", "lifo", "locality", "successor", "age"],
+	"cores": [8, 16, 32]
+}`
+
+func TestCancelEndpointStopsSweep(t *testing.T) {
+	_, ts := testServer(t, nil)
+	resp := postJSON(t, ts.URL+"/sweeps", bigGridBody)
+	sub := decode[SubmitResponse](t, resp.Body)
+	resp.Body.Close()
+	if sub.Jobs != 30 {
+		t.Fatalf("grid expanded to %d jobs, want 30", sub.Jobs)
+	}
+
+	resp = postJSON(t, ts.URL+"/sweeps/"+sub.ID+"/cancel", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	st := waitState(t, ts.URL+"/sweeps/"+sub.ID)
+	if st.State != StateCancelled {
+		t.Fatalf("state after cancel = %s", st.State)
+	}
+	if st.Completed+st.Failed >= st.Total {
+		t.Errorf("cancelled sweep still ran all %d points", st.Total)
+	}
+	// Points stopped by the cancellation are not failures.
+	if st.Failed != 0 {
+		t.Errorf("cancelled points counted as failures: %+v", st)
+	}
+}
+
+func TestStreamSubmitCancelsOnDisconnect(t *testing.T) {
+	srv, ts := testServer(t, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/sweeps?stream=1", strings.NewReader(bigGridBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one streamed point, then drop the connection mid-sweep.
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("stream produced no points: %v", sc.Err())
+	}
+	var first Point
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The server notices the disconnect and cancels the sweep.
+	srv.mu.Lock()
+	id := srv.order[0]
+	srv.mu.Unlock()
+	st := waitState(t, ts.URL+"/sweeps/"+id)
+	if st.State != StateCancelled {
+		t.Fatalf("state after client disconnect = %s", st.State)
+	}
+	if st.Completed+st.Failed >= st.Total {
+		t.Errorf("disconnected sweep still ran all %d points", st.Total)
+	}
+}
+
+func TestDrainRejectsAndCancels(t *testing.T) {
+	srv, ts := testServer(t, nil)
+	resp := postJSON(t, ts.URL+"/sweeps", bigGridBody)
+	sub := decode[SubmitResponse](t, resp.Body)
+	resp.Body.Close()
+
+	done := make(chan struct{})
+	go func() {
+		srv.Drain(fmt.Errorf("test drain"))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Drain did not return")
+	}
+
+	// The sweep was cancelled mid-run and its state settled before Drain
+	// returned — the daemon can exit without losing the final state.
+	resp, err := http.Get(ts.URL + "/sweeps/" + sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decode[Status](t, resp.Body)
+	resp.Body.Close()
+	if st.State != StateCancelled {
+		t.Fatalf("state after drain = %s", st.State)
+	}
+	if st.Completed+st.Failed >= st.Total {
+		t.Errorf("drained sweep still ran all %d points", st.Total)
+	}
+	// A routine drain must not look like failures to monitoring.
+	if st.Failed != 0 {
+		t.Errorf("drain counted cancelled points as failures: %+v", st)
+	}
+
+	// New submissions are rejected while draining.
+	resp = postJSON(t, ts.URL+"/sweeps", `{"benchmarks":["histogram"],"runtimes":["software"]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining = %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining = %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestSweepsShareDiskStore: a point computed by one sweep is a warm cache hit
+// for the next (and for a daemon restart over the same directory).
+func TestSweepsShareDiskStore(t *testing.T) {
+	dir := t.TempDir()
+	store, err := runner.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := testServer(t, store)
+	body := `{"benchmarks":["histogram"],"runtimes":["software","tdm"]}`
+
+	resp := postJSON(t, ts.URL+"/sweeps", body)
+	sub := decode[SubmitResponse](t, resp.Body)
+	resp.Body.Close()
+	first := waitState(t, ts.URL+"/sweeps/"+sub.ID)
+	if first.State != StateDone || first.Completed != 2 {
+		t.Fatalf("first sweep = %+v", first)
+	}
+
+	// A second service over a fresh store on the same directory simulates
+	// nothing: both points come back warm from disk.
+	resumed, err := runner.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log strings.Builder
+	base := core.DefaultConfig(taskrt.Software)
+	base.Machine = base.Machine.WithCores(8)
+	srv2 := New(&runner.Engine{Base: base, Store: resumed, Log: &log}, 2)
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	resp = postJSON(t, ts2.URL+"/sweeps", body)
+	sub2 := decode[SubmitResponse](t, resp.Body)
+	resp.Body.Close()
+	second := waitState(t, ts2.URL+"/sweeps/"+sub2.ID)
+	if second.State != StateDone || second.Completed != 2 {
+		t.Fatalf("resumed sweep = %+v", second)
+	}
+	if strings.Contains(log.String(), "running") {
+		t.Errorf("restart re-simulated persisted points:\n%s", log.String())
+	}
+}
+
+// TestStreamFalseSubmitsAsync: ?stream=0 (and =false) is an asynchronous
+// submission, not a cancel-on-disconnect stream.
+func TestStreamFalseSubmitsAsync(t *testing.T) {
+	_, ts := testServer(t, nil)
+	for _, q := range []string{"?stream=0", "?stream=false", ""} {
+		resp := postJSON(t, ts.URL+"/sweeps"+q, `{"benchmarks":["histogram"],"runtimes":["software"]}`)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Errorf("submit with %q status = %d, want 202", q, resp.StatusCode)
+		}
+		sub := decode[SubmitResponse](t, resp.Body)
+		resp.Body.Close()
+		// Closing the submission response must not cancel the sweep.
+		if st := waitState(t, ts.URL+"/sweeps/"+sub.ID); st.State != StateDone {
+			t.Errorf("async submission with %q ended %s, want done", q, st.State)
+		}
+	}
+}
+
+// TestFinishedSweepEviction: the daemon caps retained finished sweeps so
+// unattended operation does not grow memory without bound.
+func TestFinishedSweepEviction(t *testing.T) {
+	srv, ts := testServer(t, nil)
+	srv.maxRetained = 1
+	body := `{"benchmarks":["synth:chain:width=2,depth=2,mean=5"],"runtimes":["software"]}`
+	var ids []string
+	for i := 0; i < 3; i++ {
+		resp := postJSON(t, ts.URL+"/sweeps", body)
+		sub := decode[SubmitResponse](t, resp.Body)
+		resp.Body.Close()
+		waitState(t, ts.URL+"/sweeps/"+sub.ID)
+		ids = append(ids, sub.ID)
+	}
+	// Eviction runs as the sweep goroutine settles; give the last one a
+	// beat to finish its bookkeeping.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		srv.mu.Lock()
+		n := len(srv.sweeps)
+		srv.mu.Unlock()
+		if n <= 1 || time.Now().After(deadline) {
+			if n > 1 {
+				t.Fatalf("%d finished sweeps retained, want <= 1", n)
+			}
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The newest sweep survives; the oldest is gone.
+	resp, err := http.Get(ts.URL + "/sweeps/" + ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted sweep still queryable: %d", resp.StatusCode)
+	}
+}
+
+// TestHealthz covers the healthy half of the liveness endpoint.
+func TestHealthz(t *testing.T) {
+	_, ts := testServer(t, nil)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	body := decode[map[string]any](t, resp.Body)
+	if body["ok"] != true {
+		t.Errorf("healthz body = %v", body)
+	}
+}

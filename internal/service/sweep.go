@@ -1,0 +1,193 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+)
+
+// State is the lifecycle phase of a submitted sweep.
+type State string
+
+// Sweep lifecycle states.
+const (
+	// StateRunning: points are executing (or queued behind the worker pool).
+	StateRunning State = "running"
+	// StateDone: every point completed (individual points may still have
+	// failed; see the per-point Error fields).
+	StateDone State = "done"
+	// StateCancelled: the sweep was cancelled (client request, stream
+	// disconnect, or daemon drain) before every point completed.
+	StateCancelled State = "cancelled"
+)
+
+// Point is the per-job record a sweep accumulates and streams as NDJSON.
+// Exactly one of Error or the result fields is meaningful.
+type Point struct {
+	// Index is the job's position in the submitted grid expansion.
+	Index int `json:"index"`
+	// Key is the content-addressed job key (the result store file name).
+	Key         string `json:"key"`
+	Benchmark   string `json:"benchmark"`
+	Runtime     string `json:"runtime"`
+	Scheduler   string `json:"scheduler"`
+	Cores       int    `json:"cores"`
+	Granularity int64  `json:"granularity"`
+	// Error is the simulation failure, "" on success.
+	Error string `json:"error,omitempty"`
+	// Cancelled marks points that stopped because the sweep was cancelled.
+	Cancelled bool    `json:"cancelled,omitempty"`
+	Tasks     int     `json:"tasks,omitempty"`
+	Cycles    int64   `json:"cycles,omitempty"`
+	Seconds   float64 `json:"seconds,omitempty"`
+	EnergyJ   float64 `json:"energy_joules,omitempty"`
+	AvgPowerW float64 `json:"avg_power_watts,omitempty"`
+	EDP       float64 `json:"edp,omitempty"`
+}
+
+// Status is the progress snapshot served by GET /sweeps/{id}.
+type Status struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Total is the number of points in the grid expansion; Completed and
+	// Failed count finished points (Completed includes cache hits).
+	// Cancelled counts points that stopped because the sweep was cancelled
+	// — they are not failures; a routine drain must not trip failure
+	// alerts.
+	Total     int       `json:"total"`
+	Completed int       `json:"completed"`
+	Failed    int       `json:"failed"`
+	Cancelled int       `json:"cancelled,omitempty"`
+	Submitted time.Time `json:"submitted"`
+	// Finished is zero while the sweep is running.
+	Finished time.Time `json:"finished,omitzero"`
+}
+
+// sweep is one submitted grid: its jobs, its cancellation scope and the
+// append-only point log streamers replay and follow.
+type sweep struct {
+	id        string
+	jobs      []runner.Job
+	submitted time.Time
+	cancel    context.CancelCauseFunc
+
+	mu        sync.Mutex
+	points    []Point // completion order
+	failed    int
+	cancelled int
+	state     State
+	finished  time.Time
+	// changed is closed and replaced whenever points grow or the state
+	// moves, waking every streamer (a broadcast without a condition
+	// variable, so streamers can also select on their request context).
+	changed chan struct{}
+}
+
+func newSweep(id string, jobs []runner.Job, cancel context.CancelCauseFunc, now time.Time) *sweep {
+	return &sweep{
+		id:        id,
+		jobs:      jobs,
+		submitted: now,
+		cancel:    cancel,
+		state:     StateRunning,
+		changed:   make(chan struct{}),
+	}
+}
+
+// broadcast wakes streamers; callers must hold mu.
+func (s *sweep) broadcast() {
+	close(s.changed)
+	s.changed = make(chan struct{})
+}
+
+// append records one finished point.
+func (s *sweep) append(p Point) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case p.Cancelled:
+		s.cancelled++
+	case p.Error != "":
+		s.failed++
+	}
+	s.points = append(s.points, p)
+	s.broadcast()
+}
+
+// finish moves the sweep to its terminal state.
+func (s *sweep) finish(state State, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != StateRunning {
+		return
+	}
+	s.state = state
+	s.finished = now
+	s.broadcast()
+}
+
+// status snapshots the progress counters.
+func (s *sweep) status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Status{
+		ID:        s.id,
+		State:     s.state,
+		Total:     len(s.jobs),
+		Completed: len(s.points) - s.failed - s.cancelled,
+		Failed:    s.failed,
+		Cancelled: s.cancelled,
+		Submitted: s.submitted,
+		Finished:  s.finished,
+	}
+}
+
+// next returns the points from offset onward, whether the stream is complete
+// (terminal state reached and nothing further pending), and the channel a
+// follower waits on for the next change.
+func (s *sweep) next(offset int) ([]Point, bool, <-chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Point
+	if offset < len(s.points) {
+		out = append(out, s.points[offset:]...)
+	}
+	done := s.state != StateRunning && offset+len(out) == len(s.points)
+	return out, done, s.changed
+}
+
+// pointOf flattens a finished job into its streamed record.
+func pointOf(idx int, j runner.Job, key string, base core.Config, res *core.Result, err error, cancelled bool) Point {
+	cfg := j.Config(base)
+	scheduler := cfg.Scheduler
+	if !j.Runtime.UsesSoftwareScheduler() {
+		// Carbon and Task Superscalar schedule in hardware; reporting a
+		// software policy here would be misleading.
+		scheduler = "-"
+	}
+	p := Point{
+		Index:       idx,
+		Key:         key,
+		Benchmark:   j.Benchmark,
+		Runtime:     string(j.Runtime),
+		Scheduler:   scheduler,
+		Cores:       cfg.Machine.Cores,
+		Granularity: j.Granularity,
+		Cancelled:   cancelled,
+	}
+	switch {
+	case err != nil:
+		p.Error = err.Error()
+	case res != nil:
+		p.Tasks = res.Program.NumTasks()
+		p.Cycles = res.Cycles
+		p.Seconds = res.Seconds
+		p.EnergyJ = res.Energy.EnergyJoules
+		p.AvgPowerW = res.Energy.AveragePowerW
+		p.EDP = res.Energy.EDP
+	}
+	return p
+}

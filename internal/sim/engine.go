@@ -27,6 +27,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -82,6 +83,10 @@ type Engine struct {
 	// procFailure records the first panic raised inside a process body; it
 	// is surfaced as an error from Run.
 	procFailure error
+
+	// haltErr, when set, stops the run loop after the event currently
+	// executing; Run returns it. See Halt.
+	haltErr error
 }
 
 // NewEngine returns an empty engine with the clock at zero.
@@ -217,6 +222,24 @@ func (e *Engine) pop() *event {
 	return top
 }
 
+// Halt requests that the run loop stop after the event that is currently
+// executing, making Run (or RunUntil) return err instead of draining the
+// queue. It is the engine half of cooperative cancellation: a process that
+// observes an external cancellation calls Halt and then parks itself (see
+// Proc.Suspend), handing control back to the run loop for good. The first
+// Halt wins; later calls are ignored.
+func (e *Engine) Halt(err error) {
+	if err == nil {
+		err = errors.New("sim: run halted")
+	}
+	if e.haltErr == nil {
+		e.haltErr = err
+	}
+}
+
+// Halted returns the error a Halt call installed, or nil.
+func (e *Engine) Halted() error { return e.haltErr }
+
 // Run executes events until the event queue drains. It returns the final
 // simulated time. If the queue drains while processes are still blocked on
 // signals or resources, Run returns a DeadlockError describing them.
@@ -229,6 +252,9 @@ func (e *Engine) Run() (Time, error) {
 func (e *Engine) RunUntil(horizon Time) (Time, error) {
 	if e.stopped {
 		return e.now, fmt.Errorf("sim: engine already shut down")
+	}
+	if e.haltErr != nil {
+		return e.now, e.haltErr
 	}
 	for len(e.events) > 0 {
 		next := e.events[0]
@@ -244,6 +270,9 @@ func (e *Engine) RunUntil(horizon Time) (Time, error) {
 		fn()
 		if e.procFailure != nil {
 			return e.now, e.procFailure
+		}
+		if e.haltErr != nil {
+			return e.now, e.haltErr
 		}
 	}
 	if blocked := e.blockedProcs(); len(blocked) > 0 {

@@ -131,6 +131,24 @@ func (e *Engine) resumeProc(p *Proc) {
 	e.running = prev
 }
 
+// Suspend parks the process indefinitely: nothing ever resumes it, and its
+// goroutine is unwound by Engine.Shutdown. It is the process half of
+// cooperative cancellation — a process that observes an external cancellation
+// calls Engine.Halt and then Suspend, so the run loop regains control and
+// returns the halt error while the process stays quiescent until shutdown.
+// reason is reported in diagnostics.
+func (p *Proc) Suspend(reason string) {
+	if reason == "" {
+		reason = "suspended"
+	}
+	// No wake-up source is registered, so park only returns if the engine is
+	// shut down (which unwinds the goroutine via a panic inside park). The
+	// loop guards against a stray resume ever reaching a suspended process.
+	for {
+		p.park(reason)
+	}
+}
+
 // Wait blocks the process for d cycles of simulated time. A non-positive
 // duration still yields to other events scheduled at the current time.
 func (p *Proc) Wait(d Time) {

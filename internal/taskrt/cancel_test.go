@@ -1,0 +1,108 @@
+package taskrt
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestCancelledHookStopsAtTaskBoundary cancels runs through the explicit
+// Config.Cancelled hook after a fixed number of boundary polls and checks
+// that every runtime kind stops early with ErrCancelled, deterministically.
+func TestCancelledHookStopsAtTaskBoundary(t *testing.T) {
+	prog := independentProgram(64, 50)
+	for _, kind := range Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			run := func(stopAfter int) (int, error) {
+				polls := 0
+				cfg := testConfig(kind, 4)
+				cfg.Cancelled = func() bool {
+					polls++
+					return polls > stopAfter
+				}
+				_, err := Run(prog, cfg)
+				return polls, err
+			}
+			polls1, err := run(10)
+			if err == nil {
+				t.Fatal("cancelled run completed without error")
+			}
+			if !errors.Is(err, ErrCancelled) {
+				t.Fatalf("error does not wrap ErrCancelled: %v", err)
+			}
+			// The run stops at the first boundary that observes the
+			// cancellation: the poll count stays close to the trigger
+			// instead of covering all 64 tasks.
+			if polls1 >= 64 {
+				t.Errorf("run polled %d boundaries after cancellation at 10; did not stop early", polls1)
+			}
+			polls2, err2 := run(10)
+			if polls2 != polls1 || (err2 == nil) != (err == nil) {
+				t.Errorf("cancellation not deterministic: %d vs %d polls", polls1, polls2)
+			}
+
+			// A hook that never fires must not change the result.
+			cfg := testConfig(kind, 4)
+			plain := mustRun(t, prog, cfg)
+			cfg = testConfig(kind, 4)
+			cfg.Cancelled = func() bool { return false }
+			hooked := mustRun(t, prog, cfg)
+			if hooked.Cycles != plain.Cycles {
+				t.Errorf("inactive hook changed cycles: %d vs %d", hooked.Cycles, plain.Cycles)
+			}
+		})
+	}
+}
+
+// TestRunContextCancellation covers the context path: a pre-cancelled context
+// fails fast, and a context cancelled mid-run stops the simulation at the
+// next task boundary with the context's cause in the error chain.
+func TestRunContextCancellation(t *testing.T) {
+	prog := independentProgram(64, 50)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, prog, testConfig(TDM, 4)); !errors.Is(err, context.Canceled) || !errors.Is(err, ErrCancelled) {
+		t.Fatalf("pre-cancelled context: got %v, want context.Canceled wrapped in ErrCancelled", err)
+	}
+
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	polls := 0
+	cfg := testConfig(Software, 4)
+	// The hook itself never cancels; it fires the external context after a
+	// fixed number of boundaries, so the next poll observes ctx.Done().
+	cfg.Cancelled = func() bool {
+		polls++
+		if polls == 8 {
+			cancel()
+		}
+		return false
+	}
+	_, err := RunContext(ctx, prog, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run context cancel: got %v, want context.Canceled in chain", err)
+	}
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("mid-run context cancel: %v does not wrap ErrCancelled", err)
+	}
+
+	// A background context stays uncancellable and completes normally.
+	if _, err := RunContext(context.Background(), prog, testConfig(Software, 4)); err != nil {
+		t.Fatalf("background context run failed: %v", err)
+	}
+}
+
+// TestCancelCauseSurfaces checks that a context cancelled with an explicit
+// cause surfaces that cause from the run error.
+func TestCancelCauseSurfaces(t *testing.T) {
+	prog := independentProgram(16, 50)
+	cause := errors.New("daemon draining")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	_, err := RunContext(ctx, prog, testConfig(Software, 4))
+	if !errors.Is(err, cause) {
+		t.Fatalf("run error %v does not wrap the cancellation cause", err)
+	}
+}

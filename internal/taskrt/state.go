@@ -1,6 +1,7 @@
 package taskrt
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/machine"
@@ -40,6 +41,14 @@ type runState struct {
 	executed int
 	// programDone is set by the master after the last region's barrier.
 	programDone bool
+
+	// cancelled, when non-nil, is polled at task boundaries; the first true
+	// halts the run with the error cancelCause returns. halting latches the
+	// halt so only the first observer stops the engine. Both are nil for
+	// uncancellable runs (the common case), which costs nothing.
+	cancelled   func() bool
+	cancelCause func() error
+	halting     bool
 
 	// work is signalled when ready tasks may be available or when the
 	// region/program state changes; capacity is signalled when hardware
@@ -87,6 +96,50 @@ func newRunState(prog *task.Program, cfg Config) (*runState, error) {
 	}
 	rs.backend = b
 	return rs, nil
+}
+
+// bindCancel installs the run's cancellation poll from the caller's context
+// and the explicit Config.Cancelled hook. Runs with a background context and
+// no hook stay uncancellable: the poll stays nil and the simulated threads
+// skip the check entirely.
+func (rs *runState) bindCancel(ctx context.Context, hook func() bool) {
+	done := ctx.Done()
+	if done == nil && hook == nil {
+		return
+	}
+	rs.cancelled = func() bool {
+		if hook != nil && hook() {
+			return true
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	rs.cancelCause = func() error {
+		if err := context.Cause(ctx); err != nil {
+			return fmt.Errorf("taskrt: %s/%s on %s: %w: %w",
+				rs.cfg.Runtime, rs.cfg.Scheduler, rs.prog.Name, ErrCancelled, err)
+		}
+		return fmt.Errorf("taskrt: %s/%s on %s: %w",
+			rs.cfg.Runtime, rs.cfg.Scheduler, rs.prog.Name, ErrCancelled)
+	}
+}
+
+// checkCancel polls the run's cancellation hook at a task boundary. On
+// cancellation it halts the engine (first observer only) and suspends the
+// calling simulated thread; it never returns in that case.
+func (rs *runState) checkCancel(tc *threadCtx) {
+	if rs.cancelled == nil || !rs.cancelled() {
+		return
+	}
+	if !rs.halting {
+		rs.halting = true
+		rs.eng.Halt(rs.cancelCause())
+	}
+	tc.proc.Suspend("cancelled")
 }
 
 // descOf returns the synthetic task descriptor address of a task.

@@ -23,6 +23,8 @@
 package taskrt
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/dmu"
@@ -75,6 +77,13 @@ type Config struct {
 	// Validate cross-checks the execution order against the golden
 	// dependence graph. It is on by default in NewConfig.
 	ValidateOrder bool
+	// Cancelled, when non-nil, is polled at task boundaries (before every
+	// task creation and every task acquisition). The first poll returning
+	// true halts the simulation: Run returns an error wrapping ErrCancelled
+	// and no further task starts. nil (the default) makes a run
+	// uncancellable and costs nothing. RunContext installs a poll derived
+	// from its context on top of any hook already present.
+	Cancelled func() bool
 }
 
 // NewConfig returns a configuration for the given runtime kind with the
@@ -191,16 +200,34 @@ func (r *Result) DMUAccesses() uint64 {
 	return r.DMU.TotalAccesses
 }
 
+// ErrCancelled is wrapped into the error Run returns when a run stops because
+// its Config.Cancelled hook (or the context of RunContext) fired. The
+// simulation stops at a task boundary: tasks already executing finish
+// accounting, no further task is created or acquired.
+var ErrCancelled = errors.New("run cancelled")
+
 // Run simulates the program under the configuration and returns the result.
 // It returns an error if the configuration is invalid, the simulation
 // deadlocks (for example because the DMU is configured smaller than a single
 // task's footprint), or the execution violates the dependence graph.
 func Run(prog *task.Program, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), prog, cfg)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the simulation
+// stops at the next task boundary and the returned error wraps the context's
+// cancellation cause (and ErrCancelled). The context is polled, never waited
+// on — a run whose context dies while every simulated thread is blocked stops
+// as soon as any thread reaches its next task boundary.
+func RunContext(ctx context.Context, prog *task.Program, cfg Config) (*Result, error) {
 	if prog == nil || prog.NumTasks() == 0 {
 		return nil, fmt.Errorf("taskrt: empty program")
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if err := context.Cause(ctx); err != nil {
+		return nil, fmt.Errorf("taskrt: %s/%s on %s: %w: %w", cfg.Runtime, cfg.Scheduler, prog.Name, ErrCancelled, err)
 	}
 	if err := prog.Validate(); err != nil {
 		return nil, err
@@ -210,6 +237,7 @@ func Run(prog *task.Program, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	defer rs.eng.Shutdown()
+	rs.bindCancel(ctx, cfg.Cancelled)
 
 	rs.spawnThreads()
 	if _, err := rs.eng.Run(); err != nil {

@@ -17,6 +17,7 @@ func (rs *runState) masterThread(tc *threadCtx) {
 			tc.chargeLabeled(stats.Exec, region.SequentialCycles, "sequential")
 		}
 		for _, spec := range region.Tasks {
+			rs.checkCancel(tc)
 			rs.backend.createTask(tc, spec)
 			rs.noteCreated()
 		}
@@ -47,8 +48,10 @@ func (rs *runState) workerThread(tc *threadCtx) {
 }
 
 // workOnce tries to acquire, execute and finish one task. It returns false if
-// no task was available.
+// no task was available. It is the task-boundary cancellation point of every
+// simulated thread: a cancelled run stops here before acquiring another task.
 func (rs *runState) workOnce(tc *threadCtx) bool {
+	rs.checkCancel(tc)
 	rt := rs.backend.acquireTask(tc)
 	if rt == nil {
 		return false

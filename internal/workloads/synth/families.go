@@ -40,12 +40,14 @@ func init() {
 		Description: "fanout-ary reduction tree of the given depth (Histogram-like)",
 		defaults:    Params{Width: 1, Depth: 5, Fanout: 2, MeanUS: 20, Dist: DistConst},
 		build:       buildTree,
+		extraKeys:   []string{"fanout"},
 	})
 	registerFamily(&Family{
 		Name:        "pipeline",
 		Description: "width items through stages stages, each stage serialized (Dedup/Ferret-like)",
 		defaults:    Params{Width: 24, Stages: 4, Depth: 1, MeanUS: 20, Dist: DistConst},
 		build:       buildPipeline,
+		extraKeys:   []string{"stages"},
 	})
 	registerFamily(&Family{
 		Name:        "stencil",
@@ -64,6 +66,7 @@ func init() {
 		Description: "depth layers of width tasks with random edges of the given density",
 		defaults:    Params{Width: 8, Depth: 10, Density: 0.3, MeanUS: 20, Dist: DistConst},
 		build:       buildLayered,
+		extraKeys:   []string{"density"},
 	})
 }
 

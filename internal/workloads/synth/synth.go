@@ -26,6 +26,7 @@ package synth
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -109,6 +110,10 @@ type Family struct {
 
 	defaults Params
 	build    func(g *gen)
+	// extraKeys are the spec parameter keys only this family accepts
+	// (beyond commonKeys), declared at registration so parsing, canonical
+	// rendering and validation stay in one place.
+	extraKeys []string
 }
 
 // Resolve returns the parameters with family defaults filled in for every
@@ -307,8 +312,25 @@ func ByName(name string) (*Family, error) {
 	return nil, fmt.Errorf("synth: unknown family %q (known: %v)", name, FamilyNames())
 }
 
+// commonKeys are the parameter keys every family accepts. width and depth are
+// included for every family because Canonical renders them unconditionally:
+// canonical spec strings must always round-trip through Parse.
+var commonKeys = []string{"seed", "tasks", "width", "depth", "inout", "mean", "dist", "seq", "regions"}
+
+// ValidKeys returns the parameter keys the family accepts, sorted. Keys that
+// parameterize only one family (fanout, stages, density) are valid only
+// there: accepting them elsewhere would silently ignore them, so a typo'd or
+// misplaced parameter would yield a default-shaped grid with no warning.
+func (f *Family) ValidKeys() []string {
+	keys := append(append([]string(nil), commonKeys...), f.extraKeys...)
+	sort.Strings(keys)
+	return keys
+}
+
 // Parse decodes a spec of the form "synth:family:key=value,..." (the synth:
-// prefix is optional) into a family and parameters.
+// prefix is optional) into a family and parameters. Keys the family does not
+// accept and keys given twice are errors — a silently ignored parameter
+// would produce the default grid with no warning.
 func Parse(spec string) (*Family, Params, error) {
 	body := strings.TrimPrefix(spec, Prefix)
 	name, args, _ := strings.Cut(body, ":")
@@ -320,6 +342,8 @@ func Parse(spec string) (*Family, Params, error) {
 	if args == "" {
 		return f, p, nil
 	}
+	valid := f.ValidKeys()
+	seen := make(map[string]bool)
 	for _, kv := range strings.Split(args, ",") {
 		kv = strings.TrimSpace(kv)
 		if kv == "" {
@@ -329,6 +353,14 @@ func Parse(spec string) (*Family, Params, error) {
 		if !ok {
 			return nil, Params{}, fmt.Errorf("synth: malformed parameter %q in spec %q (want key=value)", kv, spec)
 		}
+		if !slices.Contains(valid, key) {
+			return nil, Params{}, fmt.Errorf("synth: spec %q: parameter %q not valid for family %q (valid: %v)",
+				spec, key, f.Name, valid)
+		}
+		if seen[key] {
+			return nil, Params{}, fmt.Errorf("synth: spec %q: duplicate parameter %q", spec, key)
+		}
+		seen[key] = true
 		if err := setParam(&p, key, value); err != nil {
 			return nil, Params{}, fmt.Errorf("synth: spec %q: %w", spec, err)
 		}

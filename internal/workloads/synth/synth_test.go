@@ -130,6 +130,72 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestParseRejectsForeignAndDuplicateKeys pins the guard against silently
+// ignored parameters: a key another family owns (or a typo, or a repeated
+// key) must fail with an error naming the family's valid keys, not fall
+// through to the default grid.
+func TestParseRejectsForeignAndDuplicateKeys(t *testing.T) {
+	tests := []struct {
+		spec    string
+		wantErr string // substring the error must contain; "" means accept
+	}{
+		// Keys owned by another family.
+		{"synth:chain:fanout=4", `parameter "fanout" not valid for family "chain"`},
+		{"synth:chain:density=0.5", `parameter "density" not valid for family "chain"`},
+		{"synth:tree:stages=3", `parameter "stages" not valid for family "tree"`},
+		{"synth:pipeline:fanout=2", `parameter "fanout" not valid for family "pipeline"`},
+		{"synth:layered:fanout=2", `parameter "fanout" not valid for family "layered"`},
+		{"synth:stencil:density=0.3", `parameter "density" not valid for family "stencil"`},
+		// Typos.
+		{"synth:layered:widht=8", `parameter "widht" not valid for family "layered"`},
+		{"synth:chain:seeds=7", `parameter "seeds" not valid for family "chain"`},
+		// Duplicates (the last would silently win otherwise).
+		{"synth:chain:width=4,width=8", `duplicate parameter "width"`},
+		{"synth:layered:seed=1,depth=2,seed=3", `duplicate parameter "seed"`},
+		// The owning family still accepts its keys.
+		{"synth:tree:fanout=4,depth=3", ""},
+		{"synth:pipeline:stages=3", ""},
+		{"synth:layered:density=0.5", ""},
+		// Spec-valued keys accepted everywhere.
+		{"synth:blockdense:width=4,seed=9,mean=10,dist=exp,seq=5,regions=2,tasks=50,inout=0.1", ""},
+	}
+	for _, tc := range tests {
+		f, _, err := Parse(tc.spec)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("Parse(%q) rejected a valid spec: %v", tc.spec, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("Parse(%q) accepted a spec with an invalid parameter", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("Parse(%q) error %q does not contain %q", tc.spec, err, tc.wantErr)
+		}
+		if f == nil && !strings.Contains(err.Error(), "valid:") {
+			continue
+		}
+		// The error lists the family's valid keys so the fix is obvious.
+		if !strings.Contains(err.Error(), "valid:") && !strings.Contains(err.Error(), "duplicate") {
+			t.Errorf("Parse(%q) error %q does not list the valid keys", tc.spec, err)
+		}
+	}
+}
+
+// TestCanonicalRoundTripsThroughParse: every canonical name Parse can emit
+// must itself parse (program names are canonical specs, and users feed them
+// back into grids).
+func TestCanonicalRoundTripsThroughParse(t *testing.T) {
+	for _, f := range Families() {
+		canon := Canonical(f, Params{Seed: 3, InOut: 0.2, Regions: 2, SeqUS: 4})
+		if _, _, err := Parse(canon); err != nil {
+			t.Errorf("canonical spec %q does not round-trip: %v", canon, err)
+		}
+	}
+}
+
 func TestTaskCountMatchesGeneration(t *testing.T) {
 	m := machine.Default()
 	for _, f := range Families() {
