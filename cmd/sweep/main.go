@@ -25,6 +25,12 @@
 //	sweep -workload synth:layered:seed=7,width=12,depth=20,density=0.4 -runtimes tdm
 //	sweep -workload synth:all -dump-program programs/
 //	sweep -replay-program programs/synth_layered.json -runtimes software,tdm
+//
+// With -remote the grid is submitted to a sweepd daemon (optionally a
+// coordinator sharding it across a worker fleet) instead of simulating
+// in-process; the streamed results render byte-identically to a local run:
+//
+//	sweep -remote http://sweepd-host:8080 -benchmarks cholesky -runtimes software,tdm
 package main
 
 import (
@@ -37,13 +43,16 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/remote"
 	"repro/internal/runner"
 	"repro/internal/sched"
+	"repro/internal/service"
 	"repro/internal/stats"
 	"repro/internal/task"
 	"repro/internal/taskrt"
@@ -102,6 +111,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		cores         = fs.String("cores", "", "comma-separated core counts (default: 32)")
 		granularities = fs.String("granularities", "", "comma-separated granularities, 0 = Table II optimal (default: 0)")
 		workers       = fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		remoteURL     = fs.String("remote", "", "submit the grid to a sweepd daemon at this base URL instead of simulating in-process")
 		store         = fs.String("store", "", "directory persisting results as JSON for warm resume")
 		format        = fs.String("format", "table", "output format: table, csv or json")
 		out           = fs.String("o", "", "write results to a file instead of stdout")
@@ -147,8 +157,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if *dumpProgram != "" {
 			return fmt.Errorf("-dump-program and -replay-program are mutually exclusive")
 		}
+		if *remoteURL != "" {
+			return fmt.Errorf("-remote submits a grid; recorded programs cannot be replayed remotely yet")
+		}
 		// Validate only the non-workload dimensions.
 		benchList = ""
+	}
+	if *remoteURL != "" && *store != "" {
+		return fmt.Errorf("-store applies to in-process sweeps (the daemon owns the remote store); drop it with -remote")
+	}
+	if *remoteURL != "" && *dumpProgram != "" {
+		return fmt.Errorf("-dump-program records locally generated programs; drop -remote to use it")
 	}
 	grid, err := buildGrid(benchList, *runtimes, *schedulers, *cores, *granularities)
 	if err != nil {
@@ -188,6 +207,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 
 	if *dumpProgram != "" {
 		return dumpPrograms(stdout, *dumpProgram, jobs, engine.Base)
+	}
+
+	if *remoteURL != "" {
+		return runRemote(ctx, stdout, stderr, *remoteURL, grid, len(jobs), *format, *out, *verbose)
 	}
 
 	if *store != "" {
@@ -238,6 +261,75 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		w = f
 	}
 	return emit(w, *format, points)
+}
+
+// runRemote submits the grid to a sweepd daemon and renders the streamed
+// points exactly as a local run would: same fields, same job order, so a
+// remote sweep's table is byte-identical to an in-process one.
+func runRemote(ctx context.Context, stdout, stderr io.Writer, url string, grid runner.Grid,
+	wantPoints int, format, out string, verbose bool) error {
+	if verbose {
+		fmt.Fprintf(stderr, "submitting %d points to %s\n", wantPoints, url)
+	}
+	req := service.SubmitRequest{
+		Benchmarks:    grid.Benchmarks,
+		Schedulers:    grid.Schedulers,
+		Cores:         grid.Cores,
+		Granularities: grid.Granularities,
+	}
+	for _, k := range grid.Runtimes {
+		req.Runtimes = append(req.Runtimes, string(k))
+	}
+	cl := &remote.Client{URL: url}
+	streamed, err := cl.Sweep(ctx, req)
+	if err != nil {
+		return err
+	}
+	if err := context.Cause(ctx); err != nil {
+		return err
+	}
+	// The stream arrives in completion order; the report is in grid order.
+	sort.Slice(streamed, func(i, j int) bool { return streamed[i].Index < streamed[j].Index })
+	var errs []error
+	points := make([]point, 0, len(streamed))
+	for _, p := range streamed {
+		switch {
+		case p.Cancelled:
+			errs = append(errs, fmt.Errorf("%s/%s: cancelled on the daemon: %s", p.Benchmark, p.Runtime, p.Error))
+		case p.Error != "":
+			errs = append(errs, errors.New(p.Error))
+		}
+		points = append(points, point{
+			Key:         p.Key,
+			Benchmark:   p.Benchmark,
+			Runtime:     p.Runtime,
+			Scheduler:   p.Scheduler,
+			Cores:       p.Cores,
+			Granularity: p.Granularity,
+			Tasks:       p.Tasks,
+			Cycles:      p.Cycles,
+			Seconds:     p.Seconds,
+			EnergyJ:     p.EnergyJ,
+			AvgPowerW:   p.AvgPowerW,
+			EDP:         p.EDP,
+		})
+	}
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	if len(points) != wantPoints {
+		return fmt.Errorf("remote sweep delivered %d of %d points", len(points), wantPoints)
+	}
+	w := stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return emit(w, format, points)
 }
 
 // replayJobs expands the grid's runtime/scheduler/core dimensions over

@@ -5,10 +5,16 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/service"
+	"repro/internal/taskrt"
 )
 
 // TestDryRunHasNoSideEffects pins the -dry-run contract: combined with
@@ -81,6 +87,65 @@ func TestHelpIsNotAnError(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "-benchmarks") {
 		t.Errorf("usage output missing flags:\n%s", stderr.String())
+	}
+}
+
+// TestRemoteSweepMatchesLocal: the same grid run in-process and via
+// -remote against a daemon — including a daemon coordinating a worker
+// fleet — produces byte-identical output in every format.
+func TestRemoteSweepMatchesLocal(t *testing.T) {
+	args := []string{"-benchmarks", "histogram", "-runtimes", "software,tdm", "-format", "csv"}
+
+	var local bytes.Buffer
+	var stderr bytes.Buffer
+	if err := run(context.Background(), args, &local, &stderr); err != nil {
+		t.Fatal(err)
+	}
+
+	// A single-node daemon: same base configuration as the CLI.
+	engine := &runner.Engine{Base: core.DefaultConfig(taskrt.Software), Store: runner.NewStore()}
+	srv := service.New(engine, 2)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var remote bytes.Buffer
+	if err := run(context.Background(), append([]string{"-remote", ts.URL}, args...), &remote, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(local.Bytes(), remote.Bytes()) {
+		t.Errorf("remote sweep differs from local run:\nlocal:\n%s\nremote:\n%s", local.String(), remote.String())
+	}
+
+	// A coordinator sharding across two (in-process) workers must render
+	// the same bytes again.
+	fleetEngine := &runner.Engine{Base: core.DefaultConfig(taskrt.Software), Store: runner.NewStore()}
+	fleet := service.New(fleetEngine, 2)
+	fleet.RegisterWorker("local-a", runner.Local{Base: fleetEngine.Base}, 1)
+	fleet.RegisterWorker("local-b", runner.Local{Base: fleetEngine.Base}, 1)
+	fts := httptest.NewServer(fleet.Handler())
+	defer fts.Close()
+
+	var sharded bytes.Buffer
+	if err := run(context.Background(), append([]string{"-remote", fts.URL}, args...), &sharded, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(local.Bytes(), sharded.Bytes()) {
+		t.Errorf("sharded sweep differs from local run:\nlocal:\n%s\nsharded:\n%s", local.String(), sharded.String())
+	}
+}
+
+// TestRemoteFlagValidation: flag combinations that cannot work remotely are
+// rejected up front.
+func TestRemoteFlagValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	for _, args := range [][]string{
+		{"-remote", "http://localhost:1", "-store", "somewhere"},
+		{"-remote", "http://localhost:1", "-replay-program", "prog.json"},
+		{"-remote", "http://localhost:1", "-dump-program", "progs/"},
+	} {
+		if err := run(context.Background(), args, &stdout, &stderr); err == nil {
+			t.Errorf("run(%v) accepted an impossible flag combination", args)
+		}
 	}
 }
 

@@ -30,6 +30,24 @@
 // sweeps are cancelled — in-flight simulation points stop at task-boundary
 // granularity — their final state is flushed to open streams, and the
 // process exits 0.
+//
+// # Fleet mode
+//
+// One sweepd can coordinate many others. Start workers with -worker (they
+// serve only POST /execute and /healthz), then point a coordinator at them:
+//
+//	sweepd -worker -addr :8081
+//	sweepd -worker -addr :8082
+//	sweepd -addr :8080 -store results/ -peers http://host1:8081,http://host2:8082
+//
+// or register workers at runtime:
+//
+//	curl -X PUT localhost:8080/workers -d '{"url":"http://host3:8083","slots":4}'
+//
+// The coordinator shards every submitted grid across the fleet with a
+// pull-based queue, requeues points whose worker dies mid-flight, and
+// merges all results into its own content-addressed store — so the fleet
+// is crash-tolerant and warm keys are never dispatched twice.
 package main
 
 import (
@@ -42,10 +60,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/remote"
 	"repro/internal/runner"
 	"repro/internal/service"
 	"repro/internal/taskrt"
@@ -53,13 +73,20 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-		store    = flag.String("store", "", "directory persisting results as JSON for warm resume across restarts")
-		workers  = flag.Int("workers", 0, "concurrent simulations across all sweeps (0 = GOMAXPROCS)")
-		verbose  = flag.Bool("v", false, "log per-simulation progress")
-		drainFor = flag.Duration("drain-timeout", 30*time.Second, "maximum time to wait for connections to close after drain")
+		addr      = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		store     = flag.String("store", "", "directory persisting results as JSON for warm resume across restarts")
+		workers   = flag.Int("workers", 0, "concurrent simulations across all sweeps (0 = GOMAXPROCS)")
+		verbose   = flag.Bool("v", false, "log per-simulation progress")
+		drainFor  = flag.Duration("drain-timeout", 30*time.Second, "maximum time to wait for connections to close after drain")
+		workerOn  = flag.Bool("worker", false, "run as a fleet execution worker: serve only POST /execute and /healthz")
+		peers     = flag.String("peers", "", "comma-separated worker base URLs to shard sweeps across (coordinator mode)")
+		peerSlots = flag.Int("peer-slots", 0, "concurrent points dispatched to each -peers worker (0 = default)")
+		maxPoints = flag.Int("max-points", service.DefaultMaxPoints, "largest grid expansion a submission may request")
 	)
 	flag.Parse()
+	if *workerOn && *peers != "" {
+		log.Fatalf("sweepd: -worker and -peers are mutually exclusive (a worker executes points, a coordinator dispatches them)")
+	}
 
 	engine := &runner.Engine{
 		Base:    core.DefaultConfig(taskrt.Software),
@@ -78,8 +105,36 @@ func main() {
 		log.Printf("sweepd: persisting results to %s", *store)
 	}
 
-	srv := service.New(engine, *workers)
-	hs := &http.Server{Handler: srv.Handler()}
+	var srv *service.Server
+	mux := http.NewServeMux()
+	if *workerOn {
+		// Workers expose only the execution protocol: points arrive from a
+		// coordinator, never as grid submissions.
+		mux.Handle("POST /execute", remote.WorkerHandler(engine))
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"ok":true,"worker":true}`)
+		})
+		log.Printf("sweepd: worker mode (serving /execute for a coordinator)")
+	} else {
+		srv = service.New(engine, *workers)
+		srv.MaxPoints = *maxPoints
+		srv.WorkerFactory = func(url string) runner.Executor { return remote.NewExecutor(url) }
+		for _, peer := range strings.Split(*peers, ",") {
+			if peer = strings.TrimSpace(peer); peer == "" {
+				continue
+			}
+			peer = strings.TrimRight(peer, "/")
+			srv.RegisterWorker(peer, remote.NewExecutor(peer), *peerSlots)
+			log.Printf("sweepd: registered worker %s", peer)
+		}
+		// Coordinators deliberately do not serve /execute: the service's
+		// own point semaphore already bounds local simulations, and a
+		// second executor pool on the same engine would let chained
+		// daemons oversubscribe -workers twofold.
+		mux.Handle("/", srv.Handler())
+	}
+	hs := &http.Server{Handler: mux}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -103,7 +158,11 @@ func main() {
 
 	// Drain: reject new submissions, cancel running sweeps, wait for their
 	// final state to flush, then close the listener and open connections.
-	srv.Drain(fmt.Errorf("sweepd: draining on signal"))
+	// A worker has no sweeps of its own; Shutdown below waits out its
+	// in-flight /execute requests.
+	if srv != nil {
+		srv.Drain(fmt.Errorf("sweepd: draining on signal"))
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {

@@ -1,0 +1,205 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/sched"
+	"repro/internal/taskrt"
+	"repro/internal/workloads/synth"
+)
+
+func testBase() core.Config {
+	cfg := core.DefaultConfig(taskrt.Software)
+	cfg.Machine = cfg.Machine.WithCores(8)
+	return cfg
+}
+
+func TestJobCodecRoundTrip(t *testing.T) {
+	base := testBase()
+	prog, err := synth.Generate("synth:stencil:width=4,depth=3,mean=10", base.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []runner.Job{
+		{Benchmark: "histogram", Runtime: taskrt.Software, Scheduler: sched.FIFO},
+		{Benchmark: "cholesky", Runtime: taskrt.TDM, Scheduler: sched.Locality, Cores: 16, Granularity: 64, Label: "grid"},
+		{Benchmark: prog.Name, Runtime: taskrt.TDM, Scheduler: sched.FIFO, Program: prog, Label: "replay"},
+	}
+	for _, j := range jobs {
+		data, err := EncodeJob(j)
+		if err != nil {
+			t.Fatalf("encode %s: %v", j.Desc(), err)
+		}
+		back, err := DecodeJob(data)
+		if err != nil {
+			t.Fatalf("decode %s: %v", j.Desc(), err)
+		}
+		// The decoded job must content-address identically: same point,
+		// same store key, on every machine in the fleet.
+		if back.Key(base) != j.Key(base) {
+			t.Errorf("job %s changed its key across the wire", j.Desc())
+		}
+	}
+}
+
+func TestJobCodecRejectsMutateAndGarbage(t *testing.T) {
+	mutated := runner.Job{
+		Benchmark: "histogram", Runtime: taskrt.Software, Scheduler: sched.FIFO,
+		Mutate: func(cfg *core.Config) { cfg.DMU.AccessLatency = 4 },
+	}
+	if _, err := EncodeJob(mutated); err == nil {
+		t.Error("job with a Mutate closure encoded silently (the mutation would be dropped)")
+	}
+	for _, data := range []string{
+		`not json`,
+		`{"benchmark":"histogram","runtime":"no-such-runtime"}`,
+		`{"benchmark":"histogram","runtime":"software","bogus":1}`,
+		`{"benchmark":"histogram","runtime":"software","program":{"schema":99}}`,
+	} {
+		if _, err := DecodeJob([]byte(data)); err == nil {
+			t.Errorf("DecodeJob(%q) accepted garbage", data)
+		}
+	}
+}
+
+// workerServer hosts a WorkerHandler over a real engine, as sweepd -worker
+// does.
+func workerServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	engine := &runner.Engine{Base: testBase(), Store: runner.NewStore()}
+	mux := http.NewServeMux()
+	mux.Handle("POST /execute", WorkerHandler(engine))
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestExecutorAgainstWorker: an HTTP round trip through a worker reproduces
+// the local simulation exactly.
+func TestExecutorAgainstWorker(t *testing.T) {
+	ts := workerServer(t)
+	job := runner.Job{Benchmark: "histogram", Runtime: taskrt.TDM, Scheduler: sched.FIFO}
+
+	want, err := runner.Local{Base: testBase()}.Execute(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewExecutor(ts.URL).Execute(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycles != want.Cycles || got.Energy.EDP != want.Energy.EDP {
+		t.Errorf("remote execution diverged: %d vs %d cycles", got.Cycles, want.Cycles)
+	}
+	if got.Program == nil || got.Program.NumTasks() != want.Program.NumTasks() {
+		t.Error("remote result lost its program")
+	}
+}
+
+// TestExecutorErrorClassification: broken points are permanent, dead
+// workers are transient, and cancellation is neither.
+func TestExecutorErrorClassification(t *testing.T) {
+	ts := workerServer(t)
+	exec := NewExecutor(ts.URL)
+
+	// A broken point: the worker answers 422 and the error is permanent —
+	// requeueing it on another worker would fail identically.
+	_, err := exec.Execute(context.Background(), runner.Job{
+		Benchmark: "no-such-benchmark", Runtime: taskrt.Software, Scheduler: sched.FIFO,
+	})
+	if err == nil || runner.IsTransient(err) {
+		t.Errorf("broken point returned %v, want a permanent error", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), "no-such-benchmark") {
+		t.Errorf("permanent error does not identify the point: %v", err)
+	}
+
+	// A dead worker: transient, eligible for requeue.
+	dead := NewExecutor(ts.URL)
+	ts.Close()
+	_, err = dead.Execute(context.Background(), runner.Job{
+		Benchmark: "histogram", Runtime: taskrt.Software, Scheduler: sched.FIFO,
+	})
+	if !runner.IsTransient(err) {
+		t.Errorf("dead worker returned %v, want a transient error", err)
+	}
+
+	// A worker rejecting the job encoding (400): deterministic for this
+	// job, so permanent — bouncing it around the fleet cannot help.
+	rejecting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"remote: unknown runtime"}`))
+	}))
+	defer rejecting.Close()
+	_, err = NewExecutor(rejecting.URL).Execute(context.Background(), runner.Job{
+		Benchmark: "histogram", Runtime: taskrt.Software, Scheduler: sched.FIFO,
+	})
+	if err == nil || runner.IsTransient(err) {
+		t.Errorf("job rejection returned %v, want a permanent error", err)
+	}
+
+	// A worker speaking a foreign protocol: transient (channel failure,
+	// not a verdict on the point).
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("<html>proxy error</html>"))
+	}))
+	defer garbage.Close()
+	_, err = NewExecutor(garbage.URL).Execute(context.Background(), runner.Job{
+		Benchmark: "histogram", Runtime: taskrt.Software, Scheduler: sched.FIFO,
+	})
+	if !runner.IsTransient(err) {
+		t.Errorf("garbage response returned %v, want a transient error", err)
+	}
+
+	// Our own cancellation: not transient, surfaces the cause.
+	cause := errors.New("sweep cancelled")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer slow.Close()
+	_, err = NewExecutor(slow.URL).Execute(ctx, runner.Job{
+		Benchmark: "histogram", Runtime: taskrt.Software, Scheduler: sched.FIFO,
+	})
+	if !errors.Is(err, cause) || runner.IsTransient(err) {
+		t.Errorf("cancelled dispatch returned %v, want the cancellation cause, non-transient", err)
+	}
+}
+
+// TestEngineWithRemoteExecutor: the whole engine machinery (store dedup,
+// RunAll assembly) works unchanged over a remote executor.
+func TestEngineWithRemoteExecutor(t *testing.T) {
+	ts := workerServer(t)
+	jobs := []runner.Job{
+		{Benchmark: "histogram", Runtime: taskrt.Software, Scheduler: sched.FIFO},
+		{Benchmark: "histogram", Runtime: taskrt.TDM, Scheduler: sched.FIFO},
+		// Alias of the first point: must dedup, not re-dispatch.
+		{Benchmark: "histogram", Runtime: taskrt.Software, Scheduler: sched.FIFO, Label: "alias"},
+	}
+	local := &runner.Engine{Base: testBase(), Store: runner.NewStore()}
+	want, err := local.RunAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &runner.Engine{Base: testBase(), Store: runner.NewStore(), Exec: NewExecutor(ts.URL)}
+	got, err := e.RunAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if got[i].Cycles != want[i].Cycles {
+			t.Errorf("point %d: remote %d cycles, local %d", i, got[i].Cycles, want[i].Cycles)
+		}
+	}
+	if got[0] != got[2] {
+		t.Error("aliased points not deduplicated through the remote executor")
+	}
+}

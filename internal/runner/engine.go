@@ -23,6 +23,12 @@ type Engine struct {
 	// Workers bounds the number of concurrently executing simulations.
 	// Zero or negative means GOMAXPROCS.
 	Workers int
+	// Exec overrides how individual points execute. nil simulates
+	// in-process against Base (equivalent to Local{Base}); a remote
+	// executor runs the point elsewhere. Store memoization and
+	// singleflight wrap whichever executor is configured, so warm keys
+	// never reach the executor.
+	Exec Executor
 	// Log receives one progress line per actually executed simulation
 	// (cache hits are silent); nil silences progress output.
 	Log io.Writer
@@ -71,9 +77,13 @@ func (e *Engine) RunContext(ctx context.Context, j Job) (*core.Result, error) {
 	return e.runKeyed(ctx, j, e.Key(j))
 }
 
-// exec simulates a job unconditionally, logging one progress line.
+// exec runs a job unconditionally through the configured executor, logging
+// one progress line.
 func (e *Engine) exec(ctx context.Context, j Job) (*core.Result, error) {
 	e.logf("running %-14s %-16s sched=%-9s %s", j.Benchmark, j.Runtime, j.Scheduler, j.Label)
+	if e.Exec != nil {
+		return e.Exec.Execute(ctx, j)
+	}
 	return j.RunContext(ctx, e.Base)
 }
 

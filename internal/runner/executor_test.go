@@ -1,0 +1,184 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/taskrt"
+)
+
+// countingExecutor returns a canned result and counts invocations.
+type countingExecutor struct {
+	calls atomic.Int32
+	res   *core.Result
+	err   error
+}
+
+func (e *countingExecutor) Execute(context.Context, Job) (*core.Result, error) {
+	e.calls.Add(1)
+	return e.res, e.err
+}
+
+// TestEngineExecutorOverride: with Exec set the engine never simulates
+// in-process, and the store still memoizes whatever the executor returns.
+func TestEngineExecutorOverride(t *testing.T) {
+	job := Job{Benchmark: "histogram", Runtime: taskrt.Software, Scheduler: sched.FIFO}
+	local := &Engine{Base: testBase(), Store: NewStore()}
+	want, err := local.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exec := &countingExecutor{res: want}
+	e := &Engine{Base: testBase(), Store: NewStore(), Exec: exec}
+	got, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Error("engine did not return the executor's result")
+	}
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if n := exec.calls.Load(); n != 1 {
+		t.Errorf("executor ran %d times, want 1 (second run must be a cache hit)", n)
+	}
+}
+
+// TestLocalExecutorMatchesEngine: Local is the executor form of the
+// engine's default path.
+func TestLocalExecutorMatchesEngine(t *testing.T) {
+	job := Job{Benchmark: "histogram", Runtime: taskrt.TDM, Scheduler: sched.FIFO}
+	direct, err := (&Engine{Base: testBase()}).Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaLocal, err := Local{Base: testBase()}.Execute(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaLocal.Cycles != direct.Cycles || viaLocal.Energy.EDP != direct.Energy.EDP {
+		t.Errorf("Local executor diverged from the engine: %d vs %d cycles", viaLocal.Cycles, direct.Cycles)
+	}
+}
+
+func TestTransientErrorClassification(t *testing.T) {
+	base := errors.New("connection refused")
+	wrapped := Transient(base)
+	if !IsTransient(wrapped) {
+		t.Error("Transient error not recognized")
+	}
+	if !IsTransient(fmt.Errorf("dispatch: %w", wrapped)) {
+		t.Error("wrapped transient error not recognized")
+	}
+	if !errors.Is(wrapped, base) {
+		t.Error("Transient hides the underlying error from errors.Is")
+	}
+	if IsTransient(base) {
+		t.Error("plain error classified transient")
+	}
+	if IsTransient(nil) || Transient(nil) != nil {
+		t.Error("nil error mishandled")
+	}
+	if IsTransient(context.Canceled) {
+		t.Error("cancellation classified transient")
+	}
+}
+
+// TestStoreHostileKeys: keys containing path separators or CreateTemp's
+// '*' placeholder must persist and load like any other key, without
+// escaping the store directory or breaking the temp-file pattern.
+// Regression test: save built its temp pattern from the raw key while
+// path() sanitized it, so a key with '/' (or '*') failed to persist.
+func TestStoreHostileKeys(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&Engine{Base: testBase()}).Run(Job{
+		Benchmark: "histogram", Runtime: taskrt.Software, Scheduler: sched.FIFO,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{
+		"a/b/c",
+		"*",
+		"star*middle",
+		`back\slash`,
+		"../../escape-attempt",
+		"plain-key",
+	}
+	for _, key := range keys {
+		if err := store.Put(key, res); err != nil {
+			t.Errorf("Put(%q): %v", key, err)
+			continue
+		}
+		if _, ok := store.Get(key); !ok {
+			t.Errorf("Get(%q) missed after Put", key)
+		}
+	}
+	// Every file landed inside the store directory, fully written, with no
+	// temp droppings.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(keys) {
+		t.Errorf("store dir holds %d files, want %d", len(entries), len(keys))
+	}
+	for _, ent := range entries {
+		if !strings.HasSuffix(ent.Name(), ".json") {
+			t.Errorf("store left a non-result file: %s", ent.Name())
+		}
+	}
+	if escaped, _ := filepath.Glob(filepath.Join(dir, "..", "*.json")); len(escaped) != 0 {
+		t.Errorf("hostile key escaped the store directory: %v", escaped)
+	}
+	// A fresh store over the same directory serves all of them warm.
+	fresh, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range keys {
+		if _, ok := fresh.Get(key); !ok {
+			t.Errorf("reloaded store missed key %q", key)
+		}
+	}
+}
+
+// TestGridSizeMatchesJobs: Size must predict len(Jobs()) exactly — the
+// submission path rejects oversized grids from Size before expanding them.
+func TestGridSizeMatchesJobs(t *testing.T) {
+	grids := []Grid{
+		{},
+		{Benchmarks: []string{"histogram"}},
+		{
+			Benchmarks: []string{"histogram", "cholesky"},
+			Runtimes:   []taskrt.Kind{taskrt.Software, taskrt.TDM, taskrt.Carbon},
+			Schedulers: []string{sched.FIFO, sched.LIFO},
+			Cores:      []int{8, 16},
+		},
+		{
+			Benchmarks:    []string{"synth:all", "histogram"},
+			Runtimes:      []taskrt.Kind{taskrt.Carbon, taskrt.TaskSuperscalar},
+			Schedulers:    []string{sched.FIFO, sched.LIFO, sched.Locality},
+			Granularities: []int64{0, 32, 64},
+		},
+	}
+	for i, g := range grids {
+		if got, want := g.Size(), len(g.Jobs()); got != want {
+			t.Errorf("grid %d: Size() = %d, len(Jobs()) = %d", i, got, want)
+		}
+	}
+}

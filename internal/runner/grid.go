@@ -82,11 +82,29 @@ func (g Grid) Validate() error {
 	return nil
 }
 
+// Size returns the number of jobs Jobs would emit, without allocating the
+// expansion — submission paths use it to reject oversized grids before
+// paying for them. It is derived from the same enumeration as Jobs, so the
+// two cannot drift apart.
+func (g Grid) Size() int {
+	n := 0
+	g.forEach(func(Job) { n++ })
+	return n
+}
+
 // Jobs expands the grid into a deterministic job list. Runtime systems that
 // schedule in hardware (Carbon, Task Superscalar) ignore the software
 // scheduling policy, so the grid emits a single point for them per
 // (benchmark, cores, granularity) combination instead of one per scheduler.
 func (g Grid) Jobs() []Job {
+	var jobs []Job
+	g.forEach(func(j Job) { jobs = append(jobs, j) })
+	return jobs
+}
+
+// forEach enumerates the grid's expansion in deterministic order — the
+// single source of truth behind both Jobs and Size.
+func (g Grid) forEach(fn func(Job)) {
 	benchmarks := g.expandBenchmarks()
 	runtimes := g.Runtimes
 	if len(runtimes) == 0 {
@@ -105,7 +123,6 @@ func (g Grid) Jobs() []Job {
 		granularities = []int64{0}
 	}
 
-	var jobs []Job
 	for _, b := range benchmarks {
 		for _, rt := range runtimes {
 			scheds := schedulers
@@ -121,7 +138,7 @@ func (g Grid) Jobs() []Job {
 				}
 				for _, c := range cores {
 					for _, gran := range granularities {
-						jobs = append(jobs, Job{
+						fn(Job{
 							Benchmark:   b,
 							Runtime:     rt,
 							Scheduler:   s,
@@ -134,5 +151,4 @@ func (g Grid) Jobs() []Job {
 			}
 		}
 	}
-	return jobs
 }

@@ -176,10 +176,23 @@ func isCancellation(err error) bool {
 		errors.Is(err, taskrt.ErrCancelled)
 }
 
-// path maps a key to its file. Keys are hex digests, but defend against
-// anything path-like all the same.
+// fileName flattens a key into a safe file-name fragment. Keys are hex
+// digests, but defend against anything path-like all the same: path
+// separators would escape the store directory, and '*' is os.CreateTemp's
+// random placeholder (save builds its temp pattern from the same fragment).
+func fileName(key string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', '*':
+			return '_'
+		}
+		return r
+	}, key)
+}
+
+// path maps a key to its file.
 func (s *Store) path(key string) string {
-	return filepath.Join(s.dir, strings.ReplaceAll(key, string(filepath.Separator), "_")+".json")
+	return filepath.Join(s.dir, fileName(key)+".json")
 }
 
 // load reads a persisted result. Unreadable or corrupt files (for example a
@@ -231,7 +244,7 @@ func (s *Store) save(key string, res *core.Result) error {
 	if err != nil {
 		return fmt.Errorf("runner: encode result %s: %w", key, err)
 	}
-	tmp, err := os.CreateTemp(s.dir, "."+key+".tmp*")
+	tmp, err := os.CreateTemp(s.dir, "."+fileName(key)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("runner: persist result %s: %w", key, err)
 	}

@@ -1,0 +1,329 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+)
+
+// The coordinator half of the service: when workers are registered (via the
+// -peers flag or PUT /workers), a submitted sweep is sharded across the
+// fleet instead of simulated in-process. Dispatch is pull-based — each
+// worker slot pulls the next point off a per-sweep queue, so fast workers
+// naturally take more points — and every result funnels through the
+// coordinator's content-addressed store: warm keys are never dispatched,
+// and completed points persist on the coordinator even when the worker that
+// computed them dies a moment later.
+//
+// Failure semantics: a transport failure (worker crashed, connection
+// dropped) requeues the point for another worker, while a failure of the
+// point itself is recorded as that point's error without retry. A worker
+// that fails maxWorkerFails consecutive dispatches is considered dead for
+// the remainder of the sweep; if every worker dies, the coordinator
+// finishes the leftover points locally so an unattended sweep still
+// completes. The per-point redispatch cap scales with the fleet
+// (maxWorkerFails per worker, plus slack), so a point can only exhaust its
+// attempts under pathological flakiness, never merely because the fleet
+// shrank.
+
+const (
+	// defaultWorkerSlots is how many points are dispatched concurrently to
+	// a worker that registered without an explicit slot count.
+	defaultWorkerSlots = 4
+	// maxWorkerSlots caps a registration's slot count: each slot is a
+	// dispatch goroutine per running sweep, so an unbounded value would
+	// let one PUT /workers request exhaust the coordinator.
+	maxWorkerSlots = 256
+	// maxWorkerFails is how many consecutive transport failures mark a
+	// worker dead for the rest of the sweep.
+	maxWorkerFails = 3
+)
+
+// worker is one registered fleet member.
+type worker struct {
+	name  string
+	exec  runner.Executor
+	slots int
+
+	// points counts results this worker delivered (across sweeps).
+	points atomic.Int64
+
+	mu      sync.Mutex
+	lastErr string
+	errAt   time.Time
+}
+
+func (w *worker) noteErr(err error, now time.Time) {
+	w.mu.Lock()
+	w.lastErr, w.errAt = err.Error(), now
+	w.mu.Unlock()
+}
+
+// WorkerInfo is the listing entry served by GET /workers.
+type WorkerInfo struct {
+	Name  string `json:"name"`
+	Slots int    `json:"slots"`
+	// Points counts results the worker has delivered since registration.
+	Points int64 `json:"points"`
+	// LastError is the most recent dispatch failure ("" if none).
+	LastError   string    `json:"last_error,omitempty"`
+	LastErrorAt time.Time `json:"last_error_at,omitzero"`
+}
+
+func (w *worker) info() WorkerInfo {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WorkerInfo{
+		Name:        w.name,
+		Slots:       w.slots,
+		Points:      w.points.Load(),
+		LastError:   w.lastErr,
+		LastErrorAt: w.errAt,
+	}
+}
+
+// RegisterWorker adds (or replaces, by name) a fleet worker. Sweeps
+// submitted after registration shard across the fleet; sweeps already
+// running keep the fleet snapshot they started with. slots <= 0 uses
+// defaultWorkerSlots; values beyond maxWorkerSlots are clamped.
+func (s *Server) RegisterWorker(name string, exec runner.Executor, slots int) {
+	if slots <= 0 {
+		slots = defaultWorkerSlots
+	}
+	if slots > maxWorkerSlots {
+		slots = maxWorkerSlots
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.workers == nil {
+		s.workers = make(map[string]*worker)
+	}
+	if _, ok := s.workers[name]; !ok {
+		s.workerOrder = append(s.workerOrder, name)
+	}
+	s.workers[name] = &worker{name: name, exec: exec, slots: slots}
+}
+
+// Workers lists the registered fleet in registration order.
+func (s *Server) Workers() []WorkerInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(s.workerOrder))
+	for _, name := range s.workerOrder {
+		out = append(out, s.workers[name].info())
+	}
+	return out
+}
+
+// fleetSnapshot returns the current workers; a sweep dispatches over the
+// snapshot taken at its start.
+func (s *Server) fleetSnapshot() []*worker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*worker, 0, len(s.workerOrder))
+	for _, name := range s.workerOrder {
+		out = append(out, s.workers[name])
+	}
+	return out
+}
+
+// RegisterWorkerRequest is the body of PUT /workers.
+type RegisterWorkerRequest struct {
+	// URL is the worker's base URL (its sweepd -worker address).
+	URL string `json:"url"`
+	// Slots bounds concurrent points dispatched to this worker; 0 uses the
+	// default.
+	Slots int `json:"slots,omitempty"`
+}
+
+func (s *Server) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
+	if s.WorkerFactory == nil {
+		httpError(w, http.StatusNotImplemented, errors.New("this daemon does not accept worker registrations"))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<16)
+	var req RegisterWorkerRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode registration: %w", err))
+		return
+	}
+	u, err := url.Parse(req.URL)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("worker url %q must be absolute http(s)", req.URL))
+		return
+	}
+	if req.Slots < 0 || req.Slots > maxWorkerSlots {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid slots %d (0 for the default, max %d)", req.Slots, maxWorkerSlots))
+		return
+	}
+	name := strings.TrimRight(req.URL, "/")
+	s.RegisterWorker(name, s.WorkerFactory(name), req.Slots)
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, s.Workers())
+}
+
+func (s *Server) handleListWorkers(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, s.Workers())
+}
+
+// pointTask is one queued grid point: its job index plus how many times a
+// transport failure has already bounced it between workers.
+type pointTask struct {
+	idx      int
+	attempts int
+}
+
+// runSharded executes a sweep by pulling points off a shared queue from
+// every worker slot. The queue is buffered to the job count, so a requeue
+// never blocks: at most len(jobs) tasks exist at any time.
+func (s *Server) runSharded(ctx context.Context, sw *sweep, workers []*worker) {
+	jobs := sw.jobs
+	queue := make(chan pointTask, len(jobs))
+	for i := range jobs {
+		queue <- pointTask{idx: i}
+	}
+	var pending atomic.Int64
+	pending.Store(int64(len(jobs)))
+	done := make(chan struct{})
+	settle := func(p Point) {
+		sw.append(p)
+		if pending.Add(-1) == 0 {
+			close(done)
+		}
+	}
+
+	// A point bounces between workers on transport failures; every bounce
+	// costs its worker one consecutive-failure credit, so fleet-wide
+	// bounces are bounded by maxWorkerFails per worker. The cap is only a
+	// backstop against pathological flakiness (a worker that stays healthy
+	// while one specific point's dispatches keep failing).
+	attemptCap := maxWorkerFails*len(workers) + 2
+
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		// Consecutive transport failures are tracked per sweep, so a
+		// worker that died during one sweep is retried fresh by the next.
+		fails := new(atomic.Int32)
+		slots := w.slots
+		if slots > len(jobs) {
+			// More slots than points would only idle goroutines.
+			slots = len(jobs)
+		}
+		for slot := 0; slot < slots; slot++ {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				for {
+					if fails.Load() >= maxWorkerFails {
+						return // worker is dead for this sweep
+					}
+					select {
+					case <-ctx.Done():
+						return
+					case <-done:
+						return
+					case t := <-queue:
+						s.dispatchPoint(ctx, sw, w, fails, t, attemptCap, queue, settle)
+					}
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+
+	if ctx.Err() != nil {
+		return // cancelled: unstarted points stay unreported, like a local sweep
+	}
+	// Every worker slot has exited with points still queued: the whole
+	// fleet died (or kept bouncing the points). Finish locally — the
+	// coordinator can always simulate — so an unattended sweep completes.
+	s.runQueueLocal(ctx, sw, queue, settle)
+}
+
+// dispatchPoint runs one pulled point on a worker through the coordinator's
+// store: warm keys settle without a dispatch, results persist on the
+// coordinator, and concurrent requests for one key share one dispatch.
+func (s *Server) dispatchPoint(ctx context.Context, sw *sweep, w *worker, fails *atomic.Int32,
+	t pointTask, attemptCap int, queue chan<- pointTask, settle func(Point)) {
+	j := sw.jobs[t.idx]
+	key := s.engine.Key(j)
+	// dispatched records whether this worker actually ran the point: a
+	// store cache hit (or waiting out another slot's in-flight dispatch of
+	// the same key) says nothing about this worker's health.
+	dispatched := false
+	exec := func(ctx context.Context) (*core.Result, error) {
+		dispatched = true
+		return w.exec.Execute(ctx, j)
+	}
+	var res *core.Result
+	var err error
+	if st := s.engine.Store; st != nil {
+		res, _, err = st.Do(ctx, key, exec)
+	} else {
+		res, err = exec(ctx)
+	}
+	switch {
+	case err == nil:
+		if dispatched {
+			fails.Store(0)
+			w.points.Add(1)
+		}
+		settle(pointOf(t.idx, j, key, s.engine.Base, res, nil, false))
+	case isCancelled(ctx, err):
+		settle(pointOf(t.idx, j, key, s.engine.Base, nil, err, true))
+	case runner.IsTransient(err):
+		if dispatched {
+			fails.Add(1)
+			w.noteErr(err, s.now())
+		}
+		if t.attempts+1 >= attemptCap {
+			err = fmt.Errorf("point failed %d dispatch attempts, last: %w", t.attempts+1, err)
+			settle(pointOf(t.idx, j, key, s.engine.Base, nil, err, false))
+			return
+		}
+		queue <- pointTask{idx: t.idx, attempts: t.attempts + 1}
+	default:
+		// The point itself failed; another worker would fail it the same
+		// way.
+		settle(pointOf(t.idx, j, key, s.engine.Base, nil, err, false))
+	}
+}
+
+// runQueueLocal drains whatever the fleet left behind through the
+// coordinator's own engine, bounded by the service point semaphore.
+func (s *Server) runQueueLocal(ctx context.Context, sw *sweep, queue <-chan pointTask, settle func(Point)) {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		var t pointTask
+		select {
+		case t = <-queue:
+		default:
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			return
+		}
+		wg.Add(1)
+		go func(t pointTask) {
+			defer wg.Done()
+			defer func() { <-s.sem }()
+			j := sw.jobs[t.idx]
+			key := s.engine.Key(j)
+			res, err := s.engine.RunContext(ctx, j)
+			settle(pointOf(t.idx, j, key, s.engine.Base, res, err, isCancelled(ctx, err)))
+		}(t)
+	}
+}

@@ -15,7 +15,14 @@
 //	GET  /sweeps/{id}        status and progress counters
 //	GET  /sweeps/{id}/stream replay + follow the sweep's results as NDJSON
 //	POST /sweeps/{id}/cancel stop the sweep's in-flight points
+//	PUT  /workers           register a remote execution worker
+//	GET  /workers           list the worker fleet and its health
 //	GET  /healthz           liveness and drain state
+//
+// With workers registered (PUT /workers, or sweepd's -peers flag) the
+// service becomes a coordinator: submitted grids are sharded across the
+// fleet through a pull-based dispatch queue instead of simulated in-process
+// — see coordinator.go for the dispatch and failure semantics.
 //
 // Cancellation is plumbed through the whole execution path: cancelling a
 // sweep (explicitly, by disconnecting a ?stream=1 submission, or by draining
@@ -31,6 +38,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -49,6 +57,18 @@ type Server struct {
 	// sweeps (the engine's worker-pool equivalent for the service).
 	sem chan struct{}
 
+	// MaxBodyBytes bounds a POST /sweeps request body; larger submissions
+	// get 413. MaxPoints bounds a submitted grid's expansion; larger grids
+	// get 400 before any job is allocated. Both are set before serving;
+	// New installs the defaults.
+	MaxBodyBytes int64
+	MaxPoints    int
+
+	// WorkerFactory turns a worker base URL from PUT /workers into its
+	// executor (cmd/sweepd wires remote.NewExecutor here). nil rejects
+	// dynamic registration with 501; RegisterWorker still works.
+	WorkerFactory func(url string) runner.Executor
+
 	// baseCtx parents every sweep's context; cancelBase is the drain
 	// switch that stops them all.
 	baseCtx    context.Context
@@ -59,6 +79,11 @@ type Server struct {
 	order    []string // submission order for listings
 	nextID   int
 	draining bool
+
+	// workers is the registered execution fleet (see coordinator.go).
+	// While it is empty, sweeps simulate in-process.
+	workers     map[string]*worker
+	workerOrder []string // registration order for listings and dispatch
 
 	// maxRetained caps how many finished sweeps (and their per-point logs)
 	// stay queryable; beyond it the oldest terminal sweeps are evicted so a
@@ -81,11 +106,13 @@ func New(engine *runner.Engine, workers int) *Server {
 		workers = engine.WorkerCount()
 	}
 	s := &Server{
-		engine:      engine,
-		sem:         make(chan struct{}, workers),
-		sweeps:      make(map[string]*sweep),
-		maxRetained: 256,
-		now:         time.Now,
+		engine:       engine,
+		sem:          make(chan struct{}, workers),
+		sweeps:       make(map[string]*sweep),
+		maxRetained:  256,
+		MaxBodyBytes: DefaultMaxBodyBytes,
+		MaxPoints:    DefaultMaxPoints,
+		now:          time.Now,
 	}
 	s.baseCtx, s.cancelBase = context.WithCancelCause(context.Background())
 	mux := http.NewServeMux()
@@ -94,10 +121,19 @@ func New(engine *runner.Engine, workers int) *Server {
 	mux.HandleFunc("GET /sweeps/{id}", s.handleStatus)
 	mux.HandleFunc("GET /sweeps/{id}/stream", s.handleStream)
 	mux.HandleFunc("POST /sweeps/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("PUT /workers", s.handleRegisterWorker)
+	mux.HandleFunc("GET /workers", s.handleListWorkers)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux = mux
 	return s
 }
+
+// Default ingress limits installed by New (see Server.MaxBodyBytes and
+// Server.MaxPoints).
+const (
+	DefaultMaxBodyBytes = 1 << 20
+	DefaultMaxPoints    = 100_000
+)
 
 // Handler returns the HTTP handler serving the endpoints above.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -175,10 +211,28 @@ func (s *Server) submit(jobs []runner.Job) (*sweep, error) {
 	return sw, nil
 }
 
-// runSweep executes a sweep's jobs over the shared point semaphore, appending
-// each finished point to the sweep log and settling the terminal state.
+// runSweep executes a sweep — sharded over the worker fleet when one is
+// registered, in-process otherwise — and settles the terminal state.
 func (s *Server) runSweep(ctx context.Context, sw *sweep) {
 	defer s.wg.Done()
+	if workers := s.fleetSnapshot(); len(workers) > 0 {
+		s.runSharded(ctx, sw, workers)
+	} else {
+		s.runLocal(ctx, sw)
+	}
+	state := StateDone
+	if ctx.Err() != nil {
+		state = StateCancelled
+	}
+	sw.finish(state, s.now())
+	// Release the sweep's context resources once the last point settled.
+	sw.cancel(nil)
+	s.evict()
+}
+
+// runLocal executes a sweep's jobs in-process over the shared point
+// semaphore, appending each finished point to the sweep log.
+func (s *Server) runLocal(ctx context.Context, sw *sweep) {
 	var wg sync.WaitGroup
 launch:
 	for i, j := range sw.jobs {
@@ -195,27 +249,25 @@ launch:
 			defer func() { <-s.sem }()
 			key := s.engine.Key(j)
 			res, err := s.engine.RunContext(ctx, j)
-			cancelled := false
-			if err != nil {
-				cancelled = errors.Is(err, taskrt.ErrCancelled) || errors.Is(err, context.Canceled)
-				if cause := context.Cause(ctx); !cancelled && cause != nil {
-					// Custom cancellation causes (drain, client abort)
-					// surface bare from store waiters.
-					cancelled = errors.Is(err, cause)
-				}
-			}
-			sw.append(pointOf(i, j, key, s.engine.Base, res, err, cancelled))
+			sw.append(pointOf(i, j, key, s.engine.Base, res, err, isCancelled(ctx, err)))
 		}(i, j)
 	}
 	wg.Wait()
-	state := StateDone
-	if ctx.Err() != nil {
-		state = StateCancelled
+}
+
+// isCancelled reports whether a point error is the sweep's cancellation
+// rather than a failure of the point itself. Custom cancellation causes
+// (drain, client abort) surface bare from store waiters, hence the cause
+// comparison.
+func isCancelled(ctx context.Context, err error) bool {
+	if err == nil {
+		return false
 	}
-	sw.finish(state, s.now())
-	// Release the sweep's context resources once the last point settled.
-	sw.cancel(nil)
-	s.evict()
+	if errors.Is(err, taskrt.ErrCancelled) || errors.Is(err, context.Canceled) {
+		return true
+	}
+	cause := context.Cause(ctx)
+	return cause != nil && errors.Is(err, cause)
 }
 
 // evict drops the oldest finished sweeps beyond the retention cap. Results
@@ -254,10 +306,27 @@ func (s *Server) get(id string) (*sweep, bool) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Validate the stream mode before committing the sweep: "?stream=yes"
+	// must be a 400, not a silently asynchronous submission the client
+	// believes it is following.
+	stream := false
+	if q := r.URL.Query().Get("stream"); q != "" {
+		var err error
+		if stream, err = strconv.ParseBool(q); err != nil {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("invalid stream value %q (want a boolean, e.g. stream=1)", q))
+			return
+		}
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.MaxBodyBytes)
 	var req SubmitRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := decodeStrict(r.Body, &req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("submission body exceeds %d bytes", s.MaxBodyBytes))
+			return
+		}
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decode submission: %w", err))
 		return
 	}
@@ -266,11 +335,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	jobs := grid.Jobs()
-	if len(jobs) == 0 {
+	// Cap the expansion before allocating it: a small request body can
+	// still describe a combinatorially explosive grid.
+	switch size := grid.Size(); {
+	case size == 0:
 		httpError(w, http.StatusBadRequest, errors.New("empty grid"))
 		return
+	case size > s.MaxPoints:
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("grid expands to %d points, exceeding this daemon's limit of %d", size, s.MaxPoints))
+		return
 	}
+	jobs := grid.Jobs()
 	sw, err := s.submit(jobs)
 	if errors.Is(err, ErrDraining) {
 		httpError(w, http.StatusServiceUnavailable, err)
@@ -280,7 +356,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	if stream, _ := strconv.ParseBool(r.URL.Query().Get("stream")); stream {
+	if stream {
 		// Synchronous mode: stream results on this connection and cancel
 		// the sweep when the client goes away — an aborted curl stops the
 		// in-flight simulation points. ("" , "0" and "false" submit
@@ -291,6 +367,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	writeJSON(w, SubmitResponse{ID: sw.id, Jobs: len(jobs)})
+}
+
+// decodeStrict decodes JSON rejecting unknown fields and trailing garbage.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {

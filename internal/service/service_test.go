@@ -397,6 +397,154 @@ func TestFinishedSweepEviction(t *testing.T) {
 	}
 }
 
+// TestSubmitBodyTooLarge: an oversized submission body is rejected with 413
+// before any decoding happens.
+func TestSubmitBodyTooLarge(t *testing.T) {
+	srv, ts := testServer(t, nil)
+	srv.MaxBodyBytes = 256
+	body := `{"benchmarks":["histogram"],"schedulers":["fifo","` + strings.Repeat("x", 512) + `"]}`
+	resp := postJSON(t, ts.URL+"/sweeps", body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submission = %d, want 413", resp.StatusCode)
+	}
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if len(srv.order) != 0 {
+		t.Error("rejected submission registered a sweep")
+	}
+}
+
+// TestSubmitTooManyPoints: a small body describing a combinatorially huge
+// grid is rejected with 400 before the expansion is allocated.
+func TestSubmitTooManyPoints(t *testing.T) {
+	srv, ts := testServer(t, nil)
+	srv.MaxPoints = 10
+	resp := postJSON(t, ts.URL+"/sweeps", `{
+		"benchmarks": ["histogram", "cholesky"],
+		"runtimes": ["software", "tdm"],
+		"schedulers": ["fifo", "lifo"],
+		"cores": [4, 8, 16]
+	}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized grid = %d, want 400", resp.StatusCode)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body.Error, "24 points") || !strings.Contains(body.Error, "10") {
+		t.Errorf("error does not name the expansion and the limit: %q", body.Error)
+	}
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if len(srv.order) != 0 {
+		t.Error("rejected grid registered a sweep")
+	}
+}
+
+// TestStreamParamMalformed: a stream value ParseBool rejects must be a 400,
+// not a silent asynchronous submission the client believes it is following.
+func TestStreamParamMalformed(t *testing.T) {
+	srv, ts := testServer(t, nil)
+	for _, q := range []string{"?stream=yes", "?stream=y", "?stream=on", "?stream=2"} {
+		resp := postJSON(t, ts.URL+"/sweeps"+q, `{"benchmarks":["histogram"],"runtimes":["software"]}`)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit with %q status = %d, want 400", q, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	// Nothing was submitted: the validation runs before the sweep starts.
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if len(srv.order) != 0 {
+		t.Errorf("malformed stream values still submitted %d sweeps", len(srv.order))
+	}
+}
+
+// TestStreamFinishedSweep: streaming a sweep that already finished replays
+// the full point log and terminates immediately instead of hanging.
+func TestStreamFinishedSweep(t *testing.T) {
+	_, ts := testServer(t, nil)
+	resp := postJSON(t, ts.URL+"/sweeps", `{"benchmarks":["histogram"],"runtimes":["software","tdm"]}`)
+	sub := decode[SubmitResponse](t, resp.Body)
+	resp.Body.Close()
+	if st := waitState(t, ts.URL+"/sweeps/"+sub.ID); st.State != StateDone {
+		t.Fatalf("sweep ended %s", st.State)
+	}
+
+	// The sweep is terminal; the stream must replay everything and close on
+	// its own, well before the watchdog.
+	done := make(chan []Point, 1)
+	go func() { done <- streamPoints(t, ts.URL+"/sweeps/"+sub.ID+"/stream") }()
+	select {
+	case points := <-done:
+		if len(points) != 2 {
+			t.Fatalf("finished sweep replayed %d points, want 2", len(points))
+		}
+		seen := map[int]bool{}
+		for _, p := range points {
+			if p.Error != "" || p.Cycles <= 0 {
+				t.Errorf("implausible replayed point %+v", p)
+			}
+			seen[p.Index] = true
+		}
+		if !seen[0] || !seen[1] {
+			t.Errorf("replay missed points: %+v", points)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream of a finished sweep did not terminate")
+	}
+}
+
+// TestEvictRetentionOrdering: eviction drops the oldest *finished* sweeps
+// first and never touches running ones, regardless of interleaving.
+func TestEvictRetentionOrdering(t *testing.T) {
+	srv := New(&runner.Engine{Base: core.DefaultConfig(taskrt.Software), Store: runner.NewStore()}, 1)
+	srv.maxRetained = 2
+	noCancel := func(error) {}
+	add := func(id string, state State) {
+		sw := newSweep(id, nil, noCancel, srv.now())
+		if state != StateRunning {
+			sw.finish(state, srv.now())
+		}
+		srv.sweeps[id] = sw
+		srv.order = append(srv.order, id)
+	}
+	// Submission order interleaves running and terminal sweeps.
+	add("s1", StateDone)
+	add("s2", StateRunning)
+	add("s3", StateCancelled)
+	add("s4", StateRunning)
+	add("s5", StateDone)
+	add("s6", StateDone)
+
+	srv.evict()
+
+	want := []string{"s2", "s4", "s5", "s6"} // 4 finished - cap 2 = drop s1, s3 (oldest finished)
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if len(srv.order) != len(want) {
+		t.Fatalf("retained %v, want %v", srv.order, want)
+	}
+	for i, id := range want {
+		if srv.order[i] != id {
+			t.Fatalf("retained %v, want %v", srv.order, want)
+		}
+		if _, ok := srv.sweeps[id]; !ok {
+			t.Errorf("retained order lists %s but the sweep is gone", id)
+		}
+	}
+	for _, id := range []string{"s1", "s3"} {
+		if _, ok := srv.sweeps[id]; ok {
+			t.Errorf("sweep %s survived eviction", id)
+		}
+	}
+}
+
 // TestHealthz covers the healthy half of the liveness endpoint.
 func TestHealthz(t *testing.T) {
 	_, ts := testServer(t, nil)

@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# End-to-end exercise of the distributed sweep fleet: boot a coordinator and
+# two -worker daemons, submit a grid through `sweep -remote`, SIGKILL one
+# worker while the sweep is running, and verify that the sweep still
+# completes with output byte-identical to an in-process run — i.e. the
+# killed worker's points were requeued onto the survivor, not lost.
+# CI runs this on every PR.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+pids=()
+
+cleanup() {
+  for p in "${pids[@]:-}"; do
+    kill -9 "$p" 2>/dev/null || true
+  done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  for f in "$workdir"/*.log; do
+    [ -f "$f" ] || continue
+    echo "--- $f ---" >&2
+    cat "$f" >&2
+  done
+  exit 1
+}
+
+go build -o "$workdir/sweepd" ./cmd/sweepd
+go build -o "$workdir/sweep" ./cmd/sweep
+
+# start_daemon <name> [sweepd args...] — boots a daemon on a free port and
+# exports <name>_pid / <name>_addr from its "listening on" log line.
+start_daemon() {
+  local name=$1
+  shift
+  "$workdir/sweepd" -addr 127.0.0.1:0 "$@" >"$workdir/$name.log" 2>&1 &
+  local pid=$!
+  pids+=("$pid")
+  local addr=""
+  for _ in $(seq 100); do
+    addr=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$workdir/$name.log" | head -1)
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  [ -n "$addr" ] || fail "$name did not report a listen address"
+  eval "${name}_pid=$pid"
+  eval "${name}_addr=$addr"
+}
+
+# A grid slow enough (~0.5s/point, 12 points) that a worker can be killed
+# mid-sweep, fast enough for CI.
+GRID=(-workload "synth:layered:seed=3,width=64,depth=400,mean=60"
+  -runtimes software,tdm -schedulers fifo,lifo,locality -cores 8,16
+  -format csv)
+
+# Reference: an uninterrupted in-process run of the same grid.
+"$workdir/sweep" "${GRID[@]}" -o "$workdir/local.csv" || fail "local sweep failed"
+
+start_daemon w1 -worker
+start_daemon w2 -worker
+start_daemon coord -store "$workdir/store" \
+  -peers "http://$w1_addr,http://$w2_addr" -peer-slots 2
+
+curl -fsS "http://$w1_addr/healthz" | grep -q '"worker":true' || fail "w1 is not in worker mode"
+workers=$(curl -fsS "http://$coord_addr/workers" | grep -o '"name"' | wc -l)
+[ "$workers" -eq 2 ] || fail "coordinator registered $workers workers, want 2"
+
+# Submit the grid through the coordinator.
+"$workdir/sweep" -remote "http://$coord_addr" "${GRID[@]}" -o "$workdir/remote.csv" \
+  >"$workdir/sweep-remote.log" 2>&1 &
+sweep_pid=$!
+pids+=("$sweep_pid")
+
+# SIGKILL worker 1 once the sweep is demonstrably mid-flight (some points
+# completed, more outstanding).
+killed=no
+for _ in $(seq 600); do
+  sweeps=$(curl -fsS "http://$coord_addr/sweeps" 2>/dev/null || true)
+  state=$(echo "$sweeps" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p' | head -1)
+  completed=$(echo "$sweeps" | sed -n 's/.*"completed":\([0-9]*\).*/\1/p' | head -1)
+  if [ "$state" = "running" ] && [ "${completed:-0}" -ge 2 ]; then
+    kill -9 "$w1_pid"
+    killed=yes
+    echo "killed worker 1 at $completed/12 points"
+    break
+  fi
+  [ "$state" = "done" ] && break
+  sleep 0.1
+done
+[ "$killed" = yes ] || fail "sweep finished before a worker could be killed mid-flight (grid too fast?)"
+
+wait "$sweep_pid" || fail "remote sweep exited non-zero after the worker kill"
+
+# The acceptance bar: byte-identical results despite the mid-sweep kill.
+cmp "$workdir/local.csv" "$workdir/remote.csv" || fail "remote results differ from the local run"
+
+# The sweep settled cleanly: done, every point completed, none failed.
+final=$(curl -fsS "http://$coord_addr/sweeps")
+echo "$final" | grep -q '"state":"done"' || fail "sweep did not end done: $final"
+echo "$final" | grep -q '"completed":12' || fail "sweep did not complete all 12 points: $final"
+echo "$final" | grep -q '"failed":0' || fail "sweep recorded failures: $final"
+
+# The coordinator observed the kill (requeue evidence) and the survivor
+# carried points.
+fleet=$(curl -fsS "http://$coord_addr/workers")
+echo "$fleet" | grep -q '"last_error"' || fail "killed worker's dispatch failure not recorded: $fleet"
+
+# Every coordinator store file is complete JSON (the merge is atomic).
+ls "$workdir/store"/*.json >/dev/null 2>&1 || fail "coordinator store holds no results"
+for f in "$workdir/store"/*; do
+  case "$f" in
+  *.json) python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$f" 2>/dev/null ||
+    fail "store file $f is not valid JSON" ;;
+  *) fail "store holds a non-result file: $f" ;;
+  esac
+done
+
+echo "PASS: sweepd fleet e2e (coordinator + 2 workers, SIGKILL mid-sweep, byte-identical results)"
