@@ -56,8 +56,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -65,6 +67,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/remote"
 	"repro/internal/runner"
 	"repro/internal/service"
@@ -105,27 +108,56 @@ func main() {
 		log.Printf("sweepd: persisting results to %s", *store)
 	}
 
+	// Structured logs (request, sweep and dispatch records) go to stderr
+	// next to the protocol lines std log prints below.
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
 	var srv *service.Server
 	mux := http.NewServeMux()
 	if *workerOn {
-		// Workers expose only the execution protocol: points arrive from a
-		// coordinator, never as grid submissions.
-		mux.Handle("POST /execute", remote.WorkerHandler(engine))
+		// Workers expose only the execution protocol — points arrive from a
+		// coordinator, never as grid submissions — plus the same
+		// observability surface a coordinator has: /metrics covering the
+		// worker's engine, store and request handling, and /debug/pprof.
+		reg := obs.NewRegistry()
+		engine.Metrics = runner.NewEngineMetrics(reg)
+		engine.Store.Metrics = runner.NewStoreMetrics(reg)
+		wk := &remote.Worker{
+			Engine:  engine,
+			Log:     logger,
+			Metrics: remote.NewWorkerMetrics(reg),
+		}
+		mux.Handle("POST /execute", wk.Handler())
 		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			fmt.Fprintln(w, `{"ok":true,"worker":true}`)
 		})
+		mux.Handle("GET /metrics", obs.Handler(reg))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		log.Printf("sweepd: worker mode (serving /execute for a coordinator)")
 	} else {
 		srv = service.New(engine, *workers)
 		srv.MaxPoints = *maxPoints
-		srv.WorkerFactory = func(url string) runner.Executor { return remote.NewExecutor(url) }
+		srv.Log = logger
+		// One dispatch-metric family shared by every fleet executor, so
+		// /metrics breaks dispatches down per worker URL.
+		dispatchMetrics := remote.NewMetrics(srv.Registry())
+		newExecutor := func(url string) *remote.Executor {
+			ex := remote.NewExecutor(url)
+			ex.Metrics = dispatchMetrics
+			return ex
+		}
+		srv.WorkerFactory = func(url string) runner.Executor { return newExecutor(url) }
 		for _, peer := range strings.Split(*peers, ",") {
 			if peer = strings.TrimSpace(peer); peer == "" {
 				continue
 			}
 			peer = strings.TrimRight(peer, "/")
-			srv.RegisterWorker(peer, remote.NewExecutor(peer), *peerSlots)
+			srv.RegisterWorker(peer, newExecutor(peer), *peerSlots)
 			log.Printf("sweepd: registered worker %s", peer)
 		}
 		// Coordinators deliberately do not serve /execute: the service's

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders every registered family in the Prometheus text exposition
+// format (version 0.0.4): `# HELP` and `# TYPE` headers followed by one line
+// per series, histograms expanded into cumulative `_bucket{le=...}` lines
+// plus `_sum` and `_count`. Output is deterministic: families sort by name
+// and series by label values, so scrapes (and golden-file tests) are stable.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	byName := make(map[string]*family, len(r.families))
+	for name, f := range r.families {
+		names = append(names, name)
+		byName[name] = f
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		writeFamily(bw, byName[name])
+	}
+	return bw.Flush()
+}
+
+func writeFamily(w *bufio.Writer, f *family) {
+	f.mu.Lock()
+	keys := append([]string(nil), f.order...)
+	series := make([]any, len(keys))
+	for i, k := range keys {
+		series[i] = f.series[k]
+	}
+	fn := f.fn
+	f.mu.Unlock()
+	sort.Sort(&seriesSorter{keys: keys, series: series})
+
+	if f.help != "" {
+		w.WriteString("# HELP " + f.name + " " + escapeHelp(f.help) + "\n")
+	}
+	w.WriteString("# TYPE " + f.name + " " + f.kind + "\n")
+	if fn != nil {
+		w.WriteString(f.name + " " + formatFloat(fn()) + "\n")
+		return
+	}
+	for i, key := range keys {
+		values := labelValues(key, len(f.labels))
+		switch m := series[i].(type) {
+		case *Counter:
+			writeSample(w, f.name, f.labels, values, "", "", m.Value())
+		case *Gauge:
+			writeSample(w, f.name, f.labels, values, "", "", m.Value())
+		case *Histogram:
+			cum, count, sum := m.snapshot()
+			for b, c := range cum {
+				le := "+Inf"
+				if b < len(m.bounds) {
+					le = formatFloat(m.bounds[b])
+				}
+				writeSample(w, f.name+"_bucket", f.labels, values, "le", le, float64(c))
+			}
+			writeSample(w, f.name+"_sum", f.labels, values, "", "", sum)
+			writeSample(w, f.name+"_count", f.labels, values, "", "", float64(count))
+		}
+	}
+}
+
+// seriesSorter sorts label-value keys and their series in lockstep.
+type seriesSorter struct {
+	keys   []string
+	series []any
+}
+
+func (s *seriesSorter) Len() int           { return len(s.keys) }
+func (s *seriesSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *seriesSorter) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.series[i], s.series[j] = s.series[j], s.series[i]
+}
+
+func labelValues(key string, n int) []string {
+	if n == 0 {
+		return nil
+	}
+	return strings.SplitN(key, "\xff", n)
+}
+
+// writeSample writes one series line: name{labels...,extraName=extraValue} v.
+func writeSample(w *bufio.Writer, name string, labels, values []string, extraName, extraValue string, v float64) {
+	w.WriteString(name)
+	if len(labels) > 0 || extraName != "" {
+		w.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(l + `="` + escapeLabel(values[i]) + `"`)
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(extraName + `="` + escapeLabel(extraValue) + `"`)
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(v))
+	w.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

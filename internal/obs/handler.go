@@ -1,0 +1,16 @@
+package obs
+
+import "net/http"
+
+// TextContentType is the Content-Type of the Prometheus text exposition
+// format served by Handler.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler serves the registry's metrics as a Prometheus scrape endpoint
+// (conventionally mounted at GET /metrics).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", TextContentType)
+		_ = r.WriteText(w)
+	})
+}

@@ -1,0 +1,153 @@
+package perf
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/remote"
+	"repro/internal/runner"
+	"repro/internal/service"
+)
+
+// Service-level probes: instead of timing the simulator, these time the
+// machinery wrapped around it — the HTTP submit path, the fleet dispatch
+// loop, and the content-addressed store — so a regression in the service
+// layer is caught even when every simulation probe is flat.
+
+// submitBody is the tiny grid the service probes submit: a single small
+// synthetic point, so the measured time is dominated by service machinery.
+const submitBody = `{"benchmarks":["synth:blockdense:width=4,mean=500"],"runtimes":["tdm"]}`
+
+// benchServiceSubmitFirstRow measures the submit-to-first-NDJSON-row path of
+// POST /sweeps?stream=1 against a warm store: decode, grid expansion, sweep
+// bookkeeping, a store hit, and the streaming write back — the latency floor
+// a client sees before any result arrives.
+func benchServiceSubmitFirstRow(b *testing.B, extra map[string]float64) {
+	engine := &runner.Engine{Base: core.DefaultConfig(core.TDM), Store: runner.NewStore(), Workers: 2}
+	srv := service.New(engine, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	submit := func() time.Duration {
+		start := time.Now()
+		resp, err := http.Post(ts.URL+"/sweeps?stream=1", "application/json", bytes.NewReader([]byte(submitBody)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("submit: status %d", resp.StatusCode)
+		}
+		br := bufio.NewReader(resp.Body)
+		if _, err := br.ReadBytes('\n'); err != nil {
+			b.Fatalf("first row: %v", err)
+		}
+		firstRow := time.Since(start)
+		// Drain so the sweep settles instead of being cancelled by the
+		// disconnect.
+		_, _ = io.Copy(io.Discard, br)
+		return firstRow
+	}
+	submit() // warm the store: measured iterations time the service, not the simulator
+	b.ResetTimer()
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		total += submit()
+	}
+	extra["first_row_ns"] = float64(total.Nanoseconds()) / float64(b.N)
+}
+
+// benchServiceDispatchPoints measures fleet dispatch throughput: a
+// coordinator sharding a small grid over two in-process HTTP workers, from
+// submission to the last settled point. Worker stores stay warm across
+// iterations, so the steady state times the dispatch round-trips and the
+// coordinator's store/queue machinery rather than the simulations.
+func benchServiceDispatchPoints(b *testing.B, extra map[string]float64) {
+	newWorker := func() *httptest.Server {
+		eng := &runner.Engine{Base: core.DefaultConfig(core.TDM), Store: runner.NewStore(), Workers: 2}
+		return httptest.NewServer(remote.WorkerHandler(eng))
+	}
+	w1, w2 := newWorker(), newWorker()
+	defer w1.Close()
+	defer w2.Close()
+
+	grid := runner.Grid{
+		Benchmarks: []string{"synth:blockdense:width=4,mean=500"},
+		Cores:      []int{8, 16},
+	}
+	if err := grid.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	points := grid.Size()
+
+	run := func() {
+		// A fresh coordinator per iteration: its store must be cold or no
+		// point would be dispatched at all.
+		engine := &runner.Engine{Base: core.DefaultConfig(core.TDM), Store: runner.NewStore(), Workers: 2}
+		srv := service.New(engine, 0)
+		srv.RegisterWorker(w1.URL, remote.NewExecutor(w1.URL), 2)
+		srv.RegisterWorker(w2.URL, remote.NewExecutor(w2.URL), 2)
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		resp, err := http.Post(ts.URL+"/sweeps?stream=1", "application/json",
+			bytes.NewReader([]byte(`{"benchmarks":["synth:blockdense:width=4,mean=500"],"cores":[8,16]}`)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("submit: status %d", resp.StatusCode)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		srv.Drain(nil)
+	}
+	run() // warm the worker stores
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	extra["points_per_op"] = float64(points)
+}
+
+// benchStoreHitMiss measures the disk store's two paths separately: a miss
+// (compute + persist of a canned result) and a hit (memory lookup), reported
+// as extra metrics next to the combined ns/op.
+func benchStoreHitMiss(b *testing.B, extra map[string]float64) {
+	st, err := runner.NewDiskStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	canned, err := core.RunBenchmark("synth:blockdense:width=2,mean=200", core.DefaultConfig(core.Software))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := b.Context()
+	compute := func(context.Context) (*core.Result, error) { return canned, nil }
+	b.ResetTimer()
+	var missTotal, hitTotal time.Duration
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("perf-hit-miss-%d", i)
+		start := time.Now()
+		if _, _, err := st.Do(ctx, key, compute); err != nil {
+			b.Fatal(err)
+		}
+		missTotal += time.Since(start)
+		start = time.Now()
+		if _, _, err := st.Do(ctx, key, compute); err != nil {
+			b.Fatal(err)
+		}
+		hitTotal += time.Since(start)
+	}
+	extra["miss_ns"] = float64(missTotal.Nanoseconds()) / float64(b.N)
+	extra["hit_ns"] = float64(hitTotal.Nanoseconds()) / float64(b.N)
+}

@@ -52,6 +52,9 @@ func allProbes() []Probe {
 		{Name: "dmu/add-dependence", Quick: true, Body: benchDMUAddDependence},
 		{Name: "dmu/cholesky-replay", Quick: true, Body: benchDMUCholeskyReplay},
 		{Name: "sweep/synth-all", Quick: true, Body: benchSweepSynthAll},
+		{Name: "service/submit-first-row", Quick: true, Body: benchServiceSubmitFirstRow},
+		{Name: "service/dispatch-points", Quick: true, Body: benchServiceDispatchPoints},
+		{Name: "store/hit-miss", Quick: true, Body: benchStoreHitMiss},
 		{Name: "taskrt/cholesky-tdm", Quick: false, Body: benchRunBenchmark("cholesky", core.TDM)},
 		{Name: "taskrt/cholesky-software", Quick: false, Body: benchRunBenchmark("cholesky", core.Software)},
 	}

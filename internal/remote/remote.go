@@ -29,8 +29,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/runner"
@@ -118,28 +120,57 @@ func DecodeJob(data []byte) (runner.Job, error) {
 	return j, nil
 }
 
-// WorkerHandler serves POST /execute: one encoded job per request, executed
-// on the engine (sharing the engine's store, so repeated dispatches of one
-// point to the same worker simulate once), the result returned as JSON.
-// Concurrent requests beyond the engine's worker-pool size queue for an
-// execution slot, so a coordinator (or several) cannot oversubscribe the
-// worker past its -workers setting.
+// Worker is the serving half of the wire protocol: it executes jobs POSTed
+// to /execute on its engine. The zero value plus an Engine is usable; Log and
+// Metrics are optional observability hooks.
+type Worker struct {
+	// Engine executes the decoded jobs (sharing its store, so repeated
+	// dispatches of one point to the same worker simulate once).
+	Engine *runner.Engine
+	// Log receives one structured line per request; nil discards.
+	Log *slog.Logger
+	// Metrics, when non-nil, counts and times handled requests.
+	Metrics *WorkerMetrics
+}
+
+func (wk *Worker) log() *slog.Logger {
+	if wk.Log != nil {
+		return wk.Log
+	}
+	return slog.New(slog.DiscardHandler)
+}
+
+// Handler serves POST /execute: one encoded job per request, executed on the
+// worker's engine, the result returned as JSON. Concurrent requests beyond
+// the engine's worker-pool size queue for an execution slot, so a coordinator
+// (or several) cannot oversubscribe the worker past its -workers setting.
 //
 // Status codes classify the failure for the dispatching coordinator:
 // 400 for an undecodable job, 422 when the point itself failed (a permanent
 // error — retrying elsewhere would fail the same way), 200 with the result
 // otherwise. Cancelling the request cancels the simulation at its next task
 // boundary (or abandons the wait for a slot).
-func WorkerHandler(engine *runner.Engine) http.Handler {
-	sem := make(chan struct{}, engine.WorkerCount())
+func (wk *Worker) Handler() http.Handler {
+	sem := make(chan struct{}, wk.Engine.WorkerCount())
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		outcome := func(o string) {
+			if wk.Metrics != nil {
+				wk.Metrics.Requests.With(o).Inc()
+				wk.Metrics.RequestSeconds.Observe(time.Since(start).Seconds())
+			}
+		}
 		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxJobBytes))
 		if err != nil {
+			outcome("bad_request")
+			wk.log().Warn("execute: unreadable job", "err", err)
 			writeError(w, http.StatusBadRequest, fmt.Errorf("read job: %w", err))
 			return
 		}
 		j, err := DecodeJob(data)
 		if err != nil {
+			outcome("bad_request")
+			wk.log().Warn("execute: undecodable job", "err", err)
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -147,16 +178,37 @@ func WorkerHandler(engine *runner.Engine) http.Handler {
 		case sem <- struct{}{}:
 			defer func() { <-sem }()
 		case <-r.Context().Done():
-			return // dispatcher gave up while queued
+			outcome("abandoned")
+			wk.log().Info("execute: dispatcher gave up while queued",
+				"benchmark", j.Benchmark, "label", j.Label)
+			return
 		}
-		res, err := engine.RunContext(r.Context(), j)
+		res, err := wk.Engine.RunContext(r.Context(), j)
 		if err != nil {
+			if r.Context().Err() != nil {
+				outcome("abandoned")
+			} else {
+				outcome("failed")
+			}
+			wk.log().Warn("execute: point failed",
+				"benchmark", j.Benchmark, "runtime", j.Runtime, "label", j.Label,
+				"elapsed", time.Since(start), "err", err)
 			writeError(w, http.StatusUnprocessableEntity, err)
 			return
 		}
+		outcome("ok")
+		wk.log().Info("execute: point done",
+			"benchmark", j.Benchmark, "runtime", j.Runtime, "label", j.Label,
+			"elapsed", time.Since(start))
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(res)
 	})
+}
+
+// WorkerHandler is shorthand for (&Worker{Engine: engine}).Handler() — the
+// serving half with no logging or metrics wired.
+func WorkerHandler(engine *runner.Engine) http.Handler {
+	return (&Worker{Engine: engine}).Handler()
 }
 
 func writeError(w http.ResponseWriter, code int, err error) {
@@ -175,6 +227,9 @@ type Executor struct {
 	// can legitimately run for minutes, so any client timeout must cover
 	// the slowest expected point — cancellation is the context's job.
 	Client *http.Client
+	// Metrics, when non-nil, counts and times dispatches under this
+	// executor's URL label. Share one Metrics across a fleet's executors.
+	Metrics *Metrics
 }
 
 // NewExecutor returns an executor for the worker at base URL.
@@ -193,6 +248,20 @@ func (e *Executor) client() *http.Client {
 // with runner.Transient; a 422 from the worker (the point itself failed) and
 // context cancellation do not.
 func (e *Executor) Execute(ctx context.Context, j runner.Job) (*core.Result, error) {
+	if e.Metrics == nil {
+		return e.execute(ctx, j)
+	}
+	e.Metrics.Dispatches.With(e.URL).Inc()
+	start := time.Now()
+	res, err := e.execute(ctx, j)
+	e.Metrics.DispatchSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		e.Metrics.Errors.With(e.URL, dispatchClass(err)).Inc()
+	}
+	return res, err
+}
+
+func (e *Executor) execute(ctx context.Context, j runner.Job) (*core.Result, error) {
 	data, err := EncodeJob(j)
 	if err != nil {
 		return nil, err

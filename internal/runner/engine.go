@@ -7,6 +7,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 )
@@ -32,6 +33,9 @@ type Engine struct {
 	// Log receives one progress line per actually executed simulation
 	// (cache hits are silent); nil silences progress output.
 	Log io.Writer
+	// Metrics, when non-nil, counts and times executions (see
+	// EngineMetrics). Set it before the engine is shared.
+	Metrics *EngineMetrics
 
 	logMu sync.Mutex
 }
@@ -78,13 +82,28 @@ func (e *Engine) RunContext(ctx context.Context, j Job) (*core.Result, error) {
 }
 
 // exec runs a job unconditionally through the configured executor, logging
-// one progress line.
+// one progress line and recording execution latency and failure class.
 func (e *Engine) exec(ctx context.Context, j Job) (*core.Result, error) {
 	e.logf("running %-14s %-16s sched=%-9s %s", j.Benchmark, j.Runtime, j.Scheduler, j.Label)
-	if e.Exec != nil {
-		return e.Exec.Execute(ctx, j)
+	var start time.Time
+	if e.Metrics != nil {
+		start = time.Now()
+		e.Metrics.Execs.Inc()
 	}
-	return j.RunContext(ctx, e.Base)
+	var res *core.Result
+	var err error
+	if e.Exec != nil {
+		res, err = e.Exec.Execute(ctx, j)
+	} else {
+		res, err = j.RunContext(ctx, e.Base)
+	}
+	if e.Metrics != nil {
+		e.Metrics.ExecSeconds.Observe(time.Since(start).Seconds())
+		if err != nil {
+			e.Metrics.ExecErrors.With(errorClass(err)).Inc()
+		}
+	}
+	return res, err
 }
 
 // runKeyed executes a job through the store under an already-derived key.

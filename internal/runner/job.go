@@ -77,7 +77,7 @@ func (j Job) Config(base core.Config) core.Config {
 // semantics change in a way that alters results without changing any
 // core.Config field, so disk stores written by older binaries invalidate
 // cleanly instead of serving stale numbers.
-const SchemaVersion = 1
+const SchemaVersion = 2 // v2: results carry task-latency percentiles and DMU occupancy samples
 
 // Key returns the content-addressed identity of the job under the base
 // configuration: a SHA-256 digest over the schema version, the benchmark,

@@ -1,0 +1,71 @@
+package runner
+
+import (
+	"repro/internal/obs"
+)
+
+// StoreMetrics instruments the content-addressed result store. All fields
+// are optional (nil instruments drop updates); NewStoreMetrics registers the
+// full set. A Store with a nil Metrics field skips instrumentation entirely.
+type StoreMetrics struct {
+	// Hits counts cache hits by source: "mem" (resident result), "disk"
+	// (persisted result loaded), "inflight" (waited out another caller's
+	// computation of the same key).
+	Hits *obs.CounterVec
+	// Misses counts keys that had to be computed.
+	Misses *obs.Counter
+	// Quarantines counts unparsable result files moved aside as .corrupt.
+	Quarantines *obs.Counter
+	// PersistFailures counts results that computed but failed to persist.
+	PersistFailures *obs.Counter
+	// HitSeconds and MissSeconds time Store.Do by outcome: a hit resolves
+	// from cache (or an in-flight computation), a miss runs the executor.
+	HitSeconds  *obs.Histogram
+	MissSeconds *obs.Histogram
+}
+
+// NewStoreMetrics registers the store metric family on the registry.
+func NewStoreMetrics(reg *obs.Registry) *StoreMetrics {
+	return &StoreMetrics{
+		Hits:            reg.CounterVec("store_hits_total", "Result-store cache hits by source (mem, disk, inflight).", "source"),
+		Misses:          reg.Counter("store_misses_total", "Result-store lookups that computed the point."),
+		Quarantines:     reg.Counter("store_quarantines_total", "Corrupt result files quarantined as .corrupt."),
+		PersistFailures: reg.Counter("store_persist_failures_total", "Computed results that failed to persist."),
+		HitSeconds:      reg.Histogram("store_hit_seconds", "Store.Do latency when the result came from cache.", obs.LatencyBuckets),
+		MissSeconds:     reg.Histogram("store_miss_seconds", "Store.Do latency when the point was computed.", obs.LatencyBuckets),
+	}
+}
+
+// EngineMetrics instruments job execution through an Engine (local
+// simulation or a remote executor). A nil Metrics field on the engine skips
+// instrumentation.
+type EngineMetrics struct {
+	// Execs counts jobs that actually executed (cache hits are not execs).
+	Execs *obs.Counter
+	// ExecSeconds times executions, successful or not.
+	ExecSeconds *obs.Histogram
+	// ExecErrors counts failed executions by class: "transient" (transport;
+	// retryable elsewhere), "cancelled", or "permanent" (the point itself).
+	ExecErrors *obs.CounterVec
+}
+
+// NewEngineMetrics registers the runner metric family on the registry.
+func NewEngineMetrics(reg *obs.Registry) *EngineMetrics {
+	return &EngineMetrics{
+		Execs:       reg.Counter("runner_execs_total", "Jobs executed (cache hits excluded)."),
+		ExecSeconds: reg.Histogram("runner_exec_seconds", "Wall-clock job execution latency.", obs.LatencyBuckets),
+		ExecErrors:  reg.CounterVec("runner_exec_errors_total", "Failed job executions by class (transient, cancelled, permanent).", "class"),
+	}
+}
+
+// errorClass buckets an execution error for the ExecErrors counter.
+func errorClass(err error) string {
+	switch {
+	case isCancellation(err):
+		return "cancelled"
+	case IsTransient(err):
+		return "transient"
+	default:
+		return "permanent"
+	}
+}

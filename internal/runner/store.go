@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/taskrt"
@@ -24,6 +25,10 @@ import (
 // (singleflight): when several workers ask for one point at once, exactly
 // one simulation runs and the others wait for its result.
 type Store struct {
+	// Metrics, when non-nil, counts hits/misses/quarantines and times Do by
+	// outcome (see StoreMetrics). Set it before the store is shared.
+	Metrics *StoreMetrics
+
 	mu       sync.Mutex
 	mem      map[string]*core.Result
 	inflight map[string]*call
@@ -116,10 +121,15 @@ func (s *Store) Put(key string, res *core.Result) error {
 // key and computes it under its own (still live) context instead of
 // inheriting the foreign cancellation error.
 func (s *Store) Do(ctx context.Context, key string, fn func(context.Context) (*core.Result, error)) (*core.Result, bool, error) {
+	var start time.Time
+	if s.Metrics != nil {
+		start = time.Now()
+	}
 	for {
 		s.mu.Lock()
 		if res, ok := s.mem[key]; ok {
 			s.mu.Unlock()
+			s.noteHit("mem", start)
 			return res, true, nil
 		}
 		c, ok := s.inflight[key]
@@ -136,6 +146,9 @@ func (s *Store) Do(ctx context.Context, key string, fn func(context.Context) (*c
 				// likely becoming the new owner of the key.
 				continue
 			}
+			if c.err == nil {
+				s.noteHit("inflight", start)
+			}
 			return c.res, true, c.err
 		}
 	}
@@ -148,13 +161,18 @@ func (s *Store) Do(ctx context.Context, key string, fn func(context.Context) (*c
 	cached := false
 	if res, ok := s.load(key); ok {
 		c.res, cached = res, true
+		s.noteHit("disk", start)
 	} else {
 		c.res, c.err = fn(ctx)
 		if c.err == nil {
 			// A failed persist leaves the key uncached everywhere, so
 			// the error and the cache state agree (a retry re-simulates).
 			c.err = s.save(key, c.res)
+			if c.err != nil && s.Metrics != nil {
+				s.Metrics.PersistFailures.Inc()
+			}
 		}
+		s.noteMiss(start)
 	}
 	s.mu.Lock()
 	delete(s.inflight, key)
@@ -164,6 +182,26 @@ func (s *Store) Do(ctx context.Context, key string, fn func(context.Context) (*c
 	s.mu.Unlock()
 	close(c.done)
 	return c.res, cached, c.err
+}
+
+// noteHit records one cache hit by source and its resolution latency.
+func (s *Store) noteHit(source string, start time.Time) {
+	m := s.Metrics
+	if m == nil {
+		return
+	}
+	m.Hits.With(source).Inc()
+	m.HitSeconds.Observe(time.Since(start).Seconds())
+}
+
+// noteMiss records one computed key and the full compute+persist latency.
+func (s *Store) noteMiss(start time.Time) {
+	m := s.Metrics
+	if m == nil {
+		return
+	}
+	m.Misses.Inc()
+	m.MissSeconds.Observe(time.Since(start).Seconds())
 }
 
 // isCancellation reports whether an in-flight computation failed because its
@@ -232,6 +270,9 @@ const CorruptSuffix = ".corrupt"
 func (s *Store) quarantine(key string) {
 	p := s.path(key)
 	_ = os.Rename(p, p+CorruptSuffix)
+	if s.Metrics != nil {
+		s.Metrics.Quarantines.Inc()
+	}
 }
 
 // save persists a result when the store is disk-backed, writing to a

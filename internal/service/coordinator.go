@@ -147,22 +147,22 @@ type RegisterWorkerRequest struct {
 
 func (s *Server) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
 	if s.WorkerFactory == nil {
-		httpError(w, http.StatusNotImplemented, errors.New("this daemon does not accept worker registrations"))
+		s.httpError(w, r, http.StatusNotImplemented, errors.New("this daemon does not accept worker registrations"))
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<16)
 	var req RegisterWorkerRequest
 	if err := decodeStrict(r.Body, &req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decode registration: %w", err))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("decode registration: %w", err))
 		return
 	}
 	u, err := url.Parse(req.URL)
 	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("worker url %q must be absolute http(s)", req.URL))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("worker url %q must be absolute http(s)", req.URL))
 		return
 	}
 	if req.Slots < 0 || req.Slots > maxWorkerSlots {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid slots %d (0 for the default, max %d)", req.Slots, maxWorkerSlots))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("invalid slots %d (0 for the default, max %d)", req.Slots, maxWorkerSlots))
 		return
 	}
 	name := strings.TrimRight(req.URL, "/")
@@ -192,11 +192,13 @@ func (s *Server) runSharded(ctx context.Context, sw *sweep, workers []*worker) {
 	for i := range jobs {
 		queue <- pointTask{idx: i}
 	}
+	s.log().Info("sweep sharded across fleet",
+		"sweep", sw.id, "jobs", len(jobs), "workers", len(workers))
 	var pending atomic.Int64
 	pending.Store(int64(len(jobs)))
 	done := make(chan struct{})
-	settle := func(p Point) {
-		sw.append(p)
+	settle := func(p Point, res *core.Result) {
+		s.settlePoint(sw, p, res)
 		if pending.Add(-1) == 0 {
 			close(done)
 		}
@@ -247,6 +249,10 @@ func (s *Server) runSharded(ctx context.Context, sw *sweep, workers []*worker) {
 	// Every worker slot has exited with points still queued: the whole
 	// fleet died (or kept bouncing the points). Finish locally — the
 	// coordinator can always simulate — so an unattended sweep completes.
+	if len(queue) > 0 {
+		s.log().Warn("fleet exhausted; finishing sweep locally",
+			"sweep", sw.id, "remaining", len(queue))
+	}
 	s.runQueueLocal(ctx, sw, queue, settle)
 }
 
@@ -254,7 +260,7 @@ func (s *Server) runSharded(ctx context.Context, sw *sweep, workers []*worker) {
 // store: warm keys settle without a dispatch, results persist on the
 // coordinator, and concurrent requests for one key share one dispatch.
 func (s *Server) dispatchPoint(ctx context.Context, sw *sweep, w *worker, fails *atomic.Int32,
-	t pointTask, attemptCap int, queue chan<- pointTask, settle func(Point)) {
+	t pointTask, attemptCap int, queue chan<- pointTask, settle func(Point, *core.Result)) {
 	j := sw.jobs[t.idx]
 	key := s.engine.Key(j)
 	// dispatched records whether this worker actually ran the point: a
@@ -263,6 +269,7 @@ func (s *Server) dispatchPoint(ctx context.Context, sw *sweep, w *worker, fails 
 	dispatched := false
 	exec := func(ctx context.Context) (*core.Result, error) {
 		dispatched = true
+		s.met.workerDispatched.With(w.name).Inc()
 		return w.exec.Execute(ctx, j)
 	}
 	var res *core.Result
@@ -275,33 +282,47 @@ func (s *Server) dispatchPoint(ctx context.Context, sw *sweep, w *worker, fails 
 	switch {
 	case err == nil:
 		if dispatched {
-			fails.Store(0)
+			if fails.Swap(0) >= maxWorkerFails {
+				s.met.workerHealth.With(w.name, "healthy").Inc()
+				s.log().Info("worker recovered", "sweep", sw.id, "worker", w.name)
+			}
 			w.points.Add(1)
 		}
-		settle(pointOf(t.idx, j, key, s.engine.Base, res, nil, false))
+		settle(pointOf(t.idx, j, key, s.engine.Base, res, nil, false), res)
 	case isCancelled(ctx, err):
-		settle(pointOf(t.idx, j, key, s.engine.Base, nil, err, true))
+		settle(pointOf(t.idx, j, key, s.engine.Base, nil, err, true), nil)
 	case runner.IsTransient(err):
 		if dispatched {
-			fails.Add(1)
+			s.met.workerFailed.With(w.name).Inc()
+			if fails.Add(1) == maxWorkerFails {
+				s.met.workerHealth.With(w.name, "dead").Inc()
+				s.log().Warn("worker marked dead for sweep",
+					"sweep", sw.id, "worker", w.name, "err", err)
+			}
 			w.noteErr(err, s.now())
 		}
 		if t.attempts+1 >= attemptCap {
 			err = fmt.Errorf("point failed %d dispatch attempts, last: %w", t.attempts+1, err)
-			settle(pointOf(t.idx, j, key, s.engine.Base, nil, err, false))
+			settle(pointOf(t.idx, j, key, s.engine.Base, nil, err, false), nil)
 			return
 		}
+		s.met.workerRequeued.With(w.name).Inc()
+		s.log().Info("point requeued after transport failure",
+			"sweep", sw.id, "worker", w.name, "point", t.idx, "attempts", t.attempts+1)
 		queue <- pointTask{idx: t.idx, attempts: t.attempts + 1}
 	default:
 		// The point itself failed; another worker would fail it the same
 		// way.
-		settle(pointOf(t.idx, j, key, s.engine.Base, nil, err, false))
+		if dispatched {
+			s.met.workerFailed.With(w.name).Inc()
+		}
+		settle(pointOf(t.idx, j, key, s.engine.Base, nil, err, false), nil)
 	}
 }
 
 // runQueueLocal drains whatever the fleet left behind through the
 // coordinator's own engine, bounded by the service point semaphore.
-func (s *Server) runQueueLocal(ctx context.Context, sw *sweep, queue <-chan pointTask, settle func(Point)) {
+func (s *Server) runQueueLocal(ctx context.Context, sw *sweep, queue <-chan pointTask, settle func(Point, *core.Result)) {
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	for {
@@ -323,7 +344,7 @@ func (s *Server) runQueueLocal(ctx context.Context, sw *sweep, queue <-chan poin
 			j := sw.jobs[t.idx]
 			key := s.engine.Key(j)
 			res, err := s.engine.RunContext(ctx, j)
-			settle(pointOf(t.idx, j, key, s.engine.Base, res, err, isCancelled(ctx, err)))
+			settle(pointOf(t.idx, j, key, s.engine.Base, res, err, isCancelled(ctx, err)), res)
 		}(t)
 	}
 }

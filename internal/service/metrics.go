@@ -1,0 +1,121 @@
+package service
+
+import (
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// occupancyBuckets covers DMU structure occupancies (entries, not cycles):
+// exponential from 1 to 32768 entries.
+var occupancyBuckets = obs.ExpBuckets(1, 2, 16)
+
+// serverMetrics is the service-level instrument set. Every instrument is
+// registered by newServerMetrics on the server's registry; the struct only
+// exists so handler code reaches instruments by field instead of by name.
+type serverMetrics struct {
+	sweepsSubmitted *obs.Counter
+	sweepsFinished  *obs.CounterVec // state: done | cancelled
+	sweepsEvicted   *obs.Counter
+	points          *obs.CounterVec // outcome: ok | failed | cancelled
+	firstRowSeconds *obs.Histogram
+	httpRequests    *obs.CounterVec // code
+
+	workerDispatched *obs.CounterVec // worker
+	workerRequeued   *obs.CounterVec // worker
+	workerFailed     *obs.CounterVec // worker
+	workerHealth     *obs.CounterVec // worker, to: dead | healthy
+
+	taskLatency  *obs.HistogramVec // quantile: p50 | p90 | p99 (cycles)
+	dmuOccupancy *obs.HistogramVec // kind: tasks | deps (entries)
+}
+
+// initMetrics registers the service instrument families plus the liveness
+// gauges that read server state on scrape.
+func (s *Server) initMetrics() {
+	reg := s.reg
+	s.met = &serverMetrics{
+		sweepsSubmitted: reg.Counter("service_sweeps_submitted_total", "Sweeps accepted by POST /sweeps."),
+		sweepsFinished:  reg.CounterVec("service_sweeps_finished_total", "Sweeps reaching a terminal state, by state (done, cancelled).", "state"),
+		sweepsEvicted:   reg.Counter("service_sweeps_evicted_total", "Finished sweeps evicted by the retention cap."),
+		points:          reg.CounterVec("service_points_completed_total", "Grid points settled across all sweeps, by outcome (ok, failed, cancelled).", "outcome"),
+		firstRowSeconds: reg.Histogram("service_submit_to_first_row_seconds", "Latency from sweep submission to its first settled point.", obs.LatencyBuckets),
+		httpRequests:    reg.CounterVec("service_http_requests_total", "HTTP requests served, by status code.", "code"),
+
+		workerDispatched: reg.CounterVec("service_worker_points_dispatched_total", "Points dispatched to each fleet worker.", "worker"),
+		workerRequeued:   reg.CounterVec("service_worker_points_requeued_total", "Points requeued after a transport failure, by the worker that failed.", "worker"),
+		workerFailed:     reg.CounterVec("service_worker_points_failed_total", "Dispatches that returned an error, by worker.", "worker"),
+		workerHealth:     reg.CounterVec("service_worker_health_transitions_total", "Per-sweep worker health transitions (to dead when consecutive transport failures hit the cap, back to healthy on the next successful dispatch).", "worker", "to"),
+
+		taskLatency:  reg.HistogramVec("sim_task_latency_cycles", "Per-point task queue-to-retire latency percentiles, in simulated cycles.", obs.CycleBuckets, "quantile"),
+		dmuOccupancy: reg.HistogramVec("sim_dmu_occupancy_entries", "DMU structure occupancy samples from completed points (entries in flight).", occupancyBuckets, "kind"),
+	}
+	reg.GaugeFunc("service_sweeps_active", "Sweeps currently running.", func() float64 {
+		return float64(s.activeSweeps())
+	})
+	reg.GaugeFunc("service_dispatch_queue_depth", "Grid points of running sweeps not yet settled.", func() float64 {
+		return float64(s.queueDepth())
+	})
+	reg.GaugeFunc("service_workers_registered", "Fleet workers currently registered.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.workers))
+	})
+}
+
+// activeSweeps counts sweeps still running.
+func (s *Server) activeSweeps() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, sw := range s.sweeps {
+		if sw.status().State == StateRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// queueDepth sums the unsettled points of running sweeps: the work the
+// dispatcher (fleet or local pool) still owes.
+func (s *Server) queueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := 0
+	for _, sw := range s.sweeps {
+		st := sw.status()
+		if st.State == StateRunning {
+			d += st.Total - st.Completed - st.Failed - st.Cancelled
+		}
+	}
+	return d
+}
+
+// settlePoint appends one finished point to its sweep and feeds the
+// service-level instruments: per-outcome point counts, submit-to-first-row
+// latency, and the simulated task-latency and DMU-occupancy distributions.
+func (s *Server) settlePoint(sw *sweep, p Point, res *core.Result) {
+	first := sw.append(p) == 1
+	outcome := "ok"
+	switch {
+	case p.Cancelled:
+		outcome = "cancelled"
+	case p.Error != "":
+		outcome = "failed"
+	}
+	s.met.points.With(outcome).Inc()
+	if first {
+		s.met.firstRowSeconds.Observe(s.now().Sub(sw.submitted).Seconds())
+	}
+	if res == nil || res.Result == nil {
+		return
+	}
+	if l := res.TaskLatency; l != nil {
+		s.met.taskLatency.With("p50").Observe(float64(l.P50))
+		s.met.taskLatency.With("p90").Observe(float64(l.P90))
+		s.met.taskLatency.With("p99").Observe(float64(l.P99))
+	}
+	for _, o := range res.Occupancy {
+		s.met.dmuOccupancy.With("tasks").Observe(float64(o.DMUTasks))
+		s.met.dmuOccupancy.With("deps").Observe(float64(o.DMUDeps))
+	}
+}

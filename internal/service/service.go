@@ -39,11 +39,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/taskrt"
 )
@@ -68,6 +72,19 @@ type Server struct {
 	// executor (cmd/sweepd wires remote.NewExecutor here). nil rejects
 	// dynamic registration with 501; RegisterWorker still works.
 	WorkerFactory func(url string) runner.Executor
+
+	// Log receives structured request and sweep lifecycle records; nil
+	// discards them. Set before serving.
+	Log *slog.Logger
+
+	// reg collects every service-level instrument (and, unless the engine
+	// brought its own, the engine and store instruments); met holds the
+	// handles handler code updates. Served by GET /metrics.
+	reg *obs.Registry
+	met *serverMetrics
+
+	// reqSeq numbers requests for log correlation.
+	reqSeq atomic.Int64
 
 	// baseCtx parents every sweep's context; cancelBase is the drain
 	// switch that stops them all.
@@ -113,6 +130,16 @@ func New(engine *runner.Engine, workers int) *Server {
 		MaxBodyBytes: DefaultMaxBodyBytes,
 		MaxPoints:    DefaultMaxPoints,
 		now:          time.Now,
+		reg:          obs.NewRegistry(),
+	}
+	s.initMetrics()
+	// An engine (and store) without its own instruments joins the service
+	// registry, so one /metrics scrape covers the whole execution path.
+	if engine.Metrics == nil {
+		engine.Metrics = runner.NewEngineMetrics(s.reg)
+	}
+	if engine.Store != nil && engine.Store.Metrics == nil {
+		engine.Store.Metrics = runner.NewStoreMetrics(s.reg)
 	}
 	s.baseCtx, s.cancelBase = context.WithCancelCause(context.Background())
 	mux := http.NewServeMux()
@@ -124,8 +151,29 @@ func New(engine *runner.Engine, workers int) *Server {
 	mux.HandleFunc("PUT /workers", s.handleRegisterWorker)
 	mux.HandleFunc("GET /workers", s.handleListWorkers)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /metrics", obs.Handler(s.reg))
+	// pprof routes the named profiles itself under Index; cmdline, profile,
+	// symbol and trace need their dedicated handlers.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s.mux = mux
 	return s
+}
+
+// Registry returns the server's metric registry, for callers that want to
+// register additional instruments (for example the remote-dispatch metrics a
+// coordinator shares across its fleet executors).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// log returns the structured logger (a discarding one when unset).
+func (s *Server) log() *slog.Logger {
+	if s.Log != nil {
+		return s.Log
+	}
+	return slog.New(slog.DiscardHandler)
 }
 
 // Default ingress limits installed by New (see Server.MaxBodyBytes and
@@ -135,8 +183,61 @@ const (
 	DefaultMaxPoints    = 100_000
 )
 
-// Handler returns the HTTP handler serving the endpoints above.
-func (s *Server) Handler() http.Handler { return s.mux }
+// reqIDKey carries the per-request correlation ID through the context.
+type reqIDKey struct{}
+
+// requestID extracts the correlation ID the middleware assigned ("" outside
+// a request served through Handler).
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+// statusWriter records the response status for the request log while
+// preserving the Flusher the NDJSON streamers depend on.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Handler returns the HTTP handler serving the endpoints above. Every
+// request gets a correlation ID (logged with each record the request
+// produces), a structured access-log line, and a status-code count in
+// service_http_requests_total.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("r%06d", s.reqSeq.Add(1))
+		r = r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id))
+		sw := &statusWriter{ResponseWriter: w}
+		start := s.now()
+		s.mux.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.met.httpRequests.With(strconv.Itoa(sw.status)).Inc()
+		s.log().Info("request",
+			"req", id, "method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "elapsed", s.now().Sub(start))
+	})
+}
 
 // ErrDraining is the cancellation cause installed by Drain.
 var ErrDraining = errors.New("service: draining")
@@ -207,6 +308,7 @@ func (s *Server) submit(jobs []runner.Job) (*sweep, error) {
 	s.wg.Add(1)
 	s.mu.Unlock()
 
+	s.met.sweepsSubmitted.Inc()
 	go s.runSweep(ctx, sw)
 	return sw, nil
 }
@@ -225,6 +327,12 @@ func (s *Server) runSweep(ctx context.Context, sw *sweep) {
 		state = StateCancelled
 	}
 	sw.finish(state, s.now())
+	s.met.sweepsFinished.With(string(state)).Inc()
+	st := sw.status()
+	s.log().Info("sweep finished",
+		"sweep", sw.id, "state", string(state), "total", st.Total,
+		"completed", st.Completed, "failed", st.Failed, "cancelled", st.Cancelled,
+		"elapsed", st.Finished.Sub(st.Submitted))
 	// Release the sweep's context resources once the last point settled.
 	sw.cancel(nil)
 	s.evict()
@@ -249,7 +357,7 @@ launch:
 			defer func() { <-s.sem }()
 			key := s.engine.Key(j)
 			res, err := s.engine.RunContext(ctx, j)
-			sw.append(pointOf(i, j, key, s.engine.Base, res, err, isCancelled(ctx, err)))
+			s.settlePoint(sw, pointOf(i, j, key, s.engine.Base, res, err, isCancelled(ctx, err)), res)
 		}(i, j)
 	}
 	wg.Wait()
@@ -286,15 +394,21 @@ func (s *Server) evict() {
 		return
 	}
 	kept := s.order[:0]
+	evicted := 0
 	for _, id := range s.order {
 		if finished > s.maxRetained && s.sweeps[id].status().State != StateRunning {
 			delete(s.sweeps, id)
 			finished--
+			evicted++
 			continue
 		}
 		kept = append(kept, id)
 	}
 	s.order = kept
+	if evicted > 0 {
+		s.met.sweepsEvicted.Add(float64(evicted))
+		s.log().Info("evicted finished sweeps", "count", evicted, "retained", len(kept))
+	}
 }
 
 // get looks a sweep up by path ID.
@@ -313,7 +427,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("stream"); q != "" {
 		var err error
 		if stream, err = strconv.ParseBool(q); err != nil {
-			httpError(w, http.StatusBadRequest,
+			s.httpError(w, r, http.StatusBadRequest,
 				fmt.Errorf("invalid stream value %q (want a boolean, e.g. stream=1)", q))
 			return
 		}
@@ -323,39 +437,41 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := decodeStrict(r.Body, &req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			httpError(w, http.StatusRequestEntityTooLarge,
+			s.httpError(w, r, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("submission body exceeds %d bytes", s.MaxBodyBytes))
 			return
 		}
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decode submission: %w", err))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("decode submission: %w", err))
 		return
 	}
 	grid, err := req.grid()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	// Cap the expansion before allocating it: a small request body can
 	// still describe a combinatorially explosive grid.
 	switch size := grid.Size(); {
 	case size == 0:
-		httpError(w, http.StatusBadRequest, errors.New("empty grid"))
+		s.httpError(w, r, http.StatusBadRequest, errors.New("empty grid"))
 		return
 	case size > s.MaxPoints:
-		httpError(w, http.StatusBadRequest,
+		s.httpError(w, r, http.StatusBadRequest,
 			fmt.Errorf("grid expands to %d points, exceeding this daemon's limit of %d", size, s.MaxPoints))
 		return
 	}
 	jobs := grid.Jobs()
 	sw, err := s.submit(jobs)
 	if errors.Is(err, ErrDraining) {
-		httpError(w, http.StatusServiceUnavailable, err)
+		s.httpError(w, r, http.StatusServiceUnavailable, err)
 		return
 	}
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		s.httpError(w, r, http.StatusInternalServerError, err)
 		return
 	}
+	s.log().Info("sweep submitted",
+		"req", requestID(r.Context()), "sweep", sw.id, "jobs", len(jobs), "stream", stream)
 	if stream {
 		// Synchronous mode: stream results on this connection and cancel
 		// the sweep when the client goes away — an aborted curl stops the
@@ -396,7 +512,7 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	sw, ok := s.get(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+		s.httpError(w, r, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -406,10 +522,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	sw, ok := s.get(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+		s.httpError(w, r, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
 		return
 	}
 	sw.cancel(fmt.Errorf("sweep %s cancelled by client", sw.id))
+	s.log().Info("sweep cancel requested",
+		"req", requestID(r.Context()), "sweep", sw.id)
 	w.Header().Set("Content-Type", "application/json")
 	writeJSON(w, sw.status())
 }
@@ -417,7 +535,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	sw, ok := s.get(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+		s.httpError(w, r, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
 		return
 	}
 	s.streamSweep(w, r, sw, false)
@@ -462,20 +580,43 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, sw *sweep, 
 	}
 }
 
+// handleHealth serves GET /healthz. The response schema:
+//
+//	{
+//	  "ok": true,            // false (and 503) while draining
+//	  "draining": false,
+//	  "sweeps": 3,           // retained sweeps (running + finished)
+//	  "active_sweeps": 1,    // sweeps still running
+//	  "queue_depth": 42,     // unsettled points of running sweeps
+//	  "workers": 2           // registered fleet workers
+//	}
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	n := len(s.sweeps)
+	nWorkers := len(s.workers)
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	if draining {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
-	writeJSON(w, map[string]any{"ok": !draining, "draining": draining, "sweeps": n})
+	writeJSON(w, map[string]any{
+		"ok":            !draining,
+		"draining":      draining,
+		"sweeps":        n,
+		"active_sweeps": s.activeSweeps(),
+		"queue_depth":   s.queueDepth(),
+		"workers":       nWorkers,
+	})
 }
 
-// httpError writes a JSON error body with the status code.
-func httpError(w http.ResponseWriter, code int, err error) {
+// httpError writes a JSON error body with the status code and logs the
+// error — previously these errors vanished into the response body — keyed by
+// the request's correlation ID.
+func (s *Server) httpError(w http.ResponseWriter, r *http.Request, code int, err error) {
+	s.log().Warn("request failed",
+		"req", requestID(r.Context()), "method", r.Method, "path", r.URL.Path,
+		"status", code, "err", err)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	writeJSON(w, map[string]string{"error": err.Error()})

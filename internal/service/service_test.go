@@ -560,4 +560,59 @@ func TestHealthz(t *testing.T) {
 	if body["ok"] != true {
 		t.Errorf("healthz body = %v", body)
 	}
+	// The liveness schema: queue depth, active sweeps and fleet size ride
+	// along for probes that want one cheap endpoint.
+	for _, key := range []string{"draining", "sweeps", "active_sweeps", "queue_depth", "workers"} {
+		if _, ok := body[key]; !ok {
+			t.Errorf("healthz body missing %q: %v", key, body)
+		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t, nil)
+	// A finished sweep populates the service counters before the scrape.
+	resp := postJSON(t, ts.URL+"/sweeps?stream=1", `{"benchmarks":["synth:blockdense:width=2,mean=200"],"runtimes":["tdm"]}`)
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	if mr.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", mr.StatusCode)
+	}
+	if ct := mr.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics Content-Type = %q", ct)
+	}
+	text, err := io.ReadAll(mr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One scrape covers every layer: service lifecycle, the engine and its
+	// store, and the simulated task-latency distributions.
+	for _, want := range []string{
+		"# TYPE service_sweeps_submitted_total counter",
+		"service_sweeps_submitted_total 1",
+		"# TYPE service_sweeps_active gauge",
+		"# TYPE service_dispatch_queue_depth gauge",
+		"# TYPE service_workers_registered gauge",
+		"# TYPE service_points_completed_total counter",
+		`service_points_completed_total{outcome="ok"} 1`,
+		"# TYPE service_submit_to_first_row_seconds histogram",
+		"# TYPE runner_execs_total counter",
+		"runner_execs_total 1",
+		"# TYPE store_misses_total counter",
+		"# TYPE sim_task_latency_cycles histogram",
+		`sim_task_latency_cycles_count{quantile="p50"} 1`,
+		"# TYPE sim_dmu_occupancy_entries histogram",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/runner"
+	"repro/internal/stats"
 )
 
 // State is the lifecycle phase of a submitted sweep.
@@ -46,6 +47,10 @@ type Point struct {
 	EnergyJ   float64 `json:"energy_joules,omitempty"`
 	AvgPowerW float64 `json:"avg_power_watts,omitempty"`
 	EDP       float64 `json:"edp,omitempty"`
+	// TaskLatency summarizes the point's per-task queue-to-retire latency
+	// (cycles from task creation to retirement), when the simulation
+	// recorded it.
+	TaskLatency *stats.LatencySummary `json:"task_latency,omitempty"`
 }
 
 // Status is the progress snapshot served by GET /sweeps/{id}.
@@ -103,8 +108,9 @@ func (s *sweep) broadcast() {
 	s.changed = make(chan struct{})
 }
 
-// append records one finished point.
-func (s *sweep) append(p Point) {
+// append records one finished point, returning how many points the sweep has
+// settled so far (1 for the sweep's first point).
+func (s *sweep) append(p Point) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch {
@@ -115,6 +121,7 @@ func (s *sweep) append(p Point) {
 	}
 	s.points = append(s.points, p)
 	s.broadcast()
+	return len(s.points)
 }
 
 // finish moves the sweep to its terminal state.
@@ -188,6 +195,7 @@ func pointOf(idx int, j runner.Job, key string, base core.Config, res *core.Resu
 		p.EnergyJ = res.Energy.EnergyJoules
 		p.AvgPowerW = res.Energy.AveragePowerW
 		p.EDP = res.Energy.EDP
+		p.TaskLatency = res.TaskLatency
 	}
 	return p
 }

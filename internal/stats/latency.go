@@ -1,0 +1,125 @@
+package stats
+
+import "sort"
+
+// LatencySummary condenses a population of per-task latencies (in cycles)
+// into the percentiles a service operator pages on. The paper's Figure 2
+// breakdown says where aggregate cycles go; the queue-to-retire percentiles
+// say how long an individual task waits from submission to retirement —
+// the tail behaviour the phase totals hide.
+type LatencySummary struct {
+	// Count is the number of tasks summarized.
+	Count int
+	// P50, P90 and P99 are exact nearest-rank percentiles in cycles.
+	P50 int64
+	P90 int64
+	P99 int64
+	// Max is the slowest task's latency; Mean the arithmetic mean.
+	Max  int64
+	Mean float64
+}
+
+// SummarizeLatencies computes the exact percentile summary of a latency
+// population (cycles). It sorts a copy; the input is not modified. Returns
+// nil for an empty population.
+func SummarizeLatencies(latencies []int64) *LatencySummary {
+	if len(latencies) == 0 {
+		return nil
+	}
+	sorted := append([]int64(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum int64
+	for _, v := range sorted {
+		sum += v
+	}
+	return &LatencySummary{
+		Count: len(sorted),
+		P50:   PercentileInt64(sorted, 0.50),
+		P90:   PercentileInt64(sorted, 0.90),
+		P99:   PercentileInt64(sorted, 0.99),
+		Max:   sorted[len(sorted)-1],
+		Mean:  float64(sum) / float64(len(sorted)),
+	}
+}
+
+// PercentileInt64 returns the nearest-rank q-percentile (0 < q <= 1) of an
+// ascending-sorted slice. Panics on an empty slice.
+func PercentileInt64(sorted []int64, q float64) int64 {
+	rank := int(float64(len(sorted))*q + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// OccupancySample is one point of an occupancy-over-time series: how much
+// in-flight state the runtime (and, for DMU-backed runs, the hardware) held
+// at a simulated cycle.
+type OccupancySample struct {
+	// Cycle is the simulated time of the sample.
+	Cycle int64
+	// InFlight counts tasks created but not yet retired.
+	InFlight int
+	// DMUTasks and DMUDeps are the DMU's occupied task and dependence
+	// entries (zero for runs without a DMU).
+	DMUTasks int
+	DMUDeps  int
+}
+
+// OccupancySeries collects occupancy samples over a run while keeping a
+// bounded, deterministic memory footprint: when the series fills up it
+// halves its resolution (drops every second sample and doubles the minimum
+// cycle stride between kept samples), so a million-task run and a
+// hundred-task run both yield a plottable series of at most Cap samples.
+type OccupancySeries struct {
+	cap     int
+	stride  int64 // minimum cycle distance between kept samples
+	next    int64 // earliest cycle the next sample may be kept at
+	samples []OccupancySample
+}
+
+// DefaultOccupancyCap bounds the samples kept per run: enough to plot
+// occupancy over time, small enough to embed in every stored result.
+const DefaultOccupancyCap = 128
+
+// NewOccupancySeries creates a series keeping at most cap samples (cap < 2
+// falls back to DefaultOccupancyCap).
+func NewOccupancySeries(cap int) *OccupancySeries {
+	if cap < 2 {
+		cap = DefaultOccupancyCap
+	}
+	return &OccupancySeries{cap: cap, stride: 1}
+}
+
+// Record offers a sample to the series. Samples arriving closer than the
+// current stride to the previously kept one are dropped; filling the buffer
+// compacts it. Samples must arrive in non-decreasing cycle order.
+func (s *OccupancySeries) Record(sample OccupancySample) {
+	if s == nil || sample.Cycle < s.next {
+		return
+	}
+	s.samples = append(s.samples, sample)
+	s.next = sample.Cycle + s.stride
+	if len(s.samples) >= s.cap {
+		// Halve the resolution: keep every second sample (the older half of
+		// the run thins out first, like the newer half already is).
+		kept := s.samples[:0]
+		for i := 0; i < len(s.samples); i += 2 {
+			kept = append(kept, s.samples[i])
+		}
+		s.samples = kept
+		s.stride *= 2
+		s.next = s.samples[len(s.samples)-1].Cycle + s.stride
+	}
+}
+
+// Samples returns the retained series in cycle order.
+func (s *OccupancySeries) Samples() []OccupancySample {
+	if s == nil {
+		return nil
+	}
+	return s.samples
+}

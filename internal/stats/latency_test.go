@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeLatencies(t *testing.T) {
+	if got := SummarizeLatencies(nil); got != nil {
+		t.Fatalf("empty summary = %+v, want nil", got)
+	}
+	s := SummarizeLatencies([]int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	if s.Count != 10 || s.P50 != 50 || s.P90 != 90 || s.P99 != 100 || s.Max != 100 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Mean != 55 {
+		t.Errorf("mean = %v, want 55", s.Mean)
+	}
+	one := SummarizeLatencies([]int64{42})
+	if one.P50 != 42 || one.P99 != 42 || one.Max != 42 || one.Count != 1 {
+		t.Errorf("single-element summary = %+v", one)
+	}
+}
+
+// TestPercentileProperty: percentiles are order statistics — each returned
+// value is a member of the input, percentiles are monotone in q, and p100 is
+// the maximum.
+func TestPercentileProperty(t *testing.T) {
+	f := func(values []int64) bool {
+		if len(values) == 0 {
+			return true
+		}
+		sorted := append([]int64(nil), values...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		last := sorted[0]
+		for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 1.0} {
+			p := PercentileInt64(sorted, q)
+			idx := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= p })
+			if idx == len(sorted) || sorted[idx] != p {
+				return false // not a member of the population
+			}
+			if p < last {
+				return false // not monotone
+			}
+			last = p
+		}
+		return PercentileInt64(sorted, 1.0) == sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOccupancySeriesBoundedAndOrdered(t *testing.T) {
+	s := NewOccupancySeries(16)
+	rng := rand.New(rand.NewSource(1))
+	cycle := int64(0)
+	for i := 0; i < 10_000; i++ {
+		cycle += rng.Int63n(50)
+		s.Record(OccupancySample{Cycle: cycle, InFlight: i % 7})
+	}
+	got := s.Samples()
+	if len(got) == 0 || len(got) >= 16 {
+		t.Fatalf("series kept %d samples, want (0,16)", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Cycle <= got[i-1].Cycle {
+			t.Fatalf("samples out of order at %d: %+v", i, got)
+		}
+	}
+	// First sample of the run is always retained.
+	if got[0].Cycle > 64 {
+		t.Errorf("earliest kept sample at cycle %d; compaction should retain the run's start", got[0].Cycle)
+	}
+}
+
+func TestOccupancySeriesDeterministic(t *testing.T) {
+	build := func() []OccupancySample {
+		s := NewOccupancySeries(8)
+		for i := int64(0); i < 1000; i++ {
+			s.Record(OccupancySample{Cycle: i * 3, InFlight: int(i)})
+		}
+		return s.Samples()
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic sample %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestOccupancySeriesNil(t *testing.T) {
+	var s *OccupancySeries
+	s.Record(OccupancySample{Cycle: 1})
+	if s.Samples() != nil {
+		t.Error("nil series must stay empty")
+	}
+}

@@ -126,6 +126,10 @@ func (b *taskSSBackend) acquireTask(tc *threadCtx) *sched.ReadyTask {
 
 func (b *taskSSBackend) pending() bool { return b.unit.ReadyCount() > 0 }
 
+func (b *taskSSBackend) dmuOccupancy() (int, int) {
+	return b.unit.InFlightTasks(), b.unit.InFlightDeps()
+}
+
 func (b *taskSSBackend) fillResult(res *Result) {
 	snap := b.unit.Snapshot()
 	res.DMU = &snap

@@ -142,6 +142,10 @@ func (b *tdmBackend) acquireTask(tc *threadCtx) *sched.ReadyTask {
 
 func (b *tdmBackend) pending() bool { return b.pool.Len() > 0 }
 
+func (b *tdmBackend) dmuOccupancy() (int, int) {
+	return b.unit.InFlightTasks(), b.unit.InFlightDeps()
+}
+
 func (b *tdmBackend) fillResult(res *Result) {
 	snap := b.unit.Snapshot()
 	res.DMU = &snap

@@ -60,6 +60,16 @@ type runState struct {
 	validator *task.OrderValidator
 	timeline  *trace.Timeline
 
+	// Queue-to-retire latency and occupancy-over-time telemetry: submitAt
+	// records (by task ID) the cycle the master finished registering each
+	// task, latencies collects submit→retire spans, and occupancy samples
+	// in-flight state at every retirement. dmuOcc is the backend's DMU
+	// occupancy reporter when the runtime tracks dependences in hardware.
+	submitAt  []int64
+	latencies []int64
+	occupancy *stats.OccupancySeries
+	dmuOcc    dmuOccupancy
+
 	threads []*threadCtx
 
 	executedByCore []int
@@ -80,6 +90,9 @@ func newRunState(prog *task.Program, cfg Config) (*runState, error) {
 		capacity:       eng.NewSignal("capacity"),
 		locality:       machine.NewLocalityTracker(cfg.Machine.Cores, cfg.Machine.Locality),
 		executedByCore: make([]int, cfg.Machine.Cores),
+		submitAt:       make([]int64, prog.NumTasks()),
+		latencies:      make([]int64, 0, prog.NumTasks()),
+		occupancy:      stats.NewOccupancySeries(stats.DefaultOccupancyCap),
 	}
 	for _, s := range rs.specs {
 		rs.specByDesc[rs.descOf(s.ID)] = s
@@ -95,7 +108,15 @@ func newRunState(prog *task.Program, cfg Config) (*runState, error) {
 		return nil, err
 	}
 	rs.backend = b
+	rs.dmuOcc, _ = b.(dmuOccupancy)
 	return rs, nil
+}
+
+// dmuOccupancy is implemented by backends whose dependence tracking lives in
+// hardware; it reports the DMU's currently occupied task and dependence
+// entries for the occupancy-over-time series.
+type dmuOccupancy interface {
+	dmuOccupancy() (tasks, deps int)
 }
 
 // bindCancel installs the run's cancellation poll from the caller's context
@@ -159,14 +180,27 @@ func (rs *runState) specOf(desc uint64) *task.Spec {
 // allExecuted reports whether every created task has finished.
 func (rs *runState) allExecuted() bool { return rs.executed == rs.created }
 
-// noteCreated records that the master registered one more task.
-func (rs *runState) noteCreated() { rs.created++ }
+// noteCreated records that the master registered one more task, stamping its
+// submission cycle for the queue-to-retire latency series.
+func (rs *runState) noteCreated(spec *task.Spec) {
+	rs.created++
+	rs.submitAt[spec.ID] = int64(rs.eng.Now())
+}
 
 // noteExecuted records a completed finish phase and wakes barrier waiters
-// when the last outstanding task retires.
-func (rs *runState) noteExecuted(core int) {
+// when the last outstanding task retires. It also records the task's
+// queue-to-retire latency and samples the runtime's in-flight occupancy —
+// reads of the simulated clock only, so telemetry never perturbs timing.
+func (rs *runState) noteExecuted(core int, spec *task.Spec) {
 	rs.executed++
 	rs.executedByCore[core]++
+	now := int64(rs.eng.Now())
+	rs.latencies = append(rs.latencies, now-rs.submitAt[spec.ID])
+	sample := stats.OccupancySample{Cycle: now, InFlight: rs.created - rs.executed}
+	if rs.dmuOcc != nil {
+		sample.DMUTasks, sample.DMUDeps = rs.dmuOcc.dmuOccupancy()
+	}
+	rs.occupancy.Record(sample)
 	if rs.allExecuted() {
 		rs.work.Broadcast()
 	}
@@ -230,6 +264,8 @@ func (rs *runState) result() *Result {
 	if len(res.PerThread) > 1 {
 		res.Workers = stats.Sum(res.PerThread[1:]...)
 	}
+	res.TaskLatency = stats.SummarizeLatencies(rs.latencies)
+	res.Occupancy = rs.occupancy.Samples()
 	rs.backend.fillResult(res)
 	return res
 }

@@ -162,6 +162,17 @@ type Result struct {
 	// executing core's footprint.
 	LocalityHitRate float64
 
+	// TaskLatency summarizes per-task queue-to-retire latency (cycles from
+	// the master finishing a task's registration to its retirement): the
+	// percentile view of responsiveness that the aggregate Figure 2 phase
+	// breakdown hides. nil only for runs that executed no tasks.
+	TaskLatency *stats.LatencySummary
+
+	// Occupancy samples in-flight task state over simulated time (including
+	// DMU task/dependence entries for hardware-tracked runs), downsampled
+	// deterministically to a bounded series.
+	Occupancy []stats.OccupancySample
+
 	// Timeline is non-nil when Config.RecordTimeline was set.
 	Timeline *trace.Timeline
 }

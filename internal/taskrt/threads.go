@@ -19,7 +19,7 @@ func (rs *runState) masterThread(tc *threadCtx) {
 		for _, spec := range region.Tasks {
 			rs.checkCancel(tc)
 			rs.backend.createTask(tc, spec)
-			rs.noteCreated()
+			rs.noteCreated(spec)
 		}
 		// Region barrier: help execute tasks until the region drains.
 		tc.charge(stats.Sched, rs.costs.BarrierCheck)
@@ -58,7 +58,7 @@ func (rs *runState) workOnce(tc *threadCtx) bool {
 	}
 	rs.executeTask(tc, rt)
 	rs.backend.finishTask(tc, rt.Spec)
-	rs.noteExecuted(tc.core)
+	rs.noteExecuted(tc.core, rt.Spec)
 	return true
 }
 

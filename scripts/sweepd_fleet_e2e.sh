@@ -4,6 +4,10 @@
 # worker while the sweep is running, and verify that the sweep still
 # completes with output byte-identical to an in-process run — i.e. the
 # killed worker's points were requeued onto the survivor, not lost.
+# Along the way it scrapes /metrics on the coordinator and the surviving
+# worker (mid-sweep and after completion) and asserts the observability
+# counters recorded what actually happened: the requeues after the kill, the
+# survivor's executions, and the store hits when the grid is resubmitted warm.
 # CI runs this on every PR.
 set -euo pipefail
 
@@ -94,6 +98,16 @@ for _ in $(seq 600); do
 done
 [ "$killed" = yes ] || fail "sweep finished before a worker could be killed mid-flight (grid too fast?)"
 
+# Mid-sweep observability: both the coordinator and the surviving worker
+# serve valid Prometheus text while points are still in flight.
+coord_mid=$(curl -fsS "http://$coord_addr/metrics") || fail "coordinator /metrics unreachable mid-sweep"
+echo "$coord_mid" | grep -q '^# TYPE service_sweeps_active gauge' ||
+  fail "coordinator /metrics lacks service_sweeps_active: $coord_mid"
+echo "$coord_mid" | grep -q '^# HELP ' || fail "coordinator /metrics has no HELP lines"
+w2_mid=$(curl -fsS "http://$w2_addr/metrics") || fail "surviving worker /metrics unreachable mid-sweep"
+echo "$w2_mid" | grep -q '^# TYPE runner_execs_total counter' ||
+  fail "worker /metrics lacks runner_execs_total: $w2_mid"
+
 wait "$sweep_pid" || fail "remote sweep exited non-zero after the worker kill"
 
 # The acceptance bar: byte-identical results despite the mid-sweep kill.
@@ -109,6 +123,24 @@ echo "$final" | grep -q '"failed":0' || fail "sweep recorded failures: $final"
 # carried points.
 fleet=$(curl -fsS "http://$coord_addr/workers")
 echo "$fleet" | grep -q '"last_error"' || fail "killed worker's dispatch failure not recorded: $fleet"
+
+# The requeues show up as live counter values on the coordinator, and the
+# survivor's engine counted real executions.
+coord_metrics=$(curl -fsS "http://$coord_addr/metrics")
+requeued=$(echo "$coord_metrics" | awk '/^service_worker_points_requeued_total\{/ {sum += $2} END {print sum+0}')
+[ "$requeued" -ge 1 ] || fail "no requeues recorded after SIGKILL: $coord_metrics"
+w2_metrics=$(curl -fsS "http://$w2_addr/metrics")
+execs=$(echo "$w2_metrics" | awk '/^runner_execs_total / {print int($2)}')
+[ "${execs:-0}" -ge 1 ] || fail "surviving worker recorded no executions: $w2_metrics"
+
+# Resubmitting the identical grid hits the coordinator's warm store for
+# every point: store_hits_total must go nonzero, and no new dispatches occur.
+"$workdir/sweep" -remote "http://$coord_addr" "${GRID[@]}" -o "$workdir/remote2.csv" \
+  >"$workdir/sweep-remote2.log" 2>&1 || fail "warm resubmission failed"
+cmp "$workdir/local.csv" "$workdir/remote2.csv" || fail "warm resubmission results differ"
+coord_metrics=$(curl -fsS "http://$coord_addr/metrics")
+hits=$(echo "$coord_metrics" | awk '/^store_hits_total\{/ {sum += $2} END {print sum+0}')
+[ "$hits" -ge 12 ] || fail "warm resubmission recorded $hits store hits, want >= 12: $coord_metrics"
 
 # Every coordinator store file is complete JSON (the merge is atomic).
 ls "$workdir/store"/*.json >/dev/null 2>&1 || fail "coordinator store holds no results"
