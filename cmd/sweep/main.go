@@ -112,6 +112,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		granularities = fs.String("granularities", "", "comma-separated granularities, 0 = Table II optimal (default: 0)")
 		workers       = fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		remoteURL     = fs.String("remote", "", "submit the grid to a sweepd daemon at this base URL instead of simulating in-process")
+		tenant        = fs.String("tenant", "", "tenant to attribute the remote submission to (requires -remote; daemon default when empty)")
 		store         = fs.String("store", "", "directory persisting results as JSON for warm resume")
 		format        = fs.String("format", "table", "output format: table, csv or json")
 		out           = fs.String("o", "", "write results to a file instead of stdout")
@@ -169,6 +170,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *remoteURL != "" && *dumpProgram != "" {
 		return fmt.Errorf("-dump-program records locally generated programs; drop -remote to use it")
 	}
+	if *tenant != "" && *remoteURL == "" {
+		return fmt.Errorf("-tenant attributes a daemon submission; it requires -remote")
+	}
 	grid, err := buildGrid(benchList, *runtimes, *schedulers, *cores, *granularities)
 	if err != nil {
 		return err
@@ -210,7 +214,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *remoteURL != "" {
-		return runRemote(ctx, stdout, stderr, *remoteURL, grid, len(jobs), *format, *out, *verbose)
+		return runRemote(ctx, stdout, stderr, *remoteURL, *tenant, grid, len(jobs), *format, *out, *verbose)
 	}
 
 	if *store != "" {
@@ -266,7 +270,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 // runRemote submits the grid to a sweepd daemon and renders the streamed
 // points exactly as a local run would: same fields, same job order, so a
 // remote sweep's table is byte-identical to an in-process one.
-func runRemote(ctx context.Context, stdout, stderr io.Writer, url string, grid runner.Grid,
+func runRemote(ctx context.Context, stdout, stderr io.Writer, url, tenant string, grid runner.Grid,
 	wantPoints int, format, out string, verbose bool) error {
 	if verbose {
 		fmt.Fprintf(stderr, "submitting %d points to %s\n", wantPoints, url)
@@ -276,6 +280,7 @@ func runRemote(ctx context.Context, stdout, stderr io.Writer, url string, grid r
 		Schedulers:    grid.Schedulers,
 		Cores:         grid.Cores,
 		Granularities: grid.Granularities,
+		Tenant:        tenant,
 	}
 	for _, k := range grid.Runtimes {
 		req.Runtimes = append(req.Runtimes, string(k))

@@ -48,6 +48,25 @@
 // pull-based queue, requeues points whose worker dies mid-flight, and
 // merges all results into its own content-addressed store — so the fleet
 // is crash-tolerant and warm keys are never dispatched twice.
+//
+// # Tiered store
+//
+// The result store is a tiered cache: a bounded in-memory LRU
+// (-store-mem-bytes) over the -store directory (bounded by -store-max-bytes;
+// least-recently-accessed result files are GCed under a persistent,
+// crash-rebuildable index), over the rest of the fleet (-store-peers): a key
+// missing from both local tiers is fetched from peers' GET /results/{key}
+// before being simulated, so any result computed anywhere in the fleet is
+// computed once. Every sweepd — coordinator or worker — serves
+// GET /results/{key} from its local tiers only.
+//
+// # Multi-tenancy
+//
+// Submissions may carry a tenant ({"tenant": "acme", ...}); tenants get
+// weighted-fair shares of execution capacity under contention and optional
+// admission quotas (429 when exceeded). Configure with:
+//
+//	curl -X PUT localhost:8080/tenants/acme -d '{"weight":2,"max_active_points":500}'
 package main
 
 import (
@@ -78,6 +97,9 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
 		store     = flag.String("store", "", "directory persisting results as JSON for warm resume across restarts")
+		memBytes  = flag.Int64("store-mem-bytes", 0, "bound the store's in-memory result tier (bytes, LRU-evicted; 0 = unbounded)")
+		diskBytes = flag.Int64("store-max-bytes", 0, "bound the -store directory (bytes; least-recently-accessed result files are GCed; 0 = unbounded)")
+		storePeer = flag.String("store-peers", "", "comma-separated sweepd base URLs to fetch cold results from before simulating (fleet-wide cache)")
 		workers   = flag.Int("workers", 0, "concurrent simulations across all sweeps (0 = GOMAXPROCS)")
 		verbose   = flag.Bool("v", false, "log per-simulation progress")
 		drainFor  = flag.Duration("drain-timeout", 30*time.Second, "maximum time to wait for connections to close after drain")
@@ -91,21 +113,31 @@ func main() {
 		log.Fatalf("sweepd: -worker and -peers are mutually exclusive (a worker executes points, a coordinator dispatches them)")
 	}
 
+	// The peer source is attached to the store before any simulation: a cold
+	// key then resolves memory -> disk -> peers -> simulate.
+	peerSource := remote.NewPeerSource(strings.Split(*storePeer, ","))
+	st, err := runner.OpenStore(runner.StoreOptions{
+		Dir:       *store,
+		MemBytes:  *memBytes,
+		DiskBytes: *diskBytes,
+		Peers:     peerSource,
+	})
+	if err != nil {
+		log.Fatalf("sweepd: %v", err)
+	}
 	engine := &runner.Engine{
 		Base:    core.DefaultConfig(taskrt.Software),
-		Store:   runner.NewStore(),
+		Store:   st,
 		Workers: *workers,
 	}
 	if *verbose {
 		engine.Log = os.Stderr
 	}
 	if *store != "" {
-		st, err := runner.NewDiskStore(*store)
-		if err != nil {
-			log.Fatalf("sweepd: %v", err)
-		}
-		engine.Store = st
 		log.Printf("sweepd: persisting results to %s", *store)
+		if st.IndexRebuilt() {
+			log.Printf("sweepd: store index rebuilt from result files")
+		}
 	}
 
 	// Structured logs (request, sweep and dispatch records) go to stderr
@@ -122,12 +154,18 @@ func main() {
 		reg := obs.NewRegistry()
 		engine.Metrics = runner.NewEngineMetrics(reg)
 		engine.Store.Metrics = runner.NewStoreMetrics(reg)
+		runner.RegisterStoreGauges(reg, engine.Store)
+		if ps, ok := peerSource.(*remote.PeerSource); ok {
+			ps.Metrics = remote.NewPeerMetrics(reg)
+		}
 		wk := &remote.Worker{
 			Engine:  engine,
 			Log:     logger,
 			Metrics: remote.NewWorkerMetrics(reg),
 		}
 		mux.Handle("POST /execute", wk.Handler())
+		// Every fleet node serves its store's local tiers to its peers.
+		mux.Handle("GET /results/{key}", remote.ResultsHandler(engine.Store))
 		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			fmt.Fprintln(w, `{"ok":true,"worker":true}`)
@@ -143,6 +181,9 @@ func main() {
 		srv = service.New(engine, *workers)
 		srv.MaxPoints = *maxPoints
 		srv.Log = logger
+		if ps, ok := peerSource.(*remote.PeerSource); ok {
+			ps.Metrics = remote.NewPeerMetrics(srv.Registry())
+		}
 		// One dispatch-metric family shared by every fleet executor, so
 		// /metrics breaks dispatches down per worker URL.
 		dispatchMetrics := remote.NewMetrics(srv.Registry())

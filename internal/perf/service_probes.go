@@ -151,3 +151,100 @@ func benchStoreHitMiss(b *testing.B, extra map[string]float64) {
 	extra["miss_ns"] = float64(missTotal.Nanoseconds()) / float64(b.N)
 	extra["hit_ns"] = float64(hitTotal.Nanoseconds()) / float64(b.N)
 }
+
+// benchStorePeerFetch measures the peer tier of the fleet-wide cache: a cold
+// local store resolving a key through GET /results/{key} against a warm peer
+// over loopback HTTP — decode, validation and local re-persist included. This
+// is the latency a fleet pays instead of re-simulating a point some other
+// daemon already computed.
+func benchStorePeerFetch(b *testing.B, extra map[string]float64) {
+	canned, err := core.RunBenchmark("synth:blockdense:width=2,mean=200", core.DefaultConfig(core.Software))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const key = "perf-peer-fetch"
+	peerStore := runner.NewStore()
+	if err := peerStore.Put(key, canned); err != nil {
+		b.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("GET /results/{key}", remote.ResultsHandler(peerStore))
+	peer := httptest.NewServer(mux)
+	defer peer.Close()
+
+	ctx := b.Context()
+	compute := func(context.Context) (*core.Result, error) {
+		return nil, fmt.Errorf("peer tier missed: compute reached")
+	}
+	b.ResetTimer()
+	var fetchTotal time.Duration
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// A fresh cold store per iteration: the second fetch of a key would
+		// be a memory hit and time nothing peer-related.
+		st, err := runner.OpenStore(runner.StoreOptions{
+			Peers: remote.NewPeerSource([]string{peer.URL}),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		start := time.Now()
+		if _, cached, err := st.Do(ctx, key, compute); err != nil || !cached {
+			b.Fatalf("peer fetch: cached=%v err=%v", cached, err)
+		}
+		fetchTotal += time.Since(start)
+	}
+	extra["fetch_ns"] = float64(fetchTotal.Nanoseconds()) / float64(b.N)
+}
+
+// benchServiceTenantDispatch measures multi-tenant dispatch overhead: two
+// weighted tenants contending for the service's execution slots over a warm
+// store, submission to last settled point. Simulation time is ~zero (every
+// point is a store hit), so this times admission, the stride scheduler's
+// grant traffic, and sweep bookkeeping.
+func benchServiceTenantDispatch(b *testing.B, extra map[string]float64) {
+	engine := &runner.Engine{Base: core.DefaultConfig(core.TDM), Store: runner.NewStore(), Workers: 2}
+	srv := service.New(engine, 2)
+	if _, err := srv.ConfigureTenant("heavy", service.TenantConfig{Weight: 2}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := srv.ConfigureTenant("light", service.TenantConfig{Weight: 1}); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const tenantBody = `{"benchmarks":["synth:blockdense:width=4,mean=500"],"cores":[8,16,32,64],"tenant":%q}`
+	run := func() {
+		done := make(chan error, 2)
+		for _, tenant := range []string{"heavy", "light"} {
+			go func(tenant string) {
+				resp, err := http.Post(ts.URL+"/sweeps?stream=1", "application/json",
+					bytes.NewReader([]byte(fmt.Sprintf(tenantBody, tenant))))
+				if err != nil {
+					done <- err
+					return
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					done <- fmt.Errorf("submit(%s): status %d", tenant, resp.StatusCode)
+					return
+				}
+				_, err = io.Copy(io.Discard, resp.Body)
+				done <- err
+			}(tenant)
+		}
+		for i := 0; i < 2; i++ {
+			if err := <-done; err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	run() // warm the store: measured iterations are pure dispatch machinery
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	extra["points_per_op"] = 8 // 4 per tenant, 2 tenants
+}

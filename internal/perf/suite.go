@@ -55,6 +55,8 @@ func allProbes() []Probe {
 		{Name: "service/submit-first-row", Quick: true, Body: benchServiceSubmitFirstRow},
 		{Name: "service/dispatch-points", Quick: true, Body: benchServiceDispatchPoints},
 		{Name: "store/hit-miss", Quick: true, Body: benchStoreHitMiss},
+		{Name: "store/peer-fetch", Quick: true, Body: benchStorePeerFetch},
+		{Name: "service/tenant-dispatch", Quick: true, Body: benchServiceTenantDispatch},
 		{Name: "taskrt/cholesky-tdm", Quick: false, Body: benchRunBenchmark("cholesky", core.TDM)},
 		{Name: "taskrt/cholesky-software", Quick: false, Body: benchRunBenchmark("cholesky", core.Software)},
 	}

@@ -8,18 +8,25 @@ import (
 // are optional (nil instruments drop updates); NewStoreMetrics registers the
 // full set. A Store with a nil Metrics field skips instrumentation entirely.
 type StoreMetrics struct {
-	// Hits counts cache hits by source: "mem" (resident result), "disk"
-	// (persisted result loaded), "inflight" (waited out another caller's
-	// computation of the same key).
+	// Hits counts cache hits by source tier: "mem" (resident result),
+	// "disk" (persisted result loaded), "peer" (fetched from another fleet
+	// node's store), "inflight" (waited out another caller's computation of
+	// the same key).
 	Hits *obs.CounterVec
 	// Misses counts keys that had to be computed.
 	Misses *obs.Counter
 	// Quarantines counts unparsable result files moved aside as .corrupt.
 	Quarantines *obs.Counter
-	// PersistFailures counts results that computed but failed to persist.
+	// PersistFailures counts results that computed (or arrived from a peer)
+	// but failed to persist.
 	PersistFailures *obs.Counter
+	// MemEvictions counts results dropped from the bounded memory tier;
+	// DiskEvictions counts result files the disk-budget GC deleted.
+	MemEvictions  *obs.Counter
+	DiskEvictions *obs.Counter
 	// HitSeconds and MissSeconds time Store.Do by outcome: a hit resolves
-	// from cache (or an in-flight computation), a miss runs the executor.
+	// from a cache tier (or an in-flight computation), a miss runs the
+	// executor.
 	HitSeconds  *obs.Histogram
 	MissSeconds *obs.Histogram
 }
@@ -27,13 +34,27 @@ type StoreMetrics struct {
 // NewStoreMetrics registers the store metric family on the registry.
 func NewStoreMetrics(reg *obs.Registry) *StoreMetrics {
 	return &StoreMetrics{
-		Hits:            reg.CounterVec("store_hits_total", "Result-store cache hits by source (mem, disk, inflight).", "source"),
+		Hits:            reg.CounterVec("store_hits_total", "Result-store cache hits by source tier (mem, disk, peer, inflight).", "source"),
 		Misses:          reg.Counter("store_misses_total", "Result-store lookups that computed the point."),
 		Quarantines:     reg.Counter("store_quarantines_total", "Corrupt result files quarantined as .corrupt."),
-		PersistFailures: reg.Counter("store_persist_failures_total", "Computed results that failed to persist."),
-		HitSeconds:      reg.Histogram("store_hit_seconds", "Store.Do latency when the result came from cache.", obs.LatencyBuckets),
+		PersistFailures: reg.Counter("store_persist_failures_total", "Computed or peer-fetched results that failed to persist."),
+		MemEvictions:    reg.Counter("store_mem_evictions_total", "Results evicted from the bounded memory tier (LRU)."),
+		DiskEvictions:   reg.Counter("store_disk_evictions_total", "Result files deleted by the disk-budget GC (LRU by last access)."),
+		HitSeconds:      reg.Histogram("store_hit_seconds", "Store.Do latency when the result came from a cache tier.", obs.LatencyBuckets),
 		MissSeconds:     reg.Histogram("store_miss_seconds", "Store.Do latency when the point was computed.", obs.LatencyBuckets),
 	}
+}
+
+// RegisterStoreGauges registers scrape-time gauges reading the store's tier
+// occupancy (resident and persisted bytes), alongside the counters a
+// StoreMetrics provides.
+func RegisterStoreGauges(reg *obs.Registry, s *Store) {
+	reg.GaugeFunc("store_mem_bytes", "Bytes of results resident in the store's memory tier.", func() float64 {
+		return float64(s.MemBytesUsed())
+	})
+	reg.GaugeFunc("store_disk_bytes", "Bytes of results the store's disk-tier index accounts for.", func() float64 {
+		return float64(s.DiskBytesUsed())
+	})
 }
 
 // EngineMetrics instruments job execution through an Engine (local

@@ -488,19 +488,26 @@ func TestCrashResume(t *testing.T) {
 		t.Fatal("cancelled sweep produced results for in-flight/skipped points")
 	}
 
-	// The store directory holds only complete, parsable results: exactly
-	// the points that finished, no temp files, no corrupt entries.
+	// The store directory holds only complete, parsable results (plus the
+	// hidden disk index): exactly the points that finished, no temp files,
+	// no corrupt entries.
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	resultFiles := 0
 	for _, ent := range entries {
+		if strings.HasPrefix(ent.Name(), ".") {
+			continue // the disk index is a deliberate hidden artifact
+		}
 		if !strings.HasSuffix(ent.Name(), ".json") {
 			t.Errorf("interrupted store left a non-result file behind: %s", ent.Name())
+			continue
 		}
+		resultFiles++
 	}
-	if len(entries) != 1 {
-		t.Fatalf("interrupted store holds %d results, want 1 (the completed point)", len(entries))
+	if resultFiles != 1 {
+		t.Fatalf("interrupted store holds %d results, want 1 (the completed point)", resultFiles)
 	}
 
 	// Resume against the same directory with a fresh store (a new process).

@@ -1,0 +1,216 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestStoreStressTinyMemory hammers one tiered store from many goroutines —
+// Do, Get, Put and GC racing on overlapping keys under a memory budget small
+// enough to force constant LRU churn — and asserts the invariants the tiers
+// must never trade away:
+//
+//   - no double execution: each key's compute fn runs exactly once (the disk
+//     tier is unbounded here, so an evicted resident result always reloads)
+//   - no lost results: every Do and every final Get returns the key's result
+//   - the memory tier ends within its byte budget
+//
+// Run it under -race (CI does): the interesting failures are orderings.
+func TestStoreStressTinyMemory(t *testing.T) {
+	res := testResult(t)
+	resSize := mustSize(t, res)
+	st, err := OpenStore(StoreOptions{
+		Dir:      t.TempDir(),
+		MemBytes: 2 * resSize, // at most two results resident: constant eviction
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nKeys = 8
+	const nGoroutines = 16
+	const nIters = 40
+	var execs [nKeys]atomic.Int32
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("stress-key-%d", i)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, nGoroutines)
+	for g := 0; g < nGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < nIters; i++ {
+				k := (g + i) % nKeys
+				switch i % 4 {
+				case 0, 1:
+					got, _, err := st.Do(context.Background(), keys[k], func(context.Context) (*core.Result, error) {
+						execs[k].Add(1)
+						return res, nil
+					})
+					if err != nil {
+						errs <- fmt.Errorf("Do(%s): %w", keys[k], err)
+						return
+					}
+					if got.Cycles != res.Cycles {
+						errs <- fmt.Errorf("Do(%s) returned a foreign result", keys[k])
+						return
+					}
+				case 2:
+					// Get may miss a key nothing computed yet; a hit must be
+					// the real result.
+					if got, ok := st.Get(keys[k]); ok && got.Cycles != res.Cycles {
+						errs <- fmt.Errorf("Get(%s) returned a foreign result", keys[k])
+						return
+					}
+				case 3:
+					st.GC()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for i, k := range keys {
+		if n := execs[i].Load(); n > 1 {
+			t.Errorf("key %s computed %d times, want at most 1 (singleflight + disk tier)", k, n)
+		}
+		if _, ok := st.Get(k); !ok {
+			t.Errorf("key %s lost after the stress run", k)
+		}
+	}
+	if used, limit := st.MemBytesUsed(), 2*resSize; used > limit {
+		t.Errorf("memory tier ends at %d bytes, budget %d", used, limit)
+	}
+	if st.Len() > 2 {
+		t.Errorf("%d results resident, want <= 2 under a 2-result budget", st.Len())
+	}
+}
+
+// TestStoreStressDiskGC races Do against an aggressive disk budget: GC
+// constantly deletes cold result files, yet every Do must still return the
+// right result and never run a key's fn while another run of it is in
+// flight.
+func TestStoreStressDiskGC(t *testing.T) {
+	res := testResult(t)
+	resSize := mustSize(t, res)
+	st, err := OpenStore(StoreOptions{
+		Dir:       t.TempDir(),
+		MemBytes:  resSize,     // one resident result
+		DiskBytes: 3 * resSize, // three persisted results: GC churns
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nKeys = 8
+	const nGoroutines = 12
+	const nIters = 30
+	var inflight [nKeys]atomic.Int32
+	var wg sync.WaitGroup
+	errs := make(chan error, nGoroutines)
+	for g := 0; g < nGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < nIters; i++ {
+				k := (g*7 + i) % nKeys
+				key := fmt.Sprintf("gc-key-%d", k)
+				got, _, err := st.Do(context.Background(), key, func(context.Context) (*core.Result, error) {
+					if n := inflight[k].Add(1); n != 1 {
+						errs <- fmt.Errorf("key %s: %d concurrent executions", key, n)
+					}
+					defer inflight[k].Add(-1)
+					return res, nil
+				})
+				if err != nil {
+					errs <- fmt.Errorf("Do(%s): %w", key, err)
+					return
+				}
+				if got.Cycles != res.Cycles {
+					errs <- fmt.Errorf("Do(%s) returned a foreign result", key)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// GC kept the disk tier near its budget (one key's slack: a result
+	// persisted by an in-flight Do is GC-exempt until it settles).
+	if used, limit := st.DiskBytesUsed(), 4*resSize; used > limit {
+		t.Errorf("disk tier ends at %d bytes, want <= %d", used, limit)
+	}
+}
+
+// TestStoreEvictionSparesInflight: while a key's computation is in flight,
+// disk GC pressure from other keys must not delete anything the inflight key
+// needs — its just-persisted file survives until the Do settles.
+func TestStoreEvictionSparesInflight(t *testing.T) {
+	res := testResult(t)
+	resSize := mustSize(t, res)
+	st, err := OpenStore(StoreOptions{
+		Dir:       t.TempDir(),
+		DiskBytes: resSize, // budget for one result only
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := st.Do(context.Background(), "inflight-key", func(context.Context) (*core.Result, error) {
+			close(started)
+			<-release
+			return res, nil
+		})
+		done <- err
+	}()
+	<-started
+	// Pile persisted keys on top of the tiny budget; each Put GCs.
+	for i := 0; i < 4; i++ {
+		if err := st.Put(fmt.Sprintf("filler-%d", i), res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// The inflight key survived the GC storm: still readable, either from
+	// memory or its (protected) file.
+	if _, ok := st.Get("inflight-key"); !ok {
+		t.Error("inflight key's result was lost to GC")
+	}
+}
+
+// mustSize returns the store accounting size of a result (its JSON form).
+func mustSize(t *testing.T, res *core.Result) int64 {
+	t.Helper()
+	st := NewStore()
+	st.memLimit = 1 // force save to marshal for accounting
+	size, err := st.save("size-probe", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size <= 0 {
+		t.Fatal("zero-size result")
+	}
+	return size
+}

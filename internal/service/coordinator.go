@@ -95,6 +95,11 @@ func (w *worker) info() WorkerInfo {
 // submitted after registration shard across the fleet; sweeps already
 // running keep the fleet snapshot they started with. slots <= 0 uses
 // defaultWorkerSlots; values beyond maxWorkerSlots are clamped.
+//
+// Registration also grows the tenant dispatcher's grant pool by the
+// worker's slots (replacement adjusts by the slot delta): grant capacity
+// always covers the service semaphore plus every registered slot, so the
+// dispatcher arbitrates tenants without capping fleet throughput.
 func (s *Server) RegisterWorker(name string, exec runner.Executor, slots int) {
 	if slots <= 0 {
 		slots = defaultWorkerSlots
@@ -103,7 +108,6 @@ func (s *Server) RegisterWorker(name string, exec runner.Executor, slots int) {
 		slots = maxWorkerSlots
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.workers == nil {
 		s.workers = make(map[string]*worker)
 	}
@@ -111,6 +115,12 @@ func (s *Server) RegisterWorker(name string, exec runner.Executor, slots int) {
 		s.workerOrder = append(s.workerOrder, name)
 	}
 	s.workers[name] = &worker{name: name, exec: exec, slots: slots}
+	fleetSlots := 0
+	for _, w := range s.workers {
+		fleetSlots += w.slots
+	}
+	s.mu.Unlock()
+	s.disp.setCapacity(cap(s.sem) + fleetSlots)
 }
 
 // Workers lists the registered fleet in registration order.
@@ -235,7 +245,17 @@ func (s *Server) runSharded(ctx context.Context, sw *sweep, workers []*worker) {
 					case <-done:
 						return
 					case t := <-queue:
+						// The pulled point executes under a tenant grant, so
+						// sweeps contending for the fleet drain in proportion
+						// to their tenants' weights. Requeue the point if the
+						// sweep dies while this slot waits its tenant's turn.
+						g, ok := s.disp.acquire(ctx, sw.tenant, done)
+						if !ok {
+							queue <- t
+							return
+						}
 						s.dispatchPoint(ctx, sw, w, fails, t, attemptCap, queue, settle)
+						s.disp.release(g)
 					}
 				}
 			}(w)
@@ -332,14 +352,20 @@ func (s *Server) runQueueLocal(ctx context.Context, sw *sweep, queue <-chan poin
 		default:
 			return
 		}
+		g, ok := s.disp.acquire(ctx, sw.tenant, nil)
+		if !ok {
+			return
+		}
 		select {
 		case s.sem <- struct{}{}:
 		case <-ctx.Done():
+			s.disp.release(g)
 			return
 		}
 		wg.Add(1)
 		go func(t pointTask) {
 			defer wg.Done()
+			defer s.disp.release(g)
 			defer func() { <-s.sem }()
 			j := sw.jobs[t.idx]
 			key := s.engine.Key(j)

@@ -27,6 +27,9 @@ type serverMetrics struct {
 
 	taskLatency  *obs.HistogramVec // quantile: p50 | p90 | p99 (cycles)
 	dmuOccupancy *obs.HistogramVec // kind: tasks | deps (entries)
+
+	// tenant holds the multi-tenant dispatcher's instruments (tenants.go).
+	tenant *tenantMetrics
 }
 
 // initMetrics registers the service instrument families plus the liveness
@@ -48,6 +51,8 @@ func (s *Server) initMetrics() {
 
 		taskLatency:  reg.HistogramVec("sim_task_latency_cycles", "Per-point task queue-to-retire latency percentiles, in simulated cycles.", obs.CycleBuckets, "quantile"),
 		dmuOccupancy: reg.HistogramVec("sim_dmu_occupancy_entries", "DMU structure occupancy samples from completed points (entries in flight).", occupancyBuckets, "kind"),
+
+		tenant: newTenantMetrics(reg),
 	}
 	reg.GaugeFunc("service_sweeps_active", "Sweeps currently running.", func() float64 {
 		return float64(s.activeSweeps())

@@ -17,6 +17,9 @@
 //	POST /sweeps/{id}/cancel stop the sweep's in-flight points
 //	PUT  /workers           register a remote execution worker
 //	GET  /workers           list the worker fleet and its health
+//	GET  /tenants           list tenants, their weights, quotas and load
+//	PUT  /tenants/{id}       configure a tenant (weight, quotas; may preempt)
+//	GET  /results/{key}      serve a cached result from the local store tiers
 //	GET  /healthz           liveness and drain state
 //
 // With workers registered (PUT /workers, or sweepd's -peers flag) the
@@ -42,6 +45,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -60,6 +64,11 @@ type Server struct {
 	// sem bounds concurrently executing simulation points across all
 	// sweeps (the engine's worker-pool equivalent for the service).
 	sem chan struct{}
+
+	// disp deals execution grants across tenants, weighted-fair (see
+	// tenants.go). Every executing point — local or dispatched to the fleet —
+	// holds a grant.
+	disp *dispatcher
 
 	// MaxBodyBytes bounds a POST /sweeps request body; larger submissions
 	// get 413. MaxPoints bounds a submitted grid's expansion; larger grids
@@ -132,7 +141,9 @@ func New(engine *runner.Engine, workers int) *Server {
 		now:          time.Now,
 		reg:          obs.NewRegistry(),
 	}
+	s.disp = newDispatcher(workers)
 	s.initMetrics()
+	s.disp.met = s.met.tenant
 	// An engine (and store) without its own instruments joins the service
 	// registry, so one /metrics scrape covers the whole execution path.
 	if engine.Metrics == nil {
@@ -140,6 +151,7 @@ func New(engine *runner.Engine, workers int) *Server {
 	}
 	if engine.Store != nil && engine.Store.Metrics == nil {
 		engine.Store.Metrics = runner.NewStoreMetrics(s.reg)
+		runner.RegisterStoreGauges(s.reg, engine.Store)
 	}
 	s.baseCtx, s.cancelBase = context.WithCancelCause(context.Background())
 	mux := http.NewServeMux()
@@ -150,6 +162,9 @@ func New(engine *runner.Engine, workers int) *Server {
 	mux.HandleFunc("POST /sweeps/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("PUT /workers", s.handleRegisterWorker)
 	mux.HandleFunc("GET /workers", s.handleListWorkers)
+	mux.HandleFunc("GET /tenants", s.handleListTenants)
+	mux.HandleFunc("PUT /tenants/{id}", s.handleConfigureTenant)
+	mux.HandleFunc("GET /results/{key}", s.handleResult)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /metrics", obs.Handler(s.reg))
 	// pprof routes the named profiles itself under Index; cmdline, profile,
@@ -268,6 +283,9 @@ type SubmitRequest struct {
 	Schedulers    []string `json:"schedulers"`
 	Cores         []int    `json:"cores"`
 	Granularities []int64  `json:"granularities"`
+	// Tenant attributes the sweep for weighted-fair dispatch and quota
+	// admission (see tenants.go); "" means DefaultTenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // grid converts the request into a validated job grid.
@@ -292,17 +310,23 @@ type SubmitResponse struct {
 }
 
 // submit registers a sweep for the job list and starts executing it (the
-// core of POST /sweeps).
-func (s *Server) submit(jobs []runner.Job) (*sweep, error) {
+// core of POST /sweeps). Admission quotas are checked under the same lock
+// that registers the sweep, so concurrent submissions cannot jointly slip
+// past a tenant's budget. cfg is the caller's config snapshot for tenant.
+func (s *Server) submit(jobs []runner.Job, tenant string, cfg TenantConfig) (*sweep, error) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		return nil, ErrDraining
 	}
+	if err := s.admitLocked(tenant, cfg, len(jobs)); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
 	s.nextID++
 	id := fmt.Sprintf("s%04d", s.nextID)
 	ctx, cancel := context.WithCancelCause(s.baseCtx)
-	sw := newSweep(id, jobs, cancel, s.now())
+	sw := newSweep(id, tenant, jobs, cancel, s.now())
 	s.sweeps[id] = sw
 	s.order = append(s.order, id)
 	s.wg.Add(1)
@@ -339,21 +363,32 @@ func (s *Server) runSweep(ctx context.Context, sw *sweep) {
 }
 
 // runLocal executes a sweep's jobs in-process over the shared point
-// semaphore, appending each finished point to the sweep log.
+// semaphore, appending each finished point to the sweep log. Each point
+// first takes a tenant execution grant — under contention the dispatcher
+// decides whose point launches next — and then a semaphore slot (always in
+// that order; grant capacity covers the semaphore, so a grant holder never
+// waits on the semaphore behind anything but other executing points).
 func (s *Server) runLocal(ctx context.Context, sw *sweep) {
 	var wg sync.WaitGroup
 launch:
 	for i, j := range sw.jobs {
-		// Acquire a point slot, abandoning the launch loop on cancellation
-		// so a cancelled sweep stops submitting new points immediately.
+		// Acquire the grant and a point slot, abandoning the launch loop on
+		// cancellation so a cancelled sweep stops submitting new points
+		// immediately.
+		g, ok := s.disp.acquire(ctx, sw.tenant, nil)
+		if !ok {
+			break launch
+		}
 		select {
 		case s.sem <- struct{}{}:
 		case <-ctx.Done():
+			s.disp.release(g)
 			break launch
 		}
 		wg.Add(1)
 		go func(i int, j runner.Job) {
 			defer wg.Done()
+			defer s.disp.release(g)
 			defer func() { <-s.sem }()
 			key := s.engine.Key(j)
 			res, err := s.engine.RunContext(ctx, j)
@@ -449,6 +484,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
+	tenant, err := normalizeTenant(req.Tenant)
+	if err != nil {
+		s.httpError(w, r, http.StatusBadRequest, err)
+		return
+	}
 	// Cap the expansion before allocating it: a small request body can
 	// still describe a combinatorially explosive grid.
 	switch size := grid.Size(); {
@@ -461,9 +501,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	jobs := grid.Jobs()
-	sw, err := s.submit(jobs)
+	sw, err := s.submit(jobs, tenant, s.disp.config(tenant))
 	if errors.Is(err, ErrDraining) {
 		s.httpError(w, r, http.StatusServiceUnavailable, err)
+		return
+	}
+	var quota *quotaError
+	if errors.As(err, &quota) {
+		// 429 with a machine-readable body, so schedulers can distinguish
+		// which budget tripped and back off accordingly:
+		//
+		//	{"error": "...", "tenant": "acme",
+		//	 "quota": "max_active_points" | "max_queued_sweeps", "limit": 500}
+		s.met.tenant.rejected.With(quota.Tenant, quota.Quota).Inc()
+		s.log().Warn("submission rejected: tenant over quota",
+			"req", requestID(r.Context()), "tenant", quota.Tenant,
+			"quota", quota.Quota, "limit", quota.Limit)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		writeJSON(w, map[string]any{
+			"error":  quota.Error(),
+			"tenant": quota.Tenant,
+			"quota":  quota.Quota,
+			"limit":  quota.Limit,
+		})
 		return
 	}
 	if err != nil {
@@ -471,7 +532,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.log().Info("sweep submitted",
-		"req", requestID(r.Context()), "sweep", sw.id, "jobs", len(jobs), "stream", stream)
+		"req", requestID(r.Context()), "sweep", sw.id, "tenant", tenant,
+		"jobs", len(jobs), "stream", stream)
 	if stream {
 		// Synchronous mode: stream results on this connection and cancel
 		// the sweep when the client goes away — an aborted curl stops the
@@ -580,6 +642,31 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, sw *sweep, 
 	}
 }
 
+// handleResult serves GET /results/{key}: the store's cached result for the
+// key, from the local tiers only (memory and disk — peers are never
+// consulted, so fleet nodes asking each other cannot cascade). This is the
+// serving half of the fleet-wide cache; internal/remote.PeerSource is the
+// asking half.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key, err := url.PathUnescape(r.PathValue("key"))
+	if err != nil || key == "" {
+		s.httpError(w, r, http.StatusBadRequest, errors.New("bad result key"))
+		return
+	}
+	st := s.engine.Store
+	if st == nil {
+		s.httpError(w, r, http.StatusNotFound, errors.New("this daemon has no result store"))
+		return
+	}
+	res, ok := st.Get(key)
+	if !ok {
+		s.httpError(w, r, http.StatusNotFound, fmt.Errorf("no cached result for key %q", key))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, res)
+}
+
 // handleHealth serves GET /healthz. The response schema:
 //
 //	{
@@ -588,7 +675,8 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, sw *sweep, 
 //	  "sweeps": 3,           // retained sweeps (running + finished)
 //	  "active_sweeps": 1,    // sweeps still running
 //	  "queue_depth": 42,     // unsettled points of running sweeps
-//	  "workers": 2           // registered fleet workers
+//	  "workers": 2,          // registered fleet workers
+//	  "tenants": 1           // known tenants (configured or submitting)
 //	}
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
@@ -607,6 +695,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"active_sweeps": s.activeSweeps(),
 		"queue_depth":   s.queueDepth(),
 		"workers":       nWorkers,
+		"tenants":       len(s.disp.names()),
 	})
 }
 

@@ -507,7 +507,7 @@ func TestEvictRetentionOrdering(t *testing.T) {
 	srv.maxRetained = 2
 	noCancel := func(error) {}
 	add := func(id string, state State) {
-		sw := newSweep(id, nil, noCancel, srv.now())
+		sw := newSweep(id, DefaultTenant, nil, noCancel, srv.now())
 		if state != StateRunning {
 			sw.finish(state, srv.now())
 		}

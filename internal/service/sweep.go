@@ -55,8 +55,10 @@ type Point struct {
 
 // Status is the progress snapshot served by GET /sweeps/{id}.
 type Status struct {
-	ID    string `json:"id"`
-	State State  `json:"state"`
+	ID string `json:"id"`
+	// Tenant owns the sweep for dispatch weighting and quota accounting.
+	Tenant string `json:"tenant,omitempty"`
+	State  State  `json:"state"`
 	// Total is the number of points in the grid expansion; Completed and
 	// Failed count finished points (Completed includes cache hits).
 	// Cancelled counts points that stopped because the sweep was cancelled
@@ -75,6 +77,7 @@ type Status struct {
 // append-only point log streamers replay and follow.
 type sweep struct {
 	id        string
+	tenant    string
 	jobs      []runner.Job
 	submitted time.Time
 	cancel    context.CancelCauseFunc
@@ -91,9 +94,10 @@ type sweep struct {
 	changed chan struct{}
 }
 
-func newSweep(id string, jobs []runner.Job, cancel context.CancelCauseFunc, now time.Time) *sweep {
+func newSweep(id, tenant string, jobs []runner.Job, cancel context.CancelCauseFunc, now time.Time) *sweep {
 	return &sweep{
 		id:        id,
+		tenant:    tenant,
 		jobs:      jobs,
 		submitted: now,
 		cancel:    cancel,
@@ -142,6 +146,7 @@ func (s *sweep) status() Status {
 	defer s.mu.Unlock()
 	return Status{
 		ID:        s.id,
+		Tenant:    s.tenant,
 		State:     s.state,
 		Total:     len(s.jobs),
 		Completed: len(s.points) - s.failed - s.cancelled,

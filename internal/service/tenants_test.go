@@ -1,0 +1,539 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/sched"
+	"repro/internal/taskrt"
+)
+
+// drainOrder issues every queued grant one at a time (capacity 1) and
+// records the tenant order the dispatcher chose. Deterministic: the
+// dispatcher breaks ties by name and nothing here is concurrent.
+func drainOrder(t *testing.T, d *dispatcher, grants []*grant) []string {
+	t.Helper()
+	d.setCapacity(1)
+	var order []string
+	recorded := make(map[*grant]bool)
+	for len(order) < len(grants) {
+		progressed := false
+		for _, g := range grants {
+			if g.granted && !recorded[g] {
+				recorded[g] = true
+				order = append(order, g.tenant)
+				d.release(g)
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			t.Fatalf("dispatcher stalled after %d of %d grants (%v)", len(order), len(grants), order)
+		}
+	}
+	return order
+}
+
+// TestDispatcherFairness: backlogged tenants drain in proportion to their
+// weights, deterministically, regardless of enqueue order. (Weights are
+// powers of two so stride arithmetic is exact.)
+func TestDispatcherFairness(t *testing.T) {
+	cases := []struct {
+		name    string
+		weights map[string]int
+		enqueue []string // tenant per request, enqueued before any grant
+		want    []string // exact grant order
+	}{
+		{
+			name:    "equal-weights-alternate",
+			weights: map[string]int{"a": 1, "b": 1},
+			enqueue: []string{"a", "a", "a", "b", "b", "b"},
+			want:    []string{"a", "b", "a", "b", "a", "b"},
+		},
+		{
+			name:    "two-to-one",
+			weights: map[string]int{"a": 2, "b": 1},
+			enqueue: []string{"a", "a", "a", "a", "a", "a", "b", "b", "b", "b", "b", "b"},
+			want:    []string{"a", "b", "a", "a", "b", "a", "a", "b", "a", "b", "b", "b"},
+		},
+		{
+			name:    "four-to-one",
+			weights: map[string]int{"a": 4, "b": 1},
+			enqueue: []string{"a", "a", "a", "a", "a", "a", "a", "a", "b", "b"},
+			want:    []string{"a", "b", "a", "a", "a", "a", "b", "a", "a", "a"},
+		},
+		{
+			name:    "single-tenant-fifo",
+			weights: map[string]int{"a": 3},
+			enqueue: []string{"a", "a", "a"},
+			want:    []string{"a", "a", "a"},
+		},
+		{
+			name:    "enqueue-order-irrelevant",
+			weights: map[string]int{"a": 1, "b": 1},
+			enqueue: []string{"b", "b", "b", "a", "a", "a"},
+			want:    []string{"a", "b", "a", "b", "a", "b"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := newDispatcher(0)
+			for name, w := range tc.weights {
+				d.configure(name, TenantConfig{Weight: w})
+			}
+			grants := make([]*grant, 0, len(tc.enqueue))
+			for _, tenant := range tc.enqueue {
+				grants = append(grants, d.enqueue(tenant))
+			}
+			got := drainOrder(t, d, grants)
+			if strings.Join(got, " ") != strings.Join(tc.want, " ") {
+				t.Errorf("grant order\n got %v\nwant %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDispatcherIdleCatchUp: a tenant joining mid-drain starts at the busy
+// tenants' virtual time, so idleness earns no priority — the late joiner
+// cannot leapfrog work the busy tenant already queued.
+func TestDispatcherIdleCatchUp(t *testing.T) {
+	d := newDispatcher(0)
+	d.configure("a", TenantConfig{Weight: 1})
+	d.configure("b", TenantConfig{Weight: 1})
+	aGrants := []*grant{d.enqueue("a"), d.enqueue("a"), d.enqueue("a"), d.enqueue("a")}
+	d.setCapacity(1)
+	// Drain two of a's grants; a's pass advances well beyond zero.
+	for i := 0; i < 2; i++ {
+		if !aGrants[i].granted {
+			t.Fatalf("grant %d not issued", i)
+		}
+		d.release(aGrants[i])
+	}
+	// b arrives late with two requests. Without pass catch-up b would sit at
+	// virtual time 0 and its grants would jump ahead of a's queued work
+	// ([a b b a]); with catch-up b starts level with a and the tie breaks
+	// deterministically by name.
+	all := append(aGrants[2:], d.enqueue("b"), d.enqueue("b"))
+	var order []string
+	recorded := make(map[*grant]bool)
+	for len(order) < len(all) {
+		progressed := false
+		for _, g := range all {
+			if g.granted && !recorded[g] {
+				recorded[g] = true
+				order = append(order, g.tenant)
+				d.release(g)
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			t.Fatalf("dispatcher stalled at %v", order)
+		}
+	}
+	want := []string{"a", "a", "b", "b"}
+	if strings.Join(order, " ") != strings.Join(want, " ") {
+		t.Errorf("late-joiner order %v, want %v", order, want)
+	}
+}
+
+// TestDispatcherAbandon: withdrawing queued grants (or racing an issued one)
+// never leaks capacity.
+func TestDispatcherAbandon(t *testing.T) {
+	d := newDispatcher(1)
+	g1 := d.enqueue("a") // issued immediately
+	g2 := d.enqueue("a") // queued
+	if !g1.granted || g2.granted {
+		t.Fatal("unexpected initial grant state")
+	}
+	d.abandon(g2) // withdraw while queued
+	d.abandon(g1) // abandon after issuance: must release
+	g3 := d.enqueue("a")
+	if !g3.granted {
+		t.Error("capacity leaked: grant not issued after abandons")
+	}
+	d.release(g3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	hold := d.enqueue("a")
+	if _, ok := d.acquire(ctx, "a", nil); ok {
+		t.Error("acquire succeeded under a dead context with no capacity")
+	}
+	_ = hold
+}
+
+// gateExec is a runner.Executor that blocks every point until release closes
+// (or the point's context dies), so tests can hold sweeps in the running
+// state deterministically.
+type gateExec struct {
+	res     *core.Result
+	release chan struct{}
+}
+
+func (g *gateExec) Execute(ctx context.Context, _ runner.Job) (*core.Result, error) {
+	select {
+	case <-g.release:
+		return g.res, nil
+	case <-ctx.Done():
+		return nil, context.Cause(ctx)
+	}
+}
+
+// gatedServer returns a service whose points block on the returned gate.
+func gatedServer(t *testing.T) (*Server, *gateExec, string) {
+	t.Helper()
+	base := core.DefaultConfig(taskrt.Software)
+	base.Machine = base.Machine.WithCores(8)
+	res, err := (&runner.Engine{Base: base}).Run(runner.Job{
+		Benchmark: "histogram", Runtime: taskrt.Software, Scheduler: sched.FIFO,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := &gateExec{res: res, release: make(chan struct{})}
+	srv, ts := testServer(t, nil)
+	srv.engine.Exec = gate
+	return srv, gate, ts.URL
+}
+
+// submitTenant posts a one-point grid for a tenant; bench varies the key so
+// submissions do not collapse in the store.
+func submitTenant(t *testing.T, url, tenant, bench string) *http.Response {
+	t.Helper()
+	return postJSON(t, url+"/sweeps",
+		`{"benchmarks": ["`+bench+`"], "runtimes": ["software"], "tenant": "`+tenant+`"}`)
+}
+
+// quotaBody is the documented 429 response schema.
+type quotaBody struct {
+	Error  string `json:"error"`
+	Tenant string `json:"tenant"`
+	Quota  string `json:"quota"`
+	Limit  int    `json:"limit"`
+}
+
+// TestTenantQuotaMaxQueuedSweeps: the sweep-count quota admits up to the
+// limit, 429s beyond it with the documented body, never throttles other
+// tenants, and frees up as sweeps finish.
+func TestTenantQuotaMaxQueuedSweeps(t *testing.T) {
+	srv, gate, url := gatedServer(t)
+	if _, err := srv.ConfigureTenant("acme", TenantConfig{MaxQueuedSweeps: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := submitTenant(t, url, "acme", "histogram")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submission status = %d", resp.StatusCode)
+	}
+	first := decode[SubmitResponse](t, resp.Body)
+	resp.Body.Close()
+
+	resp = submitTenant(t, url, "acme", "cholesky")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submission status = %d, want 429", resp.StatusCode)
+	}
+	body := decode[quotaBody](t, resp.Body)
+	resp.Body.Close()
+	if body.Tenant != "acme" || body.Quota != "max_queued_sweeps" || body.Limit != 1 || body.Error == "" {
+		t.Errorf("429 body = %+v", body)
+	}
+
+	// Another tenant is untouched by acme's quota.
+	resp = submitTenant(t, url, "other", "cholesky")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("other tenant throttled by acme's quota: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Quota is load, not history: once the sweep finishes, acme submits again.
+	close(gate.release)
+	waitState(t, url+"/sweeps/"+first.ID)
+	resp = submitTenant(t, url, "acme", "cholesky")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("post-completion submission status = %d, want 202", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestTenantQuotaMaxActivePoints: the point quota counts unsettled points
+// across the tenant's running sweeps plus the new grid.
+func TestTenantQuotaMaxActivePoints(t *testing.T) {
+	srv, gate, url := gatedServer(t)
+	defer close(gate.release)
+	if _, err := srv.ConfigureTenant("bulk", TenantConfig{MaxActivePoints: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A single grid bigger than the budget is rejected outright.
+	resp := postJSON(t, url+"/sweeps",
+		`{"benchmarks": ["histogram"], "runtimes": ["software"], "cores": [8, 16, 32, 64, 128], "tenant": "bulk"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("oversized grid status = %d, want 429", resp.StatusCode)
+	}
+	body := decode[quotaBody](t, resp.Body)
+	resp.Body.Close()
+	if body.Quota != "max_active_points" || body.Limit != 4 {
+		t.Errorf("429 body = %+v", body)
+	}
+
+	// 3 points fit; 3 more would make 6 > 4.
+	resp = postJSON(t, url+"/sweeps",
+		`{"benchmarks": ["histogram"], "runtimes": ["software"], "cores": [8, 16, 32], "tenant": "bulk"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("within-quota grid status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = postJSON(t, url+"/sweeps",
+		`{"benchmarks": ["cholesky"], "runtimes": ["software"], "cores": [8, 16, 32], "tenant": "bulk"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("second grid status = %d, want 429 (3 active + 3 new > 4)", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestTenantPreemption: lowering a tenant's quota below its load cancels its
+// newest sweeps — and only its own — through the regular cancel plumbing.
+func TestTenantPreemption(t *testing.T) {
+	srv, gate, url := gatedServer(t)
+	defer close(gate.release)
+
+	submit := func(tenant, bench string) string {
+		resp := submitTenant(t, url, tenant, bench)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit(%s) status = %d", tenant, resp.StatusCode)
+		}
+		sub := decode[SubmitResponse](t, resp.Body)
+		resp.Body.Close()
+		return sub.ID
+	}
+	alphaOld := submit("alpha", "histogram")
+	alphaNew := submit("alpha", "cholesky")
+	beta := submit("beta", "histogram")
+
+	preempted, err := srv.ConfigureTenant("alpha", TenantConfig{MaxQueuedSweeps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preempted) != 1 || preempted[0] != alphaNew {
+		t.Fatalf("preempted = %v, want [%s] (newest alpha sweep)", preempted, alphaNew)
+	}
+	st := waitState(t, url+"/sweeps/"+alphaNew)
+	if st.State != StateCancelled {
+		t.Errorf("preempted sweep state = %s, want cancelled", st.State)
+	}
+	// The survivor and the other tenant keep running (points still gated).
+	for _, id := range []string{alphaOld, beta} {
+		resp, err := http.Get(url + "/sweeps/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := decode[Status](t, resp.Body)
+		resp.Body.Close()
+		if got.State != StateRunning {
+			t.Errorf("sweep %s state = %s, want running (not preempted)", id, got.State)
+		}
+	}
+}
+
+// TestTenantEndpoints: GET /tenants lists configs and load; PUT validates.
+func TestTenantEndpoints(t *testing.T) {
+	_, ts := testServer(t, nil)
+
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/tenants/acme",
+		strings.NewReader(`{"weight": 2, "max_active_points": 100}`))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("configure status = %d", resp.StatusCode)
+	}
+	info := decode[TenantInfo](t, resp.Body)
+	resp.Body.Close()
+	if info.Name != "acme" || info.Weight != 2 || info.MaxActivePoints != 100 {
+		t.Errorf("configured tenant = %+v", info)
+	}
+
+	resp, err = http.Get(ts.URL + "/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decode[[]TenantInfo](t, resp.Body)
+	resp.Body.Close()
+	names := make([]string, len(list))
+	for i, ti := range list {
+		names[i] = ti.Name
+	}
+	if strings.Join(names, " ") != "acme default" {
+		t.Errorf("tenant listing = %v, want [acme default]", names)
+	}
+
+	for _, bad := range []string{
+		`{"weight": -1}`,
+		`{"max_active_points": -5}`,
+		`{"unknown_field": 1}`,
+	} {
+		req, _ := http.NewRequest(http.MethodPut, ts.URL+"/tenants/acme", strings.NewReader(bad))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("configure(%s) status = %d, want 400", bad, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	// Invalid tenant names are rejected at submission too.
+	resp = postJSON(t, ts.URL+"/sweeps", `{"benchmarks": ["histogram"], "tenant": "no spaces!"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad tenant name status = %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestTenantWeightedDrainEndToEnd: two tenants contending for one execution
+// slot drain weight-proportionally through the real submission path.
+func TestTenantWeightedDrainEndToEnd(t *testing.T) {
+	base := core.DefaultConfig(taskrt.Software)
+	srv := New(&runner.Engine{Base: base, Store: runner.NewStore()}, 1)
+	if _, err := srv.ConfigureTenant("heavy", TenantConfig{Weight: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.ConfigureTenant("light", TenantConfig{Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	var order []string
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	record := &recordExec{base: base, note: func(tenant string) {
+		<-mu
+		order = append(order, tenant)
+		mu <- struct{}{}
+	}}
+	srv.engine.Exec = record
+
+	// Occupy the single slot so both tenants' queues build up behind it,
+	// then release: the dispatcher decides every subsequent launch. (The
+	// holder uses a third benchmark so its store key collides with nobody.)
+	hold, unblock := make(chan struct{}), make(chan struct{})
+	record.gate = func() { close(hold); <-unblock }
+	subs := make([]*sweep, 0, 3)
+	sw, err := srv.submit(grid(t, "fluidanimate", 1), "heavy", TenantConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs = append(subs, sw)
+	<-hold // the slot is occupied; queues now build deterministically
+	sw2, err := srv.submit(grid(t, "histogram", 6), "heavy", TenantConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw3, err := srv.submit(grid(t, "cholesky", 3), "light", TenantConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs = append(subs, sw2, sw3)
+	// Give both launch loops time to enqueue their first grant requests.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, hq := srv.disp.counts("heavy")
+		_, lq := srv.disp.counts("light")
+		if hq > 0 && lq > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("grant queues never built up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(unblock)
+	for _, sw := range subs {
+		waitSweepDone(t, sw)
+	}
+
+	<-mu
+	counts := map[string]int{}
+	// The first execution is the pre-contention holder; count the rest.
+	for _, tenant := range order[1:] {
+		counts[tenant]++
+	}
+	if counts["heavy"] != 6 || counts["light"] != 3 {
+		t.Fatalf("executions %v, want heavy=6 light=3 (order %v)", counts, order)
+	}
+	// Weight-2 heavy never falls behind: after each prefix of the contended
+	// drain it has at least as many grants as light.
+	heavy, light := 0, 0
+	for _, tenant := range order[1:] {
+		if tenant == "heavy" {
+			heavy++
+		} else {
+			light++
+		}
+		if light > heavy+1 {
+			t.Fatalf("light overtook heavy in drain order %v", order)
+		}
+	}
+}
+
+// recordExec notes each executed point's tenant (via the note callback) and
+// returns instantly. gate, when set, runs inside the first execution; the
+// single execution slot serializes every access to it.
+type recordExec struct {
+	base core.Config
+	note func(tenant string)
+	gate func()
+}
+
+func (r *recordExec) Execute(ctx context.Context, j runner.Job) (*core.Result, error) {
+	// Label encodes the tenant (set by grid()); fall back to the benchmark.
+	tenant := j.Label
+	if tenant == "" {
+		tenant = j.Benchmark
+	}
+	if g := r.gate; g != nil {
+		r.gate = nil
+		g()
+	}
+	r.note(tenant)
+	return (&runner.Engine{Base: r.base}).RunContext(ctx, j)
+}
+
+// grid expands n jobs of a benchmark with distinct core counts (distinct
+// store keys), labelled with the submitting tenant for recordExec.
+func grid(t *testing.T, bench string, n int) []runner.Job {
+	t.Helper()
+	jobs := make([]runner.Job, n)
+	label := "heavy"
+	if bench == "cholesky" {
+		label = "light"
+	}
+	for i := range jobs {
+		jobs[i] = runner.Job{
+			Benchmark: bench,
+			Runtime:   taskrt.Software,
+			Scheduler: sched.FIFO,
+			Cores:     8 * (i + 1),
+			Label:     label,
+		}
+	}
+	return jobs
+}
+
+// waitSweepDone polls a sweep until terminal.
+func waitSweepDone(t *testing.T, sw *sweep) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if sw.status().State != StateRunning {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("sweep %s never finished", sw.id)
+}

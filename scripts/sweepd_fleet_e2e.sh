@@ -8,7 +8,10 @@
 # worker (mid-sweep and after completion) and asserts the observability
 # counters recorded what actually happened: the requeues after the kill, the
 # survivor's executions, and the store hits when the grid is resubmitted warm.
-# CI runs this on every PR.
+# Finally it boots a second coordinator with a cold store pointed at the
+# first via -store-peers and proves the whole sweep is served by peer fetch:
+# byte-identical output, zero simulations, zero dispatched points.
+# CI runs this on every PR; the nightly workflow runs it as well.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -142,6 +145,26 @@ coord_metrics=$(curl -fsS "http://$coord_addr/metrics")
 hits=$(echo "$coord_metrics" | awk '/^store_hits_total\{/ {sum += $2} END {print sum+0}')
 [ "$hits" -ge 12 ] || fail "warm resubmission recorded $hits store hits, want >= 12: $coord_metrics"
 
+# Fleet-wide cache: a second coordinator with a cold store but the first
+# coordinator as a store peer serves the same grid without simulating or
+# dispatching anything — every point arrives over GET /results/{key}.
+start_daemon coord2 -store "$workdir/store2" -store-peers "http://$coord_addr"
+"$workdir/sweep" -remote "http://$coord2_addr" "${GRID[@]}" -o "$workdir/remote3.csv" \
+  >"$workdir/sweep-remote3.log" 2>&1 || fail "peer-backed submission failed"
+cmp "$workdir/local.csv" "$workdir/remote3.csv" || fail "peer-fetched results differ from the local run"
+coord2_metrics=$(curl -fsS "http://$coord2_addr/metrics")
+c2_execs=$(echo "$coord2_metrics" | awk '/^runner_execs_total / {print int($2)}')
+[ "${c2_execs:-0}" -eq 0 ] || fail "cold coordinator simulated $c2_execs points instead of peer-fetching"
+c2_dispatched=$(echo "$coord2_metrics" | awk '/^service_worker_points_dispatched_total\{/ {sum += $2} END {print sum+0}')
+[ "$c2_dispatched" -eq 0 ] || fail "cold coordinator dispatched $c2_dispatched points, want 0"
+peer_hits=$(echo "$coord2_metrics" | awk '/^store_hits_total\{.*source="peer"/ {sum += $2} END {print sum+0}')
+[ "$peer_hits" -ge 12 ] || fail "cold coordinator recorded $peer_hits peer hits, want >= 12: $coord2_metrics"
+peer_fetches=$(echo "$coord2_metrics" | awk '/^store_peer_fetches_total\{.*outcome="hit"/ {sum += $2} END {print sum+0}')
+[ "$peer_fetches" -ge 12 ] || fail "peer fetch counter recorded $peer_fetches hits, want >= 12"
+# The fetched results were persisted into the second store (warm restart).
+ls "$workdir/store2"/*.json >/dev/null 2>&1 || fail "peer-fetched results not persisted to store2"
+echo "cold coordinator served 12/12 points by peer fetch ($peer_hits peer hits, 0 execs, 0 dispatches)"
+
 # Every coordinator store file is complete JSON (the merge is atomic).
 ls "$workdir/store"/*.json >/dev/null 2>&1 || fail "coordinator store holds no results"
 for f in "$workdir/store"/*; do
@@ -152,4 +175,4 @@ for f in "$workdir/store"/*; do
   esac
 done
 
-echo "PASS: sweepd fleet e2e (coordinator + 2 workers, SIGKILL mid-sweep, byte-identical results)"
+echo "PASS: sweepd fleet e2e (coordinator + 2 workers, SIGKILL mid-sweep, peer-fetch coordinator, byte-identical results)"
