@@ -52,6 +52,7 @@ import (
 	"repro/internal/remote"
 	"repro/internal/runner"
 	"repro/internal/sched"
+	"repro/internal/search"
 	"repro/internal/service"
 	"repro/internal/stats"
 	"repro/internal/task"
@@ -111,6 +112,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		cores         = fs.String("cores", "", "comma-separated core counts (default: 32)")
 		granularities = fs.String("granularities", "", "comma-separated granularities, 0 = Table II optimal (default: 0)")
 		workers       = fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		searchMode    = fs.String("search", "", "design-space search strategy (halving) instead of exhausting the grid; renders a leaderboard")
+		objective     = fs.String("objective", "min:cycles", "search objective: [min:|max:]<cycles|seconds|energy|edp|power|latency_p50|latency_p90|latency_p99>")
+		budget        = fs.Int("budget", 0, "search evaluation budget in grid points (0 = half the grid)")
+		searchRungs   = fs.Int("search-rungs", 0, "search promotion rounds (0 = default)")
+		searchSeed    = fs.Int64("search-seed", 0, "search sampling seed (same seed reproduces the search exactly)")
+		searchTop     = fs.Int("search-top", 10, "leaderboard rows to render")
 		remoteURL     = fs.String("remote", "", "submit the grid to a sweepd daemon at this base URL instead of simulating in-process")
 		tenant        = fs.String("tenant", "", "tenant to attribute the remote submission to (requires -remote; daemon default when empty)")
 		store         = fs.String("store", "", "directory persisting results as JSON for warm resume")
@@ -167,6 +174,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *remoteURL != "" && *store != "" {
 		return fmt.Errorf("-store applies to in-process sweeps (the daemon owns the remote store); drop it with -remote")
 	}
+	if *searchMode != "" {
+		if len(replayFiles) > 0 || *dumpProgram != "" {
+			return fmt.Errorf("-search explores a grid; it cannot combine with -replay-program or -dump-program")
+		}
+	} else if *budget != 0 || *searchRungs != 0 || *searchSeed != 0 {
+		return fmt.Errorf("-budget/-search-rungs/-search-seed configure a search; add -search halving")
+	}
 	if *remoteURL != "" && *dumpProgram != "" {
 		return fmt.Errorf("-dump-program records locally generated programs; drop -remote to use it")
 	}
@@ -213,8 +227,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return dumpPrograms(stdout, *dumpProgram, jobs, engine.Base)
 	}
 
+	var searchReq *service.SearchRequest
+	if *searchMode != "" {
+		searchReq = &service.SearchRequest{
+			Strategy:  *searchMode,
+			Objective: *objective,
+			Budget:    *budget,
+			Rungs:     *searchRungs,
+			Seed:      *searchSeed,
+			Top:       *searchTop,
+		}
+	}
+
 	if *remoteURL != "" {
-		return runRemote(ctx, stdout, stderr, *remoteURL, *tenant, grid, len(jobs), *format, *out, *verbose)
+		return runRemote(ctx, stdout, stderr, *remoteURL, *tenant, grid, searchReq, len(jobs), *format, *out, *verbose)
 	}
 
 	if *store != "" {
@@ -223,6 +249,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		engine.Store = st
+	}
+
+	if searchReq != nil {
+		return runSearchLocal(ctx, stdout, stderr, engine, grid, searchReq, *format, *out, *verbose)
 	}
 
 	results, err := engine.RunAllContext(ctx, jobs)
@@ -269,11 +299,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 
 // runRemote submits the grid to a sweepd daemon and renders the streamed
 // points exactly as a local run would: same fields, same job order, so a
-// remote sweep's table is byte-identical to an in-process one.
+// remote sweep's table is byte-identical to an in-process one. With a search
+// stanza the daemon evaluates only the searcher's batches, the stream
+// interleaves leaderboard rows, and the final leaderboard is rendered
+// instead of the full point table.
 func runRemote(ctx context.Context, stdout, stderr io.Writer, url, tenant string, grid runner.Grid,
-	wantPoints int, format, out string, verbose bool) error {
+	search *service.SearchRequest, wantPoints int, format, out string, verbose bool) error {
 	if verbose {
-		fmt.Fprintf(stderr, "submitting %d points to %s\n", wantPoints, url)
+		if search != nil {
+			fmt.Fprintf(stderr, "submitting search over %d grid points to %s\n", wantPoints, url)
+		} else {
+			fmt.Fprintf(stderr, "submitting %d points to %s\n", wantPoints, url)
+		}
 	}
 	req := service.SubmitRequest{
 		Benchmarks:    grid.Benchmarks,
@@ -281,6 +318,7 @@ func runRemote(ctx context.Context, stdout, stderr io.Writer, url, tenant string
 		Cores:         grid.Cores,
 		Granularities: grid.Granularities,
 		Tenant:        tenant,
+		Search:        search,
 	}
 	for _, k := range grid.Runtimes {
 		req.Runtimes = append(req.Runtimes, string(k))
@@ -293,6 +331,18 @@ func runRemote(ctx context.Context, stdout, stderr io.Writer, url, tenant string
 	if err := context.Cause(ctx); err != nil {
 		return err
 	}
+	// Split result rows from the interleaved leaderboard rows; the last
+	// leaderboard row is the search's final ranking.
+	var board *service.Point
+	results := streamed[:0]
+	for i, p := range streamed {
+		if p.Row == service.RowLeaderboard {
+			board = &streamed[i]
+			continue
+		}
+		results = append(results, p)
+	}
+	streamed = results
 	// The stream arrives in completion order; the report is in grid order.
 	sort.Slice(streamed, func(i, j int) bool { return streamed[i].Index < streamed[j].Index })
 	var errs []error
@@ -301,7 +351,8 @@ func runRemote(ctx context.Context, stdout, stderr io.Writer, url, tenant string
 		switch {
 		case p.Cancelled:
 			errs = append(errs, fmt.Errorf("%s/%s: cancelled on the daemon: %s", p.Benchmark, p.Runtime, p.Error))
-		case p.Error != "":
+		case p.Error != "" && search == nil:
+			// A search ranks around failed points instead of aborting.
 			errs = append(errs, errors.New(p.Error))
 		}
 		points = append(points, point{
@@ -322,8 +373,111 @@ func runRemote(ctx context.Context, stdout, stderr io.Writer, url, tenant string
 	if err := errors.Join(errs...); err != nil {
 		return err
 	}
+	w := stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if search != nil {
+		if board == nil {
+			return fmt.Errorf("remote search delivered no leaderboard")
+		}
+		fmt.Fprintf(stderr, "search evaluated %d of %d grid points (%d saved)\n",
+			board.Evaluated, wantPoints, wantPoints-board.Evaluated)
+		return emitLeaderboard(w, format, search.Objective, board.Best)
+	}
 	if len(points) != wantPoints {
 		return fmt.Errorf("remote sweep delivered %d of %d points", len(points), wantPoints)
+	}
+	return emit(w, format, points)
+}
+
+// runSearchLocal drives the successive-halving searcher over the in-process
+// engine: each rung's batch executes through RunAllContext (deduplicated,
+// store-memoized, worker pool), the observed objectives feed the next rung,
+// and the final leaderboard is rendered.
+func runSearchLocal(ctx context.Context, stdout, stderr io.Writer, engine *runner.Engine,
+	grid runner.Grid, req *service.SearchRequest, format, out string, verbose bool) error {
+	obj, err := search.ParseObjective(req.Objective)
+	if err != nil {
+		return err
+	}
+	space, err := search.NewSpace(grid)
+	if err != nil {
+		return err
+	}
+	searcher, err := search.New(space, search.Config{
+		Strategy:  req.Strategy,
+		Objective: obj,
+		Budget:    req.Budget,
+		Rungs:     req.Rungs,
+		Seed:      req.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	for {
+		batch := searcher.Next()
+		if batch == nil {
+			break
+		}
+		jobs := make([]runner.Job, len(batch))
+		for i, idx := range batch {
+			jobs[i] = space.Job(idx)
+		}
+		results, err := engine.RunAllContext(ctx, jobs)
+		if cause := context.Cause(ctx); cause != nil {
+			return cause
+		}
+		if err != nil && verbose {
+			fmt.Fprintf(stderr, "search rung %d: some points failed: %v\n", searcher.Rung(), err)
+		}
+		for i, idx := range batch {
+			res := results[i]
+			var value float64
+			failed := res == nil
+			if !failed {
+				if value, err = obj.Value(res); err != nil {
+					failed = true
+				}
+			}
+			var cycles int64
+			if res != nil {
+				cycles = res.Cycles
+			}
+			searcher.Observe(idx, value, cycles, failed)
+		}
+		if verbose {
+			fmt.Fprintf(stderr, "search rung %d: %d/%d points evaluated\n",
+				searcher.Rung(), searcher.Evaluated(), searcher.Config().Budget)
+		}
+	}
+	fmt.Fprintf(stderr, "search evaluated %d of %d grid points (%d saved)\n",
+		searcher.Evaluated(), space.Len(), space.Len()-searcher.Evaluated())
+	top := req.Top
+	if top <= 0 {
+		top = 10
+	}
+	entries := make([]service.LeaderboardEntry, 0, top)
+	for _, e := range searcher.Leaderboard(top) {
+		cfg := e.Job.Config(engine.Base)
+		scheduler := cfg.Scheduler
+		if !e.Job.Runtime.UsesSoftwareScheduler() {
+			scheduler = "-"
+		}
+		entries = append(entries, service.LeaderboardEntry{
+			Index:       e.Index,
+			Benchmark:   e.Job.Benchmark,
+			Runtime:     string(e.Job.Runtime),
+			Scheduler:   scheduler,
+			Cores:       cfg.Machine.Cores,
+			Granularity: e.Job.Granularity,
+			Value:       e.Value,
+		})
 	}
 	w := stdout
 	if out != "" {
@@ -334,7 +488,33 @@ func runRemote(ctx context.Context, stdout, stderr io.Writer, url, tenant string
 		defer f.Close()
 		w = f
 	}
-	return emit(w, format, points)
+	return emitLeaderboard(w, format, obj.String(), entries)
+}
+
+// emitLeaderboard renders a search's final ranking in the requested format.
+func emitLeaderboard(w io.Writer, format, objective string, entries []service.LeaderboardEntry) error {
+	switch format {
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(entries)
+	case "table", "csv":
+		t := stats.NewTable("Search leaderboard ("+objective+")",
+			"rank", "benchmark", "runtime", "scheduler", "cores", "granularity", "value")
+		for i, e := range entries {
+			t.AddRowValues(i+1, e.Benchmark, e.Runtime, e.Scheduler, e.Cores,
+				e.Granularity, fmt.Sprintf("%.6g", e.Value))
+		}
+		var err error
+		if format == "csv" {
+			_, err = fmt.Fprintln(w, t.CSV())
+		} else {
+			_, err = fmt.Fprintln(w, t.String())
+		}
+		return err
+	default:
+		return fmt.Errorf("sweep: unknown format %q (table, csv, json)", format)
+	}
 }
 
 // replayJobs expands the grid's runtime/scheduler/core dimensions over

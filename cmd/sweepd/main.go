@@ -7,7 +7,7 @@
 // Submit a grid and stream its results on the same connection (aborting the
 // request cancels the sweep's in-flight simulations):
 //
-//	curl -N -X POST 'localhost:8080/sweeps?stream=1' -d '{
+//	curl -N -X POST 'localhost:8080/v1/sweeps?stream=1' -d '{
 //	  "benchmarks": ["cholesky", "synth:layered:seed=7"],
 //	  "runtimes": ["software", "tdm"],
 //	  "schedulers": ["fifo", "locality"],
@@ -16,10 +16,16 @@
 //
 // Or submit asynchronously and follow by ID:
 //
-//	curl -X POST localhost:8080/sweeps -d '{"benchmarks":["histogram"]}'
-//	curl localhost:8080/sweeps/s0001
-//	curl -N localhost:8080/sweeps/s0001/stream
-//	curl -X POST localhost:8080/sweeps/s0001/cancel
+//	curl -X POST localhost:8080/v1/sweeps -d '{"benchmarks":["histogram"]}'
+//	curl localhost:8080/v1/sweeps/s0001
+//	curl -N localhost:8080/v1/sweeps/s0001/stream
+//	curl -X POST localhost:8080/v1/sweeps/s0001/cancel
+//
+// The API lives under /v1/ (unprefixed paths remain as deprecated aliases
+// for one release); every non-2xx response carries the {"error","code",...}
+// envelope documented in the README. A submission with a "search" stanza
+// runs a seeded successive-halving design-space search over the grid
+// instead of exhausting it — see the README's design-space search section.
 //
 // With -store the service shares one content-addressed disk store across
 // every sweep: identical points are simulated once, and because result files
@@ -42,7 +48,7 @@
 //
 // or register workers at runtime:
 //
-//	curl -X PUT localhost:8080/workers -d '{"url":"http://host3:8083","slots":4}'
+//	curl -X PUT localhost:8080/v1/workers -d '{"url":"http://host3:8083","slots":4}'
 //
 // The coordinator shards every submitted grid across the fleet with a
 // pull-based queue, requeues points whose worker dies mid-flight, and
@@ -55,10 +61,10 @@
 // (-store-mem-bytes) over the -store directory (bounded by -store-max-bytes;
 // least-recently-accessed result files are GCed under a persistent,
 // crash-rebuildable index), over the rest of the fleet (-store-peers): a key
-// missing from both local tiers is fetched from peers' GET /results/{key}
+// missing from both local tiers is fetched from peers' GET /v1/results/{key}
 // before being simulated, so any result computed anywhere in the fleet is
 // computed once. Every sweepd — coordinator or worker — serves
-// GET /results/{key} from its local tiers only.
+// GET /v1/results/{key} (and the unprefixed alias) from its local tiers only.
 //
 // # Multi-tenancy
 //
@@ -66,7 +72,7 @@
 // weighted-fair shares of execution capacity under contention and optional
 // admission quotas (429 when exceeded). Configure with:
 //
-//	curl -X PUT localhost:8080/tenants/acme -d '{"weight":2,"max_active_points":500}'
+//	curl -X PUT localhost:8080/v1/tenants/acme -d '{"weight":2,"max_active_points":500}'
 package main
 
 import (
@@ -164,7 +170,10 @@ func main() {
 			Metrics: remote.NewWorkerMetrics(reg),
 		}
 		mux.Handle("POST /execute", wk.Handler())
-		// Every fleet node serves its store's local tiers to its peers.
+		// Every fleet node serves its store's local tiers to its peers —
+		// under /v1 (what PeerSource asks today) and unprefixed for one
+		// release of back-compat, mirroring the coordinator API surface.
+		mux.Handle("GET /v1/results/{key}", remote.ResultsHandler(engine.Store))
 		mux.Handle("GET /results/{key}", remote.ResultsHandler(engine.Store))
 		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")

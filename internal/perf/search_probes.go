@@ -1,0 +1,78 @@
+package perf
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/sched"
+	"repro/internal/search"
+	"repro/internal/taskrt"
+)
+
+// benchSearchHalvingSweep times the design-space search machinery itself —
+// space expansion lookups, rung proposal, ranking and neighborhood promotion
+// — by driving a full successive-halving search over a ~240-point grid with
+// a synthetic objective. The objective evaluation is a handful of integer
+// operations, so the measured time is the searcher's bookkeeping per search;
+// a regression here taxes every search sweep's rung turnaround on top of the
+// simulations.
+func benchSearchHalvingSweep(b *testing.B, extra map[string]float64) {
+	base := core.DefaultConfig(taskrt.Software)
+	grid := runner.Grid{
+		Benchmarks:    []string{"histogram"},
+		Runtimes:      []taskrt.Kind{taskrt.Software, taskrt.TDM},
+		Schedulers:    []string{sched.FIFO, sched.LIFO, sched.Locality},
+		Cores:         []int{1, 2, 3, 4, 6, 8, 12, 16},
+		Granularities: []int64{0, 100, 200, 400, 800},
+	}
+	space, err := search.NewSpace(grid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A convex synthetic objective: cheap to evaluate, unique optimum, and
+	// a gradient the neighborhood promotion can follow.
+	cost := func(j runner.Job) float64 {
+		cfg := j.Config(base)
+		c := float64(cfg.Machine.Cores - 6)
+		g := float64(j.Granularity/100 - 2)
+		v := 1000 + 100*c*c + 100*g*g
+		if j.Runtime != taskrt.TDM {
+			v += 10
+		}
+		return v
+	}
+	cfg := search.Config{
+		Objective: search.Objective{Metric: "cycles"},
+		Budget:    space.Len() / 2,
+		Rungs:     5,
+		Seed:      9,
+	}
+
+	var evaluated, rungs int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := search.New(space, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		evaluated, rungs = 0, 0
+		for {
+			batch := s.Next()
+			if batch == nil {
+				break
+			}
+			rungs++
+			for _, idx := range batch {
+				s.Observe(idx, cost(space.Job(idx)), 1000, false)
+				evaluated++
+			}
+		}
+		if _, ok := s.Best(); !ok {
+			b.Fatal("search concluded without a best point")
+		}
+	}
+	extra["points_evaluated_per_op"] = float64(evaluated)
+	extra["points_saved_per_op"] = float64(space.Len() - evaluated)
+	extra["rungs_per_op"] = float64(rungs)
+}

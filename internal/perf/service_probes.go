@@ -153,7 +153,7 @@ func benchStoreHitMiss(b *testing.B, extra map[string]float64) {
 }
 
 // benchStorePeerFetch measures the peer tier of the fleet-wide cache: a cold
-// local store resolving a key through GET /results/{key} against a warm peer
+// local store resolving a key through GET /v1/results/{key} against a warm peer
 // over loopback HTTP — decode, validation and local re-persist included. This
 // is the latency a fleet pays instead of re-simulating a point some other
 // daemon already computed.
@@ -168,7 +168,7 @@ func benchStorePeerFetch(b *testing.B, extra map[string]float64) {
 		b.Fatal(err)
 	}
 	mux := http.NewServeMux()
-	mux.Handle("GET /results/{key}", remote.ResultsHandler(peerStore))
+	mux.Handle("GET /v1/results/{key}", remote.ResultsHandler(peerStore))
 	peer := httptest.NewServer(mux)
 	defer peer.Close()
 

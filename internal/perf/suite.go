@@ -57,6 +57,7 @@ func allProbes() []Probe {
 		{Name: "store/hit-miss", Quick: true, Body: benchStoreHitMiss},
 		{Name: "store/peer-fetch", Quick: true, Body: benchStorePeerFetch},
 		{Name: "service/tenant-dispatch", Quick: true, Body: benchServiceTenantDispatch},
+		{Name: "search/halving-sweep", Quick: true, Body: benchSearchHalvingSweep},
 		{Name: "taskrt/cholesky-tdm", Quick: false, Body: benchRunBenchmark("cholesky", core.TDM)},
 		{Name: "taskrt/cholesky-software", Quick: false, Body: benchRunBenchmark("cholesky", core.Software)},
 	}

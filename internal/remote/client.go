@@ -41,7 +41,7 @@ func (c *Client) Sweep(ctx context.Context, req service.SubmitRequest) ([]servic
 		return nil, err
 	}
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		strings.TrimRight(c.URL, "/")+"/sweeps?stream=1", bytes.NewReader(body))
+		strings.TrimRight(c.URL, "/")+"/v1/sweeps?stream=1", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}

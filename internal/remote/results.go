@@ -136,7 +136,7 @@ func (p *PeerSource) get(ctx context.Context, peer, key string) (*core.Result, s
 	ctx, cancel := context.WithTimeout(ctx, p.timeout())
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		peer+"/results/"+url.PathEscape(key), nil)
+		peer+"/v1/results/"+url.PathEscape(key), nil)
 	if err != nil {
 		return nil, "error"
 	}

@@ -25,7 +25,7 @@ func cachedResult(t *testing.T) (*core.Result, string) {
 	return res, eng.Key(job)
 }
 
-// resultsServer serves GET /results/{key} over a store seeded with the
+// resultsServer serves GET /v1/results/{key} over a store seeded with the
 // given key.
 func resultsServer(t *testing.T, key string, res *core.Result) *httptest.Server {
 	t.Helper()
@@ -34,7 +34,7 @@ func resultsServer(t *testing.T, key string, res *core.Result) *httptest.Server 
 		t.Fatal(err)
 	}
 	mux := http.NewServeMux()
-	mux.Handle("GET /results/{key}", ResultsHandler(st))
+	mux.Handle("GET /v1/results/{key}", ResultsHandler(st))
 	ts := httptest.NewServer(mux)
 	t.Cleanup(ts.Close)
 	return ts
@@ -46,7 +46,7 @@ func TestResultsHandler(t *testing.T) {
 	res, key := cachedResult(t)
 	ts := resultsServer(t, key, res)
 
-	resp, err := http.Get(ts.URL + "/results/" + key)
+	resp, err := http.Get(ts.URL + "/v1/results/" + key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestResultsHandler(t *testing.T) {
 		t.Error("served result differs from the stored result")
 	}
 
-	resp, err = http.Get(ts.URL + "/results/no-such-key")
+	resp, err = http.Get(ts.URL + "/v1/results/no-such-key")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestPeerSourceFirstHitWins(t *testing.T) {
 	dead.Close()
 	coldStore := runner.NewStore()
 	coldMux := http.NewServeMux()
-	coldMux.Handle("GET /results/{key}", ResultsHandler(coldStore))
+	coldMux.Handle("GET /v1/results/{key}", ResultsHandler(coldStore))
 	cold := httptest.NewServer(coldMux)
 	t.Cleanup(cold.Close)
 	warm := resultsServer(t, key, res)

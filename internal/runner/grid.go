@@ -88,7 +88,7 @@ func (g Grid) Validate() error {
 // two cannot drift apart.
 func (g Grid) Size() int {
 	n := 0
-	g.forEach(func(Job) { n++ })
+	g.forEach(func(Job, [NumDims]int) { n++ })
 	return n
 }
 
@@ -98,13 +98,68 @@ func (g Grid) Size() int {
 // (benchmark, cores, granularity) combination instead of one per scheduler.
 func (g Grid) Jobs() []Job {
 	var jobs []Job
-	g.forEach(func(j Job) { jobs = append(jobs, j) })
+	g.forEach(func(j Job, _ [NumDims]int) { jobs = append(jobs, j) })
 	return jobs
 }
 
+// NumDims is the number of grid dimensions a job coordinate indexes:
+// benchmark, runtime, scheduler, cores, granularity (in that order).
+const NumDims = 5
+
+// Axes is the grid's expanded per-dimension value lists, after defaults are
+// filled in and pseudo-entries (synth:all) are substituted — the value sets a
+// job coordinate from Coords indexes into.
+type Axes struct {
+	Benchmarks    []string
+	Runtimes      []taskrt.Kind
+	Schedulers    []string
+	Cores         []int
+	Granularities []int64
+}
+
+// Len returns the axis lengths in coordinate order.
+func (a Axes) Len() [NumDims]int {
+	return [NumDims]int{len(a.Benchmarks), len(a.Runtimes), len(a.Schedulers), len(a.Cores), len(a.Granularities)}
+}
+
+// Axes returns the grid's expanded dimension values in the same
+// normalization Jobs enumerates (defaults substituted for empty dimensions).
+func (g Grid) Axes() Axes {
+	a := Axes{
+		Benchmarks:    g.expandBenchmarks(),
+		Runtimes:      g.Runtimes,
+		Schedulers:    g.Schedulers,
+		Cores:         g.Cores,
+		Granularities: g.Granularities,
+	}
+	if len(a.Runtimes) == 0 {
+		a.Runtimes = taskrt.Kinds()
+	}
+	if len(a.Schedulers) == 0 {
+		a.Schedulers = []string{sched.FIFO}
+	}
+	if len(a.Cores) == 0 {
+		a.Cores = []int{0}
+	}
+	if len(a.Granularities) == 0 {
+		a.Granularities = []int64{0}
+	}
+	return a
+}
+
+// Coords returns, for each job of Jobs() (same order), its per-dimension
+// indices into Axes. Hardware-scheduled runtimes collapse the scheduler
+// dimension, so their points always carry scheduler coordinate 0 — adaptive
+// searches use the coordinates to find a point's grid neighbors.
+func (g Grid) Coords() [][NumDims]int {
+	var coords [][NumDims]int
+	g.forEach(func(_ Job, c [NumDims]int) { coords = append(coords, c) })
+	return coords
+}
+
 // forEach enumerates the grid's expansion in deterministic order — the
-// single source of truth behind both Jobs and Size.
-func (g Grid) forEach(fn func(Job)) {
+// single source of truth behind Jobs, Size and Coords.
+func (g Grid) forEach(fn func(Job, [NumDims]int)) {
 	benchmarks := g.expandBenchmarks()
 	runtimes := g.Runtimes
 	if len(runtimes) == 0 {
@@ -123,21 +178,21 @@ func (g Grid) forEach(fn func(Job)) {
 		granularities = []int64{0}
 	}
 
-	for _, b := range benchmarks {
-		for _, rt := range runtimes {
+	for bi, b := range benchmarks {
+		for ri, rt := range runtimes {
 			scheds := schedulers
 			if !rt.UsesSoftwareScheduler() {
 				scheds = schedulers[:1]
 			}
-			for _, s := range scheds {
+			for si, s := range scheds {
 				if !rt.UsesSoftwareScheduler() {
 					// Normalize so equal hardware-scheduled points share
 					// one content address regardless of the grid's
 					// scheduler list.
 					s = sched.FIFO
 				}
-				for _, c := range cores {
-					for _, gran := range granularities {
+				for ci, c := range cores {
+					for gi, gran := range granularities {
 						fn(Job{
 							Benchmark:   b,
 							Runtime:     rt,
@@ -145,7 +200,7 @@ func (g Grid) forEach(fn func(Job)) {
 							Cores:       c,
 							Granularity: gran,
 							Label:       "grid",
-						})
+						}, [NumDims]int{bi, ri, si, ci, gi})
 					}
 				}
 			}

@@ -1,0 +1,469 @@
+// Package search finds optima in simulation design spaces without
+// exhaustively sweeping them.
+//
+// A grid of even modest per-dimension cardinality explodes combinatorially,
+// while the questions the paper's evaluation asks — the cheapest DMU
+// configuration within a hair of peak performance, the granularity that
+// minimizes EDP for a workload — need only the optimum, not every point. The
+// Searcher implements seeded, fully deterministic successive halving with
+// neighborhood promotion over a runner.Grid expansion:
+//
+//   - rung 0 evaluates a seeded sample of the space;
+//   - after each rung every evaluated point is ranked on the caller's
+//     Objective, the best 1/eta fraction survive, and the next rung evaluates
+//     the survivors' unvisited grid neighbors (points one step away along a
+//     single dimension), topping the batch up with fresh seeded samples so
+//     the search keeps exploring while it exploits;
+//   - the search stops when the point budget (or simulated-cycle budget) is
+//     spent, the rung limit is reached, or no unvisited candidates remain.
+//
+// The Searcher proposes batches and consumes observations; it never executes
+// anything itself, so callers run batches through whatever execution layer
+// they have — the in-process runner.Engine, or a sweepd coordinator sharding
+// rungs across a worker fleet — and every evaluated point is memoized in the
+// content-addressed store exactly like an exhaustive sweep's.
+//
+// Everything is deterministic: the same space, config and seed propose the
+// same batches and produce the same leaderboard regardless of the
+// concurrency or completion order of the evaluations.
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+)
+
+// Strategy names. StrategyHalving is the default (and currently only)
+// strategy.
+const StrategyHalving = "halving"
+
+// Objective is the scalar metric a search optimizes, extracted from each
+// evaluated point's taskrt.Result-backed core.Result.
+type Objective struct {
+	// Metric names the extracted value; see Metrics for the catalog.
+	Metric string
+	// Maximize inverts the comparison (the default is minimization).
+	Maximize bool
+}
+
+// Metrics lists the objective metrics Value can extract, in documentation
+// order.
+func Metrics() []string {
+	return []string{"cycles", "seconds", "energy", "edp", "power",
+		"latency_p50", "latency_p90", "latency_p99"}
+}
+
+// ParseObjective parses the objective grammar: "min:<metric>" or
+// "max:<metric>", with a bare "<metric>" meaning minimization.
+func ParseObjective(s string) (Objective, error) {
+	o := Objective{Metric: strings.TrimSpace(s)}
+	if rest, ok := strings.CutPrefix(o.Metric, "min:"); ok {
+		o.Metric = rest
+	} else if rest, ok := strings.CutPrefix(o.Metric, "max:"); ok {
+		o.Metric, o.Maximize = rest, true
+	}
+	if o.Metric == "" {
+		return o, fmt.Errorf("search: empty objective (want e.g. %q, metrics: %s)",
+			"min:cycles", strings.Join(Metrics(), ", "))
+	}
+	for _, m := range Metrics() {
+		if o.Metric == m {
+			return o, nil
+		}
+	}
+	return o, fmt.Errorf("search: unknown objective metric %q (known: %s)",
+		o.Metric, strings.Join(Metrics(), ", "))
+}
+
+// String renders the objective back into the grammar ParseObjective accepts.
+func (o Objective) String() string {
+	if o.Maximize {
+		return "max:" + o.Metric
+	}
+	return "min:" + o.Metric
+}
+
+// Value extracts the objective metric from a simulation result.
+func (o Objective) Value(res *core.Result) (float64, error) {
+	if res == nil || res.Result == nil {
+		return 0, fmt.Errorf("search: point has no result to extract %q from", o.Metric)
+	}
+	switch o.Metric {
+	case "cycles":
+		return float64(res.Cycles), nil
+	case "seconds":
+		return res.Seconds, nil
+	case "energy":
+		return res.Energy.EnergyJoules, nil
+	case "edp":
+		return res.Energy.EDP, nil
+	case "power":
+		return res.Energy.AveragePowerW, nil
+	case "latency_p50", "latency_p90", "latency_p99":
+		l := res.TaskLatency
+		if l == nil {
+			return 0, fmt.Errorf("search: result carries no task-latency summary for %q", o.Metric)
+		}
+		switch o.Metric {
+		case "latency_p50":
+			return float64(l.P50), nil
+		case "latency_p90":
+			return float64(l.P90), nil
+		default:
+			return float64(l.P99), nil
+		}
+	default:
+		return 0, fmt.Errorf("search: unknown objective metric %q", o.Metric)
+	}
+}
+
+// Better reports whether value a beats value b under the objective.
+func (o Objective) Better(a, b float64) bool {
+	if o.Maximize {
+		return a > b
+	}
+	return a < b
+}
+
+// Config parameterizes a Searcher.
+type Config struct {
+	// Strategy selects the search algorithm; "" and StrategyHalving are the
+	// successive-halving searcher.
+	Strategy string
+	// Objective ranks evaluated points.
+	Objective Objective
+	// Budget caps evaluated points. <= 0 means half the space (at least 1);
+	// values beyond the space size are clamped to it.
+	Budget int
+	// BudgetCycles, when positive, additionally stops the search from
+	// opening a new rung once the cumulative simulated cycles of evaluated
+	// points exceed it.
+	BudgetCycles int64
+	// Rungs caps promotion rounds; <= 0 means DefaultRungs. A rung's batch
+	// is roughly Budget/Rungs points.
+	Rungs int
+	// Eta is the promotion denominator: after each rung the best 1/Eta of
+	// all evaluated points survive. <= 1 means 2 (halving).
+	Eta int
+	// Seed drives rung-0 sampling and exploration fill. Equal seeds (with
+	// equal space and config) reproduce the search exactly.
+	Seed int64
+}
+
+// DefaultRungs is the promotion-round cap when Config.Rungs is unset.
+const DefaultRungs = 4
+
+// Space is the searchable expansion of a grid: its jobs plus the coordinate
+// structure that defines which points neighbor which.
+type Space struct {
+	jobs   []runner.Job
+	coords [][runner.NumDims]int
+	dims   [runner.NumDims]int
+	index  map[[runner.NumDims]int]int
+}
+
+// NewSpace expands a validated grid into a search space.
+func NewSpace(g runner.Grid) (*Space, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Space{
+		jobs:   g.Jobs(),
+		coords: g.Coords(),
+		dims:   g.Axes().Len(),
+		index:  make(map[[runner.NumDims]int]int),
+	}
+	if len(s.jobs) == 0 {
+		return nil, fmt.Errorf("search: empty grid")
+	}
+	for i, c := range s.coords {
+		s.index[c] = i
+	}
+	return s, nil
+}
+
+// Len returns the number of points in the space.
+func (s *Space) Len() int { return len(s.jobs) }
+
+// Job returns the point's job.
+func (s *Space) Job(i int) runner.Job { return s.jobs[i] }
+
+// Jobs returns the full expansion (grid order). Callers must not mutate it.
+func (s *Space) Jobs() []runner.Job { return s.jobs }
+
+// neighbors appends to buf the indices of points one step away from i along
+// exactly one dimension, in dimension-then-direction order. Points the
+// expansion collapsed (hardware-scheduled runtimes share one scheduler
+// coordinate) are simply absent from the index and skipped.
+func (s *Space) neighbors(i int, buf []int) []int {
+	c := s.coords[i]
+	for d := 0; d < runner.NumDims; d++ {
+		for _, step := range [2]int{-1, 1} {
+			n := c
+			n[d] += step
+			if n[d] < 0 || n[d] >= s.dims[d] {
+				continue
+			}
+			if j, ok := s.index[n]; ok {
+				buf = append(buf, j)
+			}
+		}
+	}
+	return buf
+}
+
+// observation is one evaluated point's outcome.
+type observation struct {
+	value  float64
+	cycles int64
+	failed bool
+}
+
+// Entry is one leaderboard row: a point and its objective value.
+type Entry struct {
+	// Index is the point's position in the grid expansion.
+	Index int
+	Job   runner.Job
+	Value float64
+}
+
+// Searcher proposes batches of point indices (Next) and consumes their
+// outcomes (Observe). It is not safe for concurrent use; callers serialize
+// around it (evaluations themselves run concurrently — only the
+// propose/observe bookkeeping is serial).
+type Searcher struct {
+	space   *Space
+	cfg     Config
+	perRung int
+
+	order     []int // seeded shuffle of all indices: sampling order
+	samplePos int
+
+	rung      int
+	evaluated map[int]observation
+	evalIdx   []int // evaluated indices in ascending order (deterministic rank input)
+	pending   map[int]bool
+	survivors []int // promotion set behind the latest rung (rank order)
+	cycles    int64
+	done      bool
+
+	scratch []int
+}
+
+// New validates the config and prepares a searcher over the space.
+func New(space *Space, cfg Config) (*Searcher, error) {
+	switch cfg.Strategy {
+	case "", StrategyHalving:
+		cfg.Strategy = StrategyHalving
+	default:
+		return nil, fmt.Errorf("search: unknown strategy %q (known: %s)", cfg.Strategy, StrategyHalving)
+	}
+	if cfg.Objective.Metric == "" {
+		return nil, fmt.Errorf("search: config has no objective")
+	}
+	if _, err := ParseObjective(cfg.Objective.String()); err != nil {
+		return nil, err
+	}
+	n := space.Len()
+	if cfg.Budget <= 0 {
+		cfg.Budget = (n + 1) / 2
+	}
+	if cfg.Budget > n {
+		cfg.Budget = n
+	}
+	if cfg.BudgetCycles < 0 {
+		return nil, fmt.Errorf("search: negative cycle budget %d", cfg.BudgetCycles)
+	}
+	if cfg.Rungs <= 0 {
+		cfg.Rungs = DefaultRungs
+	}
+	if cfg.Rungs > cfg.Budget {
+		cfg.Rungs = cfg.Budget
+	}
+	if cfg.Eta <= 1 {
+		cfg.Eta = 2
+	}
+	s := &Searcher{
+		space:     space,
+		cfg:       cfg,
+		perRung:   (cfg.Budget + cfg.Rungs - 1) / cfg.Rungs,
+		order:     rand.New(rand.NewSource(cfg.Seed)).Perm(n),
+		evaluated: make(map[int]observation),
+		pending:   make(map[int]bool),
+	}
+	return s, nil
+}
+
+// Config returns the searcher's resolved configuration (defaults filled in).
+func (s *Searcher) Config() Config { return s.cfg }
+
+// SpaceLen returns the size of the exhaustive expansion the search is
+// avoiding.
+func (s *Searcher) SpaceLen() int { return s.space.Len() }
+
+// Evaluated returns how many points have been observed so far.
+func (s *Searcher) Evaluated() int { return len(s.evaluated) }
+
+// Rung returns how many rungs have been proposed so far.
+func (s *Searcher) Rung() int { return s.rung }
+
+// Done reports whether the search has concluded (Next will return nil).
+func (s *Searcher) Done() bool { return s.done }
+
+// Cycles returns the cumulative simulated cycles of observed points.
+func (s *Searcher) Cycles() int64 { return s.cycles }
+
+// Survivors returns the promotion set that seeded the latest rung's
+// neighborhood expansion, best first (empty before the second rung).
+func (s *Searcher) Survivors() []int {
+	out := make([]int, len(s.survivors))
+	copy(out, s.survivors)
+	return out
+}
+
+// Next proposes the next rung: the point indices to evaluate, in
+// deterministic order. It returns nil when the search is over. Every
+// proposed index must be Observed before the next call.
+func (s *Searcher) Next() []int {
+	if s.done {
+		return nil
+	}
+	if len(s.pending) > 0 {
+		panic("search: Next called with unobserved points pending")
+	}
+	remaining := s.cfg.Budget - len(s.evaluated)
+	if remaining <= 0 || s.rung >= s.cfg.Rungs ||
+		(s.cfg.BudgetCycles > 0 && s.cycles >= s.cfg.BudgetCycles) {
+		s.done = true
+		return nil
+	}
+	want := s.perRung
+	if want > remaining {
+		want = remaining
+	}
+
+	var batch []int
+	taken := make(map[int]bool, want)
+	take := func(idx int) bool {
+		if len(batch) >= want {
+			return false
+		}
+		if taken[idx] || s.pending[idx] {
+			return true
+		}
+		if _, seen := s.evaluated[idx]; seen {
+			return true
+		}
+		taken[idx] = true
+		batch = append(batch, idx)
+		return true
+	}
+
+	if s.rung > 0 {
+		// Promote: rank everything evaluated, keep the top 1/eta, and
+		// evaluate the survivors' unvisited neighbors (best survivor's
+		// neighbors first).
+		ranked := s.ranked()
+		keep := (len(ranked) + s.cfg.Eta - 1) / s.cfg.Eta
+		if keep < 1 {
+			keep = 1
+		}
+		if keep > len(ranked) {
+			keep = len(ranked)
+		}
+		s.survivors = s.survivors[:0]
+		for _, e := range ranked[:keep] {
+			s.survivors = append(s.survivors, e.Index)
+		}
+		for _, idx := range s.survivors {
+			s.scratch = s.space.neighbors(idx, s.scratch[:0])
+			for _, n := range s.scratch {
+				if !take(n) {
+					break
+				}
+			}
+			if len(batch) >= want {
+				break
+			}
+		}
+	}
+	// Fill the rest of the rung with fresh seeded samples — rung 0 entirely,
+	// later rungs whatever the neighborhoods left open — so the search keeps
+	// exploring regions no survivor points at.
+	for s.samplePos < len(s.order) && len(batch) < want {
+		take(s.order[s.samplePos])
+		s.samplePos++
+	}
+
+	if len(batch) == 0 {
+		s.done = true
+		return nil
+	}
+	for _, idx := range batch {
+		s.pending[idx] = true
+	}
+	s.rung++
+	return batch
+}
+
+// Observe records one proposed point's outcome. failed points (simulation
+// errors, cancellations) consume budget but never rank. Observation order
+// does not matter; the rank is recomputed deterministically per rung.
+func (s *Searcher) Observe(idx int, value float64, simCycles int64, failed bool) {
+	if !s.pending[idx] {
+		panic(fmt.Sprintf("search: Observe(%d) for a point that was never proposed (or observed twice)", idx))
+	}
+	delete(s.pending, idx)
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		failed = true
+	}
+	s.evaluated[idx] = observation{value: value, cycles: simCycles, failed: failed}
+	s.evalIdx = append(s.evalIdx, idx)
+	s.cycles += simCycles
+}
+
+// ranked returns every successfully evaluated point sorted best-first
+// (objective order, ties to the lower grid index).
+func (s *Searcher) ranked() []Entry {
+	sort.Ints(s.evalIdx)
+	es := make([]Entry, 0, len(s.evalIdx))
+	for _, idx := range s.evalIdx {
+		o := s.evaluated[idx]
+		if o.failed {
+			continue
+		}
+		es = append(es, Entry{Index: idx, Job: s.space.Job(idx), Value: o.value})
+	}
+	sort.SliceStable(es, func(i, j int) bool {
+		if es[i].Value != es[j].Value {
+			return s.cfg.Objective.Better(es[i].Value, es[j].Value)
+		}
+		return es[i].Index < es[j].Index
+	})
+	return es
+}
+
+// Leaderboard returns the best k evaluated points (all of them when k <= 0
+// or exceeds the evaluation count).
+func (s *Searcher) Leaderboard(k int) []Entry {
+	es := s.ranked()
+	if k > 0 && k < len(es) {
+		es = es[:k]
+	}
+	return es
+}
+
+// Best returns the best evaluated point, if any point has succeeded.
+func (s *Searcher) Best() (Entry, bool) {
+	es := s.ranked()
+	if len(es) == 0 {
+		return Entry{}, false
+	}
+	return es[0], true
+}

@@ -1,0 +1,471 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/sched"
+	"repro/internal/taskrt"
+)
+
+// coreBase is the configuration jobs are resolved against in these tests.
+func coreBase() core.Config { return core.DefaultConfig(taskrt.Software) }
+
+// lineSpace builds a 1-D search space over n core counts: a controlled grid
+// where point i has cores i+1 and neighbors are exactly i-1 and i+1.
+func lineSpace(t *testing.T, n int) *Space {
+	t.Helper()
+	cores := make([]int, n)
+	for i := range cores {
+		cores[i] = i + 1
+	}
+	sp, err := NewSpace(runner.Grid{
+		Benchmarks: []string{"histogram"},
+		Runtimes:   []taskrt.Kind{taskrt.Software},
+		Schedulers: []string{sched.FIFO},
+		Cores:      cores,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Len() != n {
+		t.Fatalf("space size = %d, want %d", sp.Len(), n)
+	}
+	return sp
+}
+
+func TestParseObjective(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Objective
+		wantErr bool
+	}{
+		{in: "cycles", want: Objective{Metric: "cycles"}},
+		{in: "min:cycles", want: Objective{Metric: "cycles"}},
+		{in: "max:cycles", want: Objective{Metric: "cycles", Maximize: true}},
+		{in: " min:edp ", want: Objective{Metric: "edp"}},
+		{in: "max:energy", want: Objective{Metric: "energy", Maximize: true}},
+		{in: "latency_p99", want: Objective{Metric: "latency_p99"}},
+		{in: "", wantErr: true},
+		{in: "min:", wantErr: true},
+		{in: "min:bogus", wantErr: true},
+		{in: "avg:cycles", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := ParseObjective(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseObjective(%q) accepted, want error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseObjective(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseObjective(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+		// The String round-trip must land on the same objective.
+		back, err := ParseObjective(got.String())
+		if err != nil || back != got {
+			t.Errorf("ParseObjective(%q).String() = %q did not round-trip", tc.in, got.String())
+		}
+	}
+}
+
+func TestObjectiveBetter(t *testing.T) {
+	min := Objective{Metric: "cycles"}
+	max := Objective{Metric: "cycles", Maximize: true}
+	if !min.Better(1, 2) || min.Better(2, 1) {
+		t.Error("min objective ranks backwards")
+	}
+	if !max.Better(2, 1) || max.Better(1, 2) {
+		t.Error("max objective ranks backwards")
+	}
+}
+
+// TestHalvingCorrectness runs the searcher over a known synthetic objective
+// and checks the survivor set after every rung against the documented
+// promotion rule: rank all successfully evaluated points (ties to the lower
+// index), keep the top ceil(k/eta).
+func TestHalvingCorrectness(t *testing.T) {
+	const n = 12
+	sp := lineSpace(t, n)
+	// Synthetic objective with a unique optimum at index 8 and strictly
+	// increasing cost away from it.
+	f := func(i int) float64 { return float64((i - 8) * (i - 8)) }
+
+	cfg := Config{
+		Objective: Objective{Metric: "cycles"},
+		Budget:    n,
+		Rungs:     4,
+		Eta:       2,
+		Seed:      3,
+	}
+	s, err := New(sp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evaluated := map[int]float64{}
+	rung := 0
+	for {
+		batch := s.Next()
+		if batch == nil {
+			break
+		}
+		rung++
+		// No point may be proposed twice across the whole search.
+		for _, idx := range batch {
+			if _, dup := evaluated[idx]; dup {
+				t.Fatalf("rung %d re-proposed index %d", rung, idx)
+			}
+			evaluated[idx] = f(idx)
+			s.Observe(idx, f(idx), 100, false)
+		}
+		if rung > 1 {
+			// The survivor set behind this rung must be the best
+			// ceil(k/eta) of everything evaluated before it.
+			before := len(evaluated) - len(batch)
+			keep := (before + cfg.Eta - 1) / cfg.Eta
+			got := s.Survivors()
+			if len(got) != keep {
+				t.Fatalf("rung %d survivors = %d, want %d", rung, len(got), keep)
+			}
+			// Every survivor must beat (or tie) every non-survivor that
+			// was evaluated before this rung.
+			inBatch := map[int]bool{}
+			for _, idx := range batch {
+				inBatch[idx] = true
+			}
+			surv := map[int]bool{}
+			worst := math.Inf(-1)
+			for _, idx := range got {
+				surv[idx] = true
+				if f(idx) > worst {
+					worst = f(idx)
+				}
+			}
+			for idx := range evaluated {
+				if surv[idx] || inBatch[idx] {
+					continue
+				}
+				if f(idx) < worst {
+					t.Errorf("rung %d: non-survivor %d (%.0f) beats worst survivor (%.0f)",
+						rung, idx, f(idx), worst)
+				}
+			}
+		}
+	}
+
+	// Budget covers the whole space, so the search must have evaluated
+	// everything it could within the rung cap and found the global optimum.
+	best, ok := s.Best()
+	if !ok {
+		t.Fatal("no best point after a full search")
+	}
+	if best.Index != 8 {
+		t.Errorf("best index = %d, want 8", best.Index)
+	}
+	if !s.Done() {
+		t.Error("searcher not done after Next returned nil")
+	}
+	if got := s.Evaluated(); got > cfg.Budget {
+		t.Errorf("evaluated %d points, budget %d", got, cfg.Budget)
+	}
+
+	// The leaderboard must be sorted best-first under the objective.
+	board := s.Leaderboard(0)
+	for i := 1; i < len(board); i++ {
+		if cfg.Objective.Better(board[i].Value, board[i-1].Value) {
+			t.Fatalf("leaderboard out of order at %d: %v > %v", i, board[i-1], board[i])
+		}
+	}
+}
+
+// TestNeighborPromotion: every rung after the first starts from survivors'
+// unvisited grid neighbors before falling back to fresh samples.
+func TestNeighborPromotion(t *testing.T) {
+	const n = 16
+	sp := lineSpace(t, n)
+	s, err := New(sp, Config{
+		Objective: Objective{Metric: "cycles"},
+		Budget:    8,
+		Rungs:     4,
+		Eta:       2,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seen := map[int]bool{}
+	batch := s.Next()
+	for _, idx := range batch {
+		seen[idx] = true
+		s.Observe(idx, float64(idx), 10, false)
+	}
+	second := s.Next()
+	if second == nil {
+		t.Fatal("search ended after one rung with budget left")
+	}
+	// With a min objective over f(i)=i, the best survivor is the smallest
+	// evaluated index; its first unvisited neighbor (idx-1 or idx+1) must
+	// lead the second rung.
+	surv := s.Survivors()
+	if len(surv) == 0 {
+		t.Fatal("no survivors after rung 1")
+	}
+	best := surv[0]
+	wantFirst := -1
+	for _, cand := range []int{best - 1, best + 1} {
+		if cand >= 0 && cand < n && !seen[cand] {
+			wantFirst = cand
+			break
+		}
+	}
+	if wantFirst >= 0 && second[0] != wantFirst {
+		t.Errorf("rung 2 starts at %d, want best survivor %d's neighbor %d",
+			second[0], best, wantFirst)
+	}
+}
+
+// TestSeededDeterminism: equal seeds reproduce the exact batch trajectory
+// and leaderboard; different seeds start from different samples.
+func TestSeededDeterminism(t *testing.T) {
+	run := func(seed int64) ([][]int, []Entry) {
+		sp := lineSpace(t, 20)
+		s, err := New(sp, Config{
+			Objective: Objective{Metric: "cycles"},
+			Budget:    10,
+			Rungs:     5,
+			Seed:      seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var batches [][]int
+		for {
+			b := s.Next()
+			if b == nil {
+				break
+			}
+			batches = append(batches, append([]int(nil), b...))
+			for _, idx := range b {
+				v := float64((idx*7)%13) * 3.5
+				s.Observe(idx, v, int64(idx), false)
+			}
+		}
+		return batches, s.Leaderboard(0)
+	}
+
+	b1, l1 := run(42)
+	b2, l2 := run(42)
+	if !reflect.DeepEqual(b1, b2) {
+		t.Errorf("same seed proposed different batches:\n%v\n%v", b1, b2)
+	}
+	if !reflect.DeepEqual(l1, l2) {
+		t.Errorf("same seed produced different leaderboards")
+	}
+
+	// Different seeds with different permutations must start differently.
+	if !reflect.DeepEqual(rand.New(rand.NewSource(42)).Perm(20), rand.New(rand.NewSource(43)).Perm(20)) {
+		b3, _ := run(43)
+		if reflect.DeepEqual(b1[0], b3[0]) {
+			t.Error("different seeds proposed an identical first rung")
+		}
+	}
+}
+
+// TestFailedPointsNeverRank: failed (and NaN) observations consume budget
+// but are excluded from survivors, leaderboard and Best.
+func TestFailedPointsNeverRank(t *testing.T) {
+	sp := lineSpace(t, 6)
+	s, err := New(sp, Config{
+		Objective: Objective{Metric: "cycles"},
+		Budget:    6,
+		Rungs:     2,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := s.Next()
+	for i, idx := range batch {
+		switch i % 3 {
+		case 0:
+			s.Observe(idx, 5, 1, true) // explicit failure
+		case 1:
+			s.Observe(idx, math.NaN(), 1, false) // NaN coerced to failure
+		default:
+			s.Observe(idx, float64(100+idx), 1, false)
+		}
+	}
+	okIdx := map[int]bool{}
+	for i, idx := range batch {
+		if i%3 == 2 {
+			okIdx[idx] = true
+		}
+	}
+	for _, e := range s.Leaderboard(0) {
+		if !okIdx[e.Index] {
+			t.Errorf("failed point %d appears on the leaderboard", e.Index)
+		}
+	}
+	if len(okIdx) == 0 {
+		if _, ok := s.Best(); ok {
+			t.Error("Best reported a point although every observation failed")
+		}
+	}
+	if got := s.Evaluated(); got != len(batch) {
+		t.Errorf("Evaluated() = %d, want %d (failures consume budget)", got, len(batch))
+	}
+}
+
+// TestBudgetAndRungDefaults: zero-value config fields resolve to the
+// documented defaults and clamps.
+func TestBudgetAndRungDefaults(t *testing.T) {
+	sp := lineSpace(t, 9)
+	s, err := New(sp, Config{Objective: Objective{Metric: "cycles"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.Config()
+	if cfg.Budget != 5 { // (9+1)/2
+		t.Errorf("default budget = %d, want 5", cfg.Budget)
+	}
+	if cfg.Rungs != DefaultRungs {
+		t.Errorf("default rungs = %d, want %d", cfg.Rungs, DefaultRungs)
+	}
+	if cfg.Eta != 2 {
+		t.Errorf("default eta = %d, want 2", cfg.Eta)
+	}
+	if cfg.Strategy != StrategyHalving {
+		t.Errorf("default strategy = %q, want %q", cfg.Strategy, StrategyHalving)
+	}
+
+	// Oversized budgets clamp to the space; rungs clamp to the budget.
+	s2, err := New(sp, Config{Objective: Objective{Metric: "cycles"}, Budget: 1000, Rungs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Config().Budget; got != 9 {
+		t.Errorf("clamped budget = %d, want 9", got)
+	}
+	if got := s2.Config().Rungs; got != 9 {
+		t.Errorf("clamped rungs = %d, want 9", got)
+	}
+
+	// Invalid configs are rejected, not defaulted.
+	bad := []Config{
+		{Objective: Objective{Metric: "bogus"}},
+		{},
+		{Objective: Objective{Metric: "cycles"}, Strategy: "annealing"},
+		{Objective: Objective{Metric: "cycles"}, BudgetCycles: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(sp, cfg); err == nil {
+			t.Errorf("New accepted invalid config %+v", cfg)
+		}
+	}
+}
+
+// TestCycleBudgetStops: a cycle budget ends the search between rungs even
+// with point budget remaining.
+func TestCycleBudgetStops(t *testing.T) {
+	sp := lineSpace(t, 12)
+	s, err := New(sp, Config{
+		Objective:    Objective{Metric: "cycles"},
+		Budget:       12,
+		Rungs:        6,
+		BudgetCycles: 50,
+		Seed:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := s.Next()
+	for _, idx := range batch {
+		s.Observe(idx, 1, 40, false) // 2 points x 40 cycles >= 50
+	}
+	if s.Cycles() < 50 {
+		t.Skipf("rung too small to exhaust the cycle budget (%d cycles)", s.Cycles())
+	}
+	if got := s.Next(); got != nil {
+		t.Errorf("Next proposed %v after the cycle budget was spent", got)
+	}
+	if !s.Done() {
+		t.Error("searcher not done after cycle-budget stop")
+	}
+}
+
+// TestProtocolPanics: the propose/observe protocol is enforced.
+func TestProtocolPanics(t *testing.T) {
+	sp := lineSpace(t, 4)
+	s, err := New(sp, Config{Objective: Objective{Metric: "cycles"}, Budget: 4, Rungs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Next()
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Next with pending observations", func() { s.Next() })
+	mustPanic("Observe of an unproposed index", func() { s.Observe(99, 1, 1, false) })
+}
+
+// TestSpaceNeighbors: neighborhood structure over a 2-D space (cores x
+// granularity) is one step along exactly one dimension.
+func TestSpaceNeighbors(t *testing.T) {
+	sp, err := NewSpace(runner.Grid{
+		Benchmarks:    []string{"histogram"},
+		Runtimes:      []taskrt.Kind{taskrt.Software},
+		Schedulers:    []string{sched.FIFO},
+		Cores:         []int{2, 4, 8},
+		Granularities: []int64{0, 100, 200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Len() != 9 {
+		t.Fatalf("space size = %d, want 9", sp.Len())
+	}
+	// Index the space by (cores, granularity) to find the center point.
+	at := map[[2]int64]int{}
+	for i, j := range sp.Jobs() {
+		at[[2]int64{int64(j.Config(coreBase()).Machine.Cores), j.Granularity}] = i
+	}
+	center := at[[2]int64{4, 100}]
+	got := sp.neighbors(center, nil)
+	want := map[int]bool{
+		at[[2]int64{2, 100}]: true,
+		at[[2]int64{8, 100}]: true,
+		at[[2]int64{4, 0}]:   true,
+		at[[2]int64{4, 200}]: true,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("center neighbors = %v, want %d of them", got, len(want))
+	}
+	for _, idx := range got {
+		if !want[idx] {
+			t.Errorf("unexpected neighbor %d (%+v)", idx, sp.Job(idx))
+		}
+	}
+	// A corner has exactly two neighbors in a 3x3 plane.
+	corner := at[[2]int64{2, 0}]
+	if got := sp.neighbors(corner, nil); len(got) != 2 {
+		t.Errorf("corner neighbors = %v, want 2", got)
+	}
+}

@@ -2,7 +2,6 @@ package service
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"net/http"
 	"net/url"
@@ -157,22 +156,22 @@ type RegisterWorkerRequest struct {
 
 func (s *Server) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
 	if s.WorkerFactory == nil {
-		s.httpError(w, r, http.StatusNotImplemented, errors.New("this daemon does not accept worker registrations"))
+		s.httpError(w, r, http.StatusNotImplemented, codedf(CodeNotImplemented, "this daemon does not accept worker registrations"))
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<16)
 	var req RegisterWorkerRequest
 	if err := decodeStrict(r.Body, &req); err != nil {
-		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("decode registration: %w", err))
+		s.httpError(w, r, http.StatusBadRequest, coded(CodeInvalidBody, fmt.Errorf("decode registration: %w", err)))
 		return
 	}
 	u, err := url.Parse(req.URL)
 	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
-		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("worker url %q must be absolute http(s)", req.URL))
+		s.httpError(w, r, http.StatusBadRequest, codedf(CodeInvalidWorker, "worker url %q must be absolute http(s)", req.URL))
 		return
 	}
 	if req.Slots < 0 || req.Slots > maxWorkerSlots {
-		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("invalid slots %d (0 for the default, max %d)", req.Slots, maxWorkerSlots))
+		s.httpError(w, r, http.StatusBadRequest, codedf(CodeInvalidWorker, "invalid slots %d (0 for the default, max %d)", req.Slots, maxWorkerSlots))
 		return
 	}
 	name := strings.TrimRight(req.URL, "/")
@@ -193,19 +192,19 @@ type pointTask struct {
 	attempts int
 }
 
-// runSharded executes a sweep by pulling points off a shared queue from
-// every worker slot. The queue is buffered to the job count, so a requeue
-// never blocks: at most len(jobs) tasks exist at any time.
-func (s *Server) runSharded(ctx context.Context, sw *sweep, workers []*worker) {
-	jobs := sw.jobs
-	queue := make(chan pointTask, len(jobs))
-	for i := range jobs {
+// runSharded executes the given jobs of a sweep by pulling points off a
+// shared queue from every worker slot (exhaustive sweeps pass every index;
+// search rungs pass their batch). The queue is buffered to the batch size,
+// so a requeue never blocks: at most len(idxs) tasks exist at any time.
+func (s *Server) runSharded(ctx context.Context, sw *sweep, workers []*worker, idxs []int) {
+	queue := make(chan pointTask, len(idxs))
+	for _, i := range idxs {
 		queue <- pointTask{idx: i}
 	}
 	s.log().Info("sweep sharded across fleet",
-		"sweep", sw.id, "jobs", len(jobs), "workers", len(workers))
+		"sweep", sw.id, "jobs", len(idxs), "workers", len(workers))
 	var pending atomic.Int64
-	pending.Store(int64(len(jobs)))
+	pending.Store(int64(len(idxs)))
 	done := make(chan struct{})
 	settle := func(p Point, res *core.Result) {
 		s.settlePoint(sw, p, res)
@@ -227,9 +226,9 @@ func (s *Server) runSharded(ctx context.Context, sw *sweep, workers []*worker) {
 		// worker that died during one sweep is retried fresh by the next.
 		fails := new(atomic.Int32)
 		slots := w.slots
-		if slots > len(jobs) {
+		if slots > len(idxs) {
 			// More slots than points would only idle goroutines.
-			slots = len(jobs)
+			slots = len(idxs)
 		}
 		for slot := 0; slot < slots; slot++ {
 			wg.Add(1)

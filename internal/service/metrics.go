@@ -1,6 +1,8 @@
 package service
 
 import (
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/obs"
 )
@@ -28,6 +30,10 @@ type serverMetrics struct {
 	taskLatency  *obs.HistogramVec // quantile: p50 | p90 | p99 (cycles)
 	dmuOccupancy *obs.HistogramVec // kind: tasks | deps (entries)
 
+	searchRungs   *obs.Counter
+	searchSaved   *obs.Gauge
+	searchObjEval *obs.Histogram
+
 	// tenant holds the multi-tenant dispatcher's instruments (tenants.go).
 	tenant *tenantMetrics
 }
@@ -51,6 +57,10 @@ func (s *Server) initMetrics() {
 
 		taskLatency:  reg.HistogramVec("sim_task_latency_cycles", "Per-point task queue-to-retire latency percentiles, in simulated cycles.", obs.CycleBuckets, "quantile"),
 		dmuOccupancy: reg.HistogramVec("sim_dmu_occupancy_entries", "DMU structure occupancy samples from completed points (entries in flight).", occupancyBuckets, "kind"),
+
+		searchRungs:   reg.Counter("search_rungs_total", "Search rungs completed across all search sweeps."),
+		searchSaved:   reg.Gauge("search_points_saved", "Cumulative grid points search sweeps avoided evaluating versus their exhaustive expansions."),
+		searchObjEval: reg.Histogram("search_objective_eval_seconds", "Latency of extracting the objective metric from a settled point's result.", obs.LatencyBuckets),
 
 		tenant: newTenantMetrics(reg),
 	}
@@ -99,6 +109,23 @@ func (s *Server) queueDepth() int {
 // service-level instruments: per-outcome point counts, submit-to-first-row
 // latency, and the simulated task-latency and DMU-occupancy distributions.
 func (s *Server) settlePoint(sw *sweep, p Point, res *core.Result) {
+	// Search sweeps additionally capture the point's objective value for the
+	// controller to feed back to the searcher once the rung completes.
+	if run := sw.search; run != nil {
+		o := searchObs{cycles: p.Cycles, failed: p.Error != "" || p.Cancelled}
+		if !o.failed {
+			start := time.Now()
+			v, err := run.objective.Value(res)
+			s.met.searchObjEval.Observe(time.Since(start).Seconds())
+			if err != nil {
+				p.Error = err.Error()
+				o.failed = true
+			} else {
+				o.value = v
+			}
+		}
+		run.record(p.Index, o)
+	}
 	first := sw.append(p) == 1
 	outcome := "ok"
 	switch {

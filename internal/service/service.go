@@ -47,6 +47,7 @@ import (
 	"net/http/pprof"
 	"net/url"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -155,16 +156,24 @@ func New(engine *runner.Engine, workers int) *Server {
 	}
 	s.baseCtx, s.cancelBase = context.WithCancelCause(context.Background())
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /sweeps", s.handleSubmit)
-	mux.HandleFunc("GET /sweeps", s.handleList)
-	mux.HandleFunc("GET /sweeps/{id}", s.handleStatus)
-	mux.HandleFunc("GET /sweeps/{id}/stream", s.handleStream)
-	mux.HandleFunc("POST /sweeps/{id}/cancel", s.handleCancel)
-	mux.HandleFunc("PUT /workers", s.handleRegisterWorker)
-	mux.HandleFunc("GET /workers", s.handleListWorkers)
-	mux.HandleFunc("GET /tenants", s.handleListTenants)
-	mux.HandleFunc("PUT /tenants/{id}", s.handleConfigureTenant)
-	mux.HandleFunc("GET /results/{key}", s.handleResult)
+	// The API surface is versioned under /v1; the unprefixed routes remain
+	// as deprecated aliases for one release. /healthz, /metrics and
+	// /debug/pprof are operational endpoints and stay unversioned.
+	apiRoute := func(pattern string, h http.HandlerFunc) {
+		method, path, _ := strings.Cut(pattern, " ")
+		mux.HandleFunc(method+" /v1"+path, h)
+		mux.HandleFunc(pattern, h)
+	}
+	apiRoute("POST /sweeps", s.handleSubmit)
+	apiRoute("GET /sweeps", s.handleList)
+	apiRoute("GET /sweeps/{id}", s.handleStatus)
+	apiRoute("GET /sweeps/{id}/stream", s.handleStream)
+	apiRoute("POST /sweeps/{id}/cancel", s.handleCancel)
+	apiRoute("PUT /workers", s.handleRegisterWorker)
+	apiRoute("GET /workers", s.handleListWorkers)
+	apiRoute("GET /tenants", s.handleListTenants)
+	apiRoute("PUT /tenants/{id}", s.handleConfigureTenant)
+	apiRoute("GET /results/{key}", s.handleResult)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /metrics", obs.Handler(s.reg))
 	// pprof routes the named profiles itself under Index; cmdline, profile,
@@ -286,6 +295,10 @@ type SubmitRequest struct {
 	// Tenant attributes the sweep for weighted-fair dispatch and quota
 	// admission (see tenants.go); "" means DefaultTenant.
 	Tenant string `json:"tenant,omitempty"`
+	// Search, when present, turns the sweep into a design-space search over
+	// the grid: only the configurations the searcher proposes are evaluated
+	// (see SearchRequest and internal/search).
+	Search *SearchRequest `json:"search,omitempty"`
 }
 
 // grid converts the request into a validated job grid.
@@ -307,19 +320,29 @@ type SubmitResponse struct {
 	ID string `json:"id"`
 	// Jobs is the size of the grid expansion.
 	Jobs int `json:"jobs"`
+	// Budget is the search evaluation cap (search submissions only): the
+	// sweep settles at most this many of the Jobs points.
+	Budget int `json:"budget,omitempty"`
 }
 
 // submit registers a sweep for the job list and starts executing it (the
-// core of POST /sweeps). Admission quotas are checked under the same lock
-// that registers the sweep, so concurrent submissions cannot jointly slip
-// past a tenant's budget. cfg is the caller's config snapshot for tenant.
-func (s *Server) submit(jobs []runner.Job, tenant string, cfg TenantConfig) (*sweep, error) {
+// core of POST /sweeps). run is non-nil for search sweeps, which evaluate at
+// most the search budget instead of the full expansion — quota admission
+// charges the budget accordingly. Admission quotas are checked under the
+// same lock that registers the sweep, so concurrent submissions cannot
+// jointly slip past a tenant's budget. cfg is the caller's config snapshot
+// for tenant.
+func (s *Server) submit(jobs []runner.Job, tenant string, cfg TenantConfig, run *searchRun) (*sweep, error) {
+	points := len(jobs)
+	if run != nil {
+		points = run.searcher.Config().Budget
+	}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		return nil, ErrDraining
 	}
-	if err := s.admitLocked(tenant, cfg, len(jobs)); err != nil {
+	if err := s.admitLocked(tenant, cfg, points); err != nil {
 		s.mu.Unlock()
 		return nil, err
 	}
@@ -327,6 +350,11 @@ func (s *Server) submit(jobs []runner.Job, tenant string, cfg TenantConfig) (*sw
 	id := fmt.Sprintf("s%04d", s.nextID)
 	ctx, cancel := context.WithCancelCause(s.baseCtx)
 	sw := newSweep(id, tenant, jobs, cancel, s.now())
+	if run != nil {
+		sw.search = run
+		sw.total = points
+		sw.searchSt = run.searchStatus(false)
+	}
 	s.sweeps[id] = sw
 	s.order = append(s.order, id)
 	s.wg.Add(1)
@@ -338,13 +366,18 @@ func (s *Server) submit(jobs []runner.Job, tenant string, cfg TenantConfig) (*sw
 }
 
 // runSweep executes a sweep — sharded over the worker fleet when one is
-// registered, in-process otherwise — and settles the terminal state.
+// registered, in-process otherwise; search sweeps evaluate the searcher's
+// rung batches through the same paths — and settles the terminal state.
 func (s *Server) runSweep(ctx context.Context, sw *sweep) {
 	defer s.wg.Done()
-	if workers := s.fleetSnapshot(); len(workers) > 0 {
-		s.runSharded(ctx, sw, workers)
-	} else {
-		s.runLocal(ctx, sw)
+	workers := s.fleetSnapshot()
+	switch {
+	case sw.search != nil:
+		s.runSearch(ctx, sw, workers)
+	case len(workers) > 0:
+		s.runSharded(ctx, sw, workers, allIdxs(len(sw.jobs)))
+	default:
+		s.runLocal(ctx, sw, allIdxs(len(sw.jobs)))
 	}
 	state := StateDone
 	if ctx.Err() != nil {
@@ -362,16 +395,28 @@ func (s *Server) runSweep(ctx context.Context, sw *sweep) {
 	s.evict()
 }
 
-// runLocal executes a sweep's jobs in-process over the shared point
-// semaphore, appending each finished point to the sweep log. Each point
-// first takes a tenant execution grant — under contention the dispatcher
-// decides whose point launches next — and then a semaphore slot (always in
-// that order; grant capacity covers the semaphore, so a grant holder never
-// waits on the semaphore behind anything but other executing points).
-func (s *Server) runLocal(ctx context.Context, sw *sweep) {
+// allIdxs enumerates a full grid expansion for the exhaustive paths.
+func allIdxs(n int) []int {
+	idxs := make([]int, n)
+	for i := range idxs {
+		idxs[i] = i
+	}
+	return idxs
+}
+
+// runLocal executes the given jobs of a sweep in-process over the shared
+// point semaphore, appending each finished point to the sweep log
+// (exhaustive sweeps pass every index; search rungs pass their batch). Each
+// point first takes a tenant execution grant — under contention the
+// dispatcher decides whose point launches next — and then a semaphore slot
+// (always in that order; grant capacity covers the semaphore, so a grant
+// holder never waits on the semaphore behind anything but other executing
+// points).
+func (s *Server) runLocal(ctx context.Context, sw *sweep, idxs []int) {
 	var wg sync.WaitGroup
 launch:
-	for i, j := range sw.jobs {
+	for _, i := range idxs {
+		j := sw.jobs[i]
 		// Acquire the grant and a point slot, abandoning the launch loop on
 		// cancellation so a cancelled sweep stops submitting new points
 		// immediately.
@@ -463,7 +508,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		var err error
 		if stream, err = strconv.ParseBool(q); err != nil {
 			s.httpError(w, r, http.StatusBadRequest,
-				fmt.Errorf("invalid stream value %q (want a boolean, e.g. stream=1)", q))
+				codedf(CodeInvalidParam, "invalid stream value %q (want a boolean, e.g. stream=1)", q))
 			return
 		}
 	}
@@ -473,67 +518,68 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			s.httpError(w, r, http.StatusRequestEntityTooLarge,
-				fmt.Errorf("submission body exceeds %d bytes", s.MaxBodyBytes))
+				codedf(CodeBodyTooLarge, "submission body exceeds %d bytes", s.MaxBodyBytes))
 			return
 		}
-		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("decode submission: %w", err))
+		s.httpError(w, r, http.StatusBadRequest, coded(CodeInvalidBody, fmt.Errorf("decode submission: %w", err)))
 		return
 	}
 	grid, err := req.grid()
 	if err != nil {
-		s.httpError(w, r, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, coded(CodeInvalidGrid, err))
 		return
 	}
 	tenant, err := normalizeTenant(req.Tenant)
 	if err != nil {
-		s.httpError(w, r, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, coded(CodeInvalidTenant, err))
 		return
 	}
 	// Cap the expansion before allocating it: a small request body can
 	// still describe a combinatorially explosive grid.
 	switch size := grid.Size(); {
 	case size == 0:
-		s.httpError(w, r, http.StatusBadRequest, errors.New("empty grid"))
+		s.httpError(w, r, http.StatusBadRequest, codedf(CodeInvalidGrid, "empty grid"))
 		return
 	case size > s.MaxPoints:
 		s.httpError(w, r, http.StatusBadRequest,
-			fmt.Errorf("grid expands to %d points, exceeding this daemon's limit of %d", size, s.MaxPoints))
+			codedf(CodeGridTooLarge, "grid expands to %d points, exceeding this daemon's limit of %d", size, s.MaxPoints))
 		return
 	}
+	var run *searchRun
+	if req.Search != nil {
+		if run, err = newSearchRun(req.Search, grid); err != nil {
+			s.httpError(w, r, http.StatusBadRequest, coded(CodeInvalidSearch, err))
+			return
+		}
+	}
 	jobs := grid.Jobs()
-	sw, err := s.submit(jobs, tenant, s.disp.config(tenant))
+	sw, err := s.submit(jobs, tenant, s.disp.config(tenant), run)
 	if errors.Is(err, ErrDraining) {
-		s.httpError(w, r, http.StatusServiceUnavailable, err)
+		s.httpError(w, r, http.StatusServiceUnavailable, coded(CodeDraining, err))
 		return
 	}
 	var quota *quotaError
 	if errors.As(err, &quota) {
-		// 429 with a machine-readable body, so schedulers can distinguish
-		// which budget tripped and back off accordingly:
+		// 429 in the uniform envelope plus the quota fields, so schedulers
+		// can distinguish which budget tripped and back off accordingly:
 		//
-		//	{"error": "...", "tenant": "acme",
+		//	{"error": "...", "code": "quota_exceeded", "tenant": "acme",
 		//	 "quota": "max_active_points" | "max_queued_sweeps", "limit": 500}
 		s.met.tenant.rejected.With(quota.Tenant, quota.Quota).Inc()
-		s.log().Warn("submission rejected: tenant over quota",
-			"req", requestID(r.Context()), "tenant", quota.Tenant,
-			"quota", quota.Quota, "limit", quota.Limit)
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusTooManyRequests)
-		writeJSON(w, map[string]any{
-			"error":  quota.Error(),
-			"tenant": quota.Tenant,
-			"quota":  quota.Quota,
-			"limit":  quota.Limit,
-		})
+		s.httpError(w, r, http.StatusTooManyRequests, quota)
 		return
 	}
 	if err != nil {
-		s.httpError(w, r, http.StatusInternalServerError, err)
+		s.httpError(w, r, http.StatusInternalServerError, coded(CodeInternal, err))
 		return
+	}
+	resp := SubmitResponse{ID: sw.id, Jobs: len(jobs)}
+	if run != nil {
+		resp.Budget = run.searcher.Config().Budget
 	}
 	s.log().Info("sweep submitted",
 		"req", requestID(r.Context()), "sweep", sw.id, "tenant", tenant,
-		"jobs", len(jobs), "stream", stream)
+		"jobs", len(jobs), "search", run != nil, "stream", stream)
 	if stream {
 		// Synchronous mode: stream results on this connection and cancel
 		// the sweep when the client goes away — an aborted curl stops the
@@ -544,7 +590,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
-	writeJSON(w, SubmitResponse{ID: sw.id, Jobs: len(jobs)})
+	writeJSON(w, resp)
 }
 
 // decodeStrict decodes JSON rejecting unknown fields and trailing garbage.
@@ -560,10 +606,53 @@ func decodeStrict(r io.Reader, v any) error {
 	return nil
 }
 
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+// List paging bounds: GET /sweeps returns at most DefaultListLimit sweeps
+// unless ?limit= asks for more, capped at MaxListLimit.
+const (
+	DefaultListLimit = 100
+	MaxListLimit     = 1000
+)
+
+// handleList serves GET /sweeps: sweep statuses in submission order, paged.
+// ?limit= bounds the page (default DefaultListLimit, max MaxListLimit) and
+// ?after=<sweep id> resumes past a previous page's last entry — pass the
+// last ID you saw; a page shorter than the limit means the listing is
+// exhausted. Sweeps evicted between pages are simply skipped: IDs ascend
+// with submission, so the cursor stays valid.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	limit := DefaultListLimit
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 || n > MaxListLimit {
+			s.httpError(w, r, http.StatusBadRequest,
+				codedf(CodeInvalidParam, "invalid limit %q (want 1..%d)", q, MaxListLimit))
+			return
+		}
+		limit = n
+	}
+	after := -1
+	if q := r.URL.Query().Get("after"); q != "" {
+		n, err := strconv.Atoi(strings.TrimPrefix(q, "s"))
+		if err != nil || !strings.HasPrefix(q, "s") || n < 0 {
+			s.httpError(w, r, http.StatusBadRequest,
+				codedf(CodeInvalidParam, "invalid after cursor %q (want a sweep id, e.g. after=s0042)", q))
+			return
+		}
+		after = n
+	}
 	s.mu.Lock()
-	statuses := make([]Status, 0, len(s.order))
+	statuses := make([]Status, 0, min(limit, len(s.order)))
 	for _, id := range s.order {
+		if after >= 0 {
+			// IDs are "s%04d" in submission order; compare numerically so
+			// the cursor survives the eventual rollover past four digits.
+			if n, err := strconv.Atoi(strings.TrimPrefix(id, "s")); err == nil && n <= after {
+				continue
+			}
+		}
+		if len(statuses) == limit {
+			break
+		}
 		statuses = append(statuses, s.sweeps[id].status())
 	}
 	s.mu.Unlock()
@@ -650,7 +739,7 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, sw *sweep, 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	key, err := url.PathUnescape(r.PathValue("key"))
 	if err != nil || key == "" {
-		s.httpError(w, r, http.StatusBadRequest, errors.New("bad result key"))
+		s.httpError(w, r, http.StatusBadRequest, codedf(CodeInvalidParam, "bad result key"))
 		return
 	}
 	st := s.engine.Store
@@ -699,16 +788,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// httpError writes a JSON error body with the status code and logs the
-// error — previously these errors vanished into the response body — keyed by
-// the request's correlation ID.
+// httpError writes the uniform error envelope with the status code and logs
+// the error — previously these errors vanished into the response body —
+// keyed by the request's correlation ID. Handlers attach a catalog code via
+// coded/codedf; errors without one fall back to a status-derived code.
 func (s *Server) httpError(w http.ResponseWriter, r *http.Request, code int, err error) {
+	resp := envelope(code, err)
 	s.log().Warn("request failed",
 		"req", requestID(r.Context()), "method", r.Method, "path", r.URL.Path,
-		"status", code, "err", err)
+		"status", code, "code", resp.Code, "err", err)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	writeJSON(w, map[string]string{"error": err.Error()})
+	writeJSON(w, resp)
 }
 
 // writeJSON best-effort encodes v; the connection may already be gone.

@@ -529,7 +529,7 @@ func (s *Server) handleConfigureTenant(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<16)
 	var cfg TenantConfig
 	if err := decodeStrict(r.Body, &cfg); err != nil {
-		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("decode tenant config: %w", err))
+		s.httpError(w, r, http.StatusBadRequest, coded(CodeInvalidBody, fmt.Errorf("decode tenant config: %w", err)))
 		return
 	}
 	preempted, err := s.ConfigureTenant(r.PathValue("id"), cfg)

@@ -424,17 +424,17 @@ func TestTenantWeightedDrainEndToEnd(t *testing.T) {
 	hold, unblock := make(chan struct{}), make(chan struct{})
 	record.gate = func() { close(hold); <-unblock }
 	subs := make([]*sweep, 0, 3)
-	sw, err := srv.submit(grid(t, "fluidanimate", 1), "heavy", TenantConfig{})
+	sw, err := srv.submit(grid(t, "fluidanimate", 1), "heavy", TenantConfig{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	subs = append(subs, sw)
 	<-hold // the slot is occupied; queues now build deterministically
-	sw2, err := srv.submit(grid(t, "histogram", 6), "heavy", TenantConfig{})
+	sw2, err := srv.submit(grid(t, "histogram", 6), "heavy", TenantConfig{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw3, err := srv.submit(grid(t, "cholesky", 3), "light", TenantConfig{})
+	sw3, err := srv.submit(grid(t, "cholesky", 3), "light", TenantConfig{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

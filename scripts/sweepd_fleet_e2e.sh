@@ -74,7 +74,7 @@ start_daemon coord -store "$workdir/store" \
   -peers "http://$w1_addr,http://$w2_addr" -peer-slots 2
 
 curl -fsS "http://$w1_addr/healthz" | grep -q '"worker":true' || fail "w1 is not in worker mode"
-workers=$(curl -fsS "http://$coord_addr/workers" | grep -o '"name"' | wc -l)
+workers=$(curl -fsS "http://$coord_addr/v1/workers" | grep -o '"name"' | wc -l)
 [ "$workers" -eq 2 ] || fail "coordinator registered $workers workers, want 2"
 
 # Submit the grid through the coordinator.
@@ -87,7 +87,7 @@ pids+=("$sweep_pid")
 # completed, more outstanding).
 killed=no
 for _ in $(seq 600); do
-  sweeps=$(curl -fsS "http://$coord_addr/sweeps" 2>/dev/null || true)
+  sweeps=$(curl -fsS "http://$coord_addr/v1/sweeps" 2>/dev/null || true)
   state=$(echo "$sweeps" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p' | head -1)
   completed=$(echo "$sweeps" | sed -n 's/.*"completed":\([0-9]*\).*/\1/p' | head -1)
   if [ "$state" = "running" ] && [ "${completed:-0}" -ge 2 ]; then
@@ -117,14 +117,14 @@ wait "$sweep_pid" || fail "remote sweep exited non-zero after the worker kill"
 cmp "$workdir/local.csv" "$workdir/remote.csv" || fail "remote results differ from the local run"
 
 # The sweep settled cleanly: done, every point completed, none failed.
-final=$(curl -fsS "http://$coord_addr/sweeps")
+final=$(curl -fsS "http://$coord_addr/v1/sweeps")
 echo "$final" | grep -q '"state":"done"' || fail "sweep did not end done: $final"
 echo "$final" | grep -q '"completed":12' || fail "sweep did not complete all 12 points: $final"
 echo "$final" | grep -q '"failed":0' || fail "sweep recorded failures: $final"
 
 # The coordinator observed the kill (requeue evidence) and the survivor
 # carried points.
-fleet=$(curl -fsS "http://$coord_addr/workers")
+fleet=$(curl -fsS "http://$coord_addr/v1/workers")
 echo "$fleet" | grep -q '"last_error"' || fail "killed worker's dispatch failure not recorded: $fleet"
 
 # The requeues show up as live counter values on the coordinator, and the
@@ -144,6 +144,51 @@ cmp "$workdir/local.csv" "$workdir/remote2.csv" || fail "warm resubmission resul
 coord_metrics=$(curl -fsS "http://$coord_addr/metrics")
 hits=$(echo "$coord_metrics" | awk '/^store_hits_total\{/ {sum += $2} END {print sum+0}')
 [ "$hits" -ge 12 ] || fail "warm resubmission recorded $hits store hits, want >= 12: $coord_metrics"
+
+# Design-space search over the same grid: the coordinator evaluates only the
+# rung batches the halving searcher proposes (sharded over the fleet like any
+# sweep), and must land on the same winner the exhaustive sweep found while
+# saving at least 40% of the grid points.
+search_resp=$(curl -fsS -X POST "http://$coord_addr/v1/sweeps" -d '{
+  "benchmarks": ["synth:layered:seed=3,width=64,depth=400,mean=60"],
+  "runtimes": ["software", "tdm"],
+  "schedulers": ["fifo", "lifo", "locality"],
+  "cores": [8, 16],
+  "search": {"objective": "min:cycles", "budget": 6, "seed": 1}
+}') || fail "search submission rejected"
+sid=$(echo "$search_resp" | python3 -c "import json,sys; print(json.load(sys.stdin)['id'])")
+search_state=""
+for _ in $(seq 300); do
+  search_stat=$(curl -fsS "http://$coord_addr/v1/sweeps/$sid")
+  search_state=$(echo "$search_stat" | python3 -c "import json,sys; print(json.load(sys.stdin)['state'])")
+  [ "$search_state" = done ] && break
+  sleep 0.1
+done
+[ "$search_state" = done ] || fail "search sweep did not finish: $search_stat"
+exh_winner=$(python3 -c "
+import csv, sys
+rows = list(csv.DictReader(open(sys.argv[1])))
+best = min(rows, key=lambda r: int(r['cycles']))
+print(best['runtime'], best['scheduler'], best['cores'])
+" "$workdir/local.csv")
+search_summary=$(echo "$search_stat" | python3 -c "
+import json, sys
+st = json.load(sys.stdin)['search']
+best = st['best'][0]
+print(best['runtime'], best['scheduler'], best['cores'])
+print(st['evaluated'], st['space_points'], st['saved'])
+")
+search_winner=$(echo "$search_summary" | sed -n 1p)
+read -r evaluated space saved <<<"$(echo "$search_summary" | sed -n 2p)"
+[ "$search_winner" = "$exh_winner" ] ||
+  fail "search winner ($search_winner) differs from exhaustive argmin ($exh_winner): $search_stat"
+[ "$saved" -ge $((space * 40 / 100)) ] ||
+  fail "search saved only $saved of $space points, want >= 40%: $search_stat"
+[ $((evaluated + saved)) -eq "$space" ] || fail "search accounting off: $search_stat"
+coord_metrics=$(curl -fsS "http://$coord_addr/metrics")
+rungs=$(echo "$coord_metrics" | awk '/^search_rungs_total / {print int($2)}')
+[ "${rungs:-0}" -ge 1 ] || fail "search_rungs_total not incremented: $coord_metrics"
+echo "search matched the exhaustive winner ($search_winner) evaluating $evaluated/$space points ($saved saved)"
 
 # Fleet-wide cache: a second coordinator with a cold store but the first
 # coordinator as a store peer serves the same grid without simulating or
