@@ -21,8 +21,8 @@
 //	curl -N localhost:8080/v1/sweeps/s0001/stream
 //	curl -X POST localhost:8080/v1/sweeps/s0001/cancel
 //
-// The API lives under /v1/ (unprefixed paths remain as deprecated aliases
-// for one release); every non-2xx response carries the {"error","code",...}
+// The API lives under /v1/; unprefixed paths 404 with the standard
+// envelope, and every non-2xx response carries the {"error","code",...}
 // envelope documented in the README. A submission with a "search" stanza
 // runs a seeded successive-halving design-space search over the grid
 // instead of exhausting it — see the README's design-space search section.
@@ -64,7 +64,7 @@
 // missing from both local tiers is fetched from peers' GET /v1/results/{key}
 // before being simulated, so any result computed anywhere in the fleet is
 // computed once. Every sweepd — coordinator or worker — serves
-// GET /v1/results/{key} (and the unprefixed alias) from its local tiers only.
+// GET /v1/results/{key} from its local tiers only.
 //
 // # Multi-tenancy
 //
@@ -170,11 +170,9 @@ func main() {
 			Metrics: remote.NewWorkerMetrics(reg),
 		}
 		mux.Handle("POST /execute", wk.Handler())
-		// Every fleet node serves its store's local tiers to its peers —
-		// under /v1 (what PeerSource asks today) and unprefixed for one
-		// release of back-compat, mirroring the coordinator API surface.
+		// Every fleet node serves its store's local tiers to its peers,
+		// under /v1 like the coordinator API surface.
 		mux.Handle("GET /v1/results/{key}", remote.ResultsHandler(engine.Store))
-		mux.Handle("GET /results/{key}", remote.ResultsHandler(engine.Store))
 		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			fmt.Fprintln(w, `{"ok":true,"worker":true}`)

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSplitAllow covers the suppression grammar corner cases directly.
+func TestSplitAllow(t *testing.T) {
+	cases := []struct {
+		rest       string
+		wantNames  []string
+		wantReason string
+	}{
+		{" determinism — flaky clock", []string{"determinism"}, "flaky clock"},
+		{" determinism -- ascii dash", []string{"determinism"}, "ascii dash"},
+		{" determinism,obsnames — two checks", []string{"determinism", "obsnames"}, "two checks"},
+		{" determinism", []string{"determinism"}, ""},
+		{"   ", nil, ""},
+		{" — reason with no names", nil, "reason with no names"},
+	}
+	for _, tc := range cases {
+		names, reason, ok := splitAllow(tc.rest)
+		if !ok {
+			t.Errorf("splitAllow(%q) not ok", tc.rest)
+			continue
+		}
+		if !reflect.DeepEqual(names, tc.wantNames) || reason != tc.wantReason {
+			t.Errorf("splitAllow(%q) = %v, %q; want %v, %q",
+				tc.rest, names, reason, tc.wantNames, tc.wantReason)
+		}
+	}
+}
+
+// TestByName: every shipped analyzer resolves, as does the allow
+// pseudo-analyzer; arbitrary names do not.
+func TestByName(t *testing.T) {
+	for _, a := range All() {
+		if !ByName(a.Name) {
+			t.Errorf("ByName(%q) = false for a shipped analyzer", a.Name)
+		}
+	}
+	if !ByName(AllowName) {
+		t.Error("ByName must accept the allow pseudo-analyzer")
+	}
+	if ByName("notananalyzer") {
+		t.Error("ByName accepted an unknown name")
+	}
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestAPIEnvelope(t *testing.T) {
+	RunTest(t, APIEnvelope, "apienvelope/internal/service")
+}

@@ -1,0 +1,34 @@
+package analysis
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestSimlintClean runs the full simlint suite over the whole module — the
+// same invocation CI's lint job performs — and fails on any unannotated
+// finding. Every intentional exception in the tree must carry a reasoned
+// //simlint:allow marker, so a clean run here is the invariant this PR
+// establishes and every later PR must preserve.
+func TestSimlintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("locate module root: %v", err)
+	}
+	root := strings.TrimSpace(string(out))
+	pkgs, err := NewLoader(root).Load("./...")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	diags, err := RunPackages(All(), pkgs)
+	if err != nil {
+		t.Fatalf("run suite: %v", err)
+	}
+	if len(diags) > 0 {
+		t.Errorf("simlint is not clean over ./... — fix or annotate:\n%s", FormatDiags(diags))
+	}
+}

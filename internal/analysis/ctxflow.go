@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow flags exported functions that accept a context.Context but call a
+// sibling's non-Context variant: if F takes a ctx and calls G where
+// GContext(ctx, ...) exists (in G's own package, as a function or as a
+// method on the same receiver), the ctx stops propagating at that call — the
+// callee blocks uncancellably, which is exactly the regression the PR 4
+// cancellation plumbing (sim → taskrt → core → runner → store) must not
+// suffer.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "exported context-accepting functions must call Context variants of their blocking callees",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok || !acceptsContext(obj.Type().(*types.Signature)) {
+				continue
+			}
+			checkCtxBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+// acceptsContext reports whether any parameter is context.Context.
+func acceptsContext(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkCtxBody walks the function body for calls whose callee has a Context
+// sibling.
+func checkCtxBody(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := funcObj(pass.Info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if sib := contextSibling(callee); sib != nil {
+			pass.Reportf(call.Pos(), "%s accepts a context.Context but calls %s.%s; call %s so cancellation reaches it",
+				fd.Name.Name, callee.Pkg().Name(), callee.Name(), sib.Name())
+		}
+		return true
+	})
+}
+
+// contextSibling finds callee's Context variant: a function (or method on
+// the same receiver type) named callee.Name()+"Context" whose first
+// parameter is a context.Context. Functions already named *Context have no
+// sibling by construction.
+func contextSibling(callee *types.Func) *types.Func {
+	name := callee.Name() + "Context"
+	sig := callee.Type().(*types.Signature)
+	var obj types.Object
+	if recv := sig.Recv(); recv != nil {
+		rt := recv.Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		named, ok := rt.(*types.Named)
+		if !ok {
+			return nil
+		}
+		obj, _, _ = types.LookupFieldOrMethod(named, true, callee.Pkg(), name)
+	} else {
+		obj = callee.Pkg().Scope().Lookup(name)
+	}
+	sib, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	sibSig, ok := sib.Type().(*types.Signature)
+	if !ok || sibSig.Params().Len() == 0 || !isContextType(sibSig.Params().At(0).Type()) {
+		return nil
+	}
+	return sib
+}

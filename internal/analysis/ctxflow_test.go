@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestCtxFlow(t *testing.T) {
+	RunTest(t, CtxFlow, "ctxflow/pipeline")
+}

@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// simPathSuffixes are the packages whose outputs must be cycle-for-cycle
+// reproducible: everything between a job description and its simulation
+// result. The golden-cycles tests (internal/core/testdata/golden_cycles.json)
+// and the seeded search leaderboards depend on these paths being free of
+// wall-clock reads, global randomness, and map-iteration order.
+var simPathSuffixes = []string{
+	"internal/sim",
+	"internal/taskrt",
+	"internal/core",
+	"internal/dmu",
+	"internal/search",
+	"internal/workloads/synth",
+}
+
+// Determinism flags nondeterminism sources in sim-path packages:
+//
+//   - time.Now (and Since/Until, which read the same clock) — simulated time
+//     comes from sim.Engine.Now, never the host.
+//   - top-level math/rand and math/rand/v2 functions, which draw from the
+//     global, unseeded source; randomness must flow from a seeded
+//     *rand.Rand so the same seed reproduces the same run.
+//   - ranging over a map while writing to a slice, channel, writer, hash or
+//     encoder in the loop body: map order is randomized per run, so any
+//     ordered output built that way differs run to run. Building a slice
+//     that is sorted immediately after the loop is recognized and allowed.
+var Determinism = &Analyzer{
+	Name:  "determinism",
+	Doc:   "forbid wall-clock time, unseeded randomness and map-order-dependent output in simulation packages",
+	Scope: func(pkgPath string) bool { return hasPathSuffix(pkgPath, simPathSuffixes...) },
+	Run:   runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeterminismCall(pass, n)
+			case *ast.BlockStmt:
+				// Range statements are checked from their enclosing
+				// statement list so the sorted-after-loop exemption can see
+				// the statements that follow.
+				checkStmtList(pass, n.List)
+			case *ast.CaseClause:
+				checkStmtList(pass, n.Body)
+			case *ast.CommClause:
+				checkStmtList(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkStmtList checks each range statement in one statement list, handing
+// it the statements that follow it for the sorted-after exemption.
+func checkStmtList(pass *Pass, list []ast.Stmt) {
+	for i, st := range list {
+		if rs, ok := st.(*ast.RangeStmt); ok {
+			checkMapRange(pass, rs, list[i+1:])
+		}
+	}
+}
+
+// checkDeterminismCall flags wall-clock reads and global-source randomness.
+func checkDeterminismCall(pass *Pass, call *ast.CallExpr) {
+	f := funcObj(pass.Info, call)
+	if f == nil || f.Pkg() == nil {
+		return
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		switch f.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "sim-path package calls time.%s: simulated time must come from the engine clock, not the host wall clock", f.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if f.Type().(*types.Signature).Recv() != nil {
+			return // methods on a seeded *rand.Rand are fine
+		}
+		switch f.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return // constructors produce seeded sources
+		}
+		pass.Reportf(call.Pos(), "sim-path package calls %s.%s, which draws from the global unseeded source; use a seeded *rand.Rand carried by the config", f.Pkg().Name(), f.Name())
+	}
+}
+
+// checkMapRange flags ranging over a map while the body emits ordered
+// output. trailing is the statement list after the range in its block, used
+// for the sorted-after exemption.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, trailing []ast.Stmt) {
+	t := pass.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	// Collect taints: identifiers of slices written inside the body, plus
+	// hard taints (channel sends, Write/Encode calls) that no later sort can
+	// repair.
+	tainted := make(map[types.Object]bool)
+	hard := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			hard = "sends on a channel"
+		case *ast.CallExpr:
+			if isBuiltinAppend(pass.Info, n) {
+				if obj := appendTarget(pass.Info, n); obj != nil {
+					tainted[obj] = true
+				} else {
+					hard = "appends to a slice the loop does not own"
+				}
+				return true
+			}
+			if name, ok := orderedWriteCall(pass.Info, n); ok {
+				hard = "calls " + name
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if bt := pass.Info.TypeOf(ix.X); bt != nil {
+						if _, isSlice := bt.Underlying().(*types.Slice); isSlice {
+							if obj := exprObj(pass.Info, ix.X); obj != nil {
+								tainted[obj] = true
+							} else {
+								hard = "writes through a slice index"
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if hard == "" && len(tainted) == 0 {
+		return
+	}
+	if hard == "" {
+		// Every tainted slice that is sorted right after the loop is fine:
+		// the sort erases the map-order dependence.
+		for _, st := range trailing {
+			if obj := sortedSlice(pass.Info, st); obj != nil {
+				delete(tainted, obj)
+			}
+		}
+		if len(tainted) == 0 {
+			return
+		}
+		hard = "builds a slice that is not sorted afterwards"
+	}
+	pass.Reportf(rs.Pos(), "range over a map %s: map iteration order is randomized, so this output differs run to run; iterate a sorted key slice instead", hard)
+}
+
+// isBuiltinAppend reports whether call is the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// appendTarget returns the object of `x` in the idiom `x = append(x, ...)`
+// found as this call's enclosing assignment target — approximated by the
+// object of the call's first argument when it is a plain (possibly selected)
+// identifier.
+func appendTarget(info *types.Info, call *ast.CallExpr) types.Object {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	return exprObj(info, call.Args[0])
+}
+
+// exprObj resolves a plain or selected identifier to its object (nil for
+// anything more complex).
+func exprObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// orderedWriteCall reports method and function calls that emit ordered
+// output: writers, hashes, encoders and the fmt.Fprint family.
+func orderedWriteCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	f := funcObj(info, call)
+	if f == nil {
+		return "", false
+	}
+	if f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+		switch f.Name() {
+		case "Fprint", "Fprintf", "Fprintln":
+			return "fmt." + f.Name(), true
+		}
+		return "", false
+	}
+	if f.Type().(*types.Signature).Recv() == nil {
+		return "", false
+	}
+	switch f.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode", "Sum":
+		return "a " + f.Name() + " method", true
+	}
+	return "", false
+}
+
+// sortedSlice recognizes `sort.Strings(x)`, `sort.Ints(x)`,
+// `sort.Float64s(x)`, `sort.Slice(x, ...)`, `sort.Sort(...)` wrappers taking
+// x directly, and `slices.Sort*(x, ...)`, returning x's object.
+func sortedSlice(info *types.Info, st ast.Stmt) types.Object {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	f := funcObj(info, call)
+	if f == nil || f.Pkg() == nil {
+		return nil
+	}
+	switch f.Pkg().Path() {
+	case "sort", "slices":
+		// Any sort.*/slices.Sort* call counts as long as its first argument
+		// is one of the tainted slices.
+		if f.Pkg().Path() == "slices" && !strings.HasPrefix(f.Name(), "Sort") {
+			return nil
+		}
+		return exprObj(info, call.Args[0])
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package analysis
+
+import "testing"
+
+func TestDeterminism(t *testing.T) {
+	RunTest(t, Determinism, "determinism/internal/sim")
+}
+
+// TestDeterminismScope: the same fixture code outside a sim-path package
+// produces no findings — the analyzer is scoped, not global.
+func TestDeterminismScope(t *testing.T) {
+	if Determinism.Scope("repro/internal/service") {
+		t.Error("internal/service must be outside the determinism scope")
+	}
+	for _, p := range []string{"repro/internal/sim", "repro/internal/core", "repro/internal/workloads/synth"} {
+		if !Determinism.Scope(p) {
+			t.Errorf("%s must be inside the determinism scope", p)
+		}
+	}
+}

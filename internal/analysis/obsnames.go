@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// obsConstructors maps internal/obs Registry constructor names to the metric
+// kind they register. The name is always the first argument.
+var obsConstructors = map[string]string{
+	"Counter":      "counter",
+	"CounterVec":   "counter",
+	"Gauge":        "gauge",
+	"GaugeVec":     "gauge",
+	"GaugeFunc":    "gauge",
+	"Histogram":    "histogram",
+	"HistogramVec": "histogram",
+}
+
+// ObsNames checks every internal/obs metric registration call site:
+//
+//   - the metric name must be a compile-time string constant, so the
+//     README's metric catalog (and this analyzer) can see it;
+//   - names are lower_snake_case starting with a letter;
+//   - counters end in _total;
+//   - histograms bucketed with obs.LatencyBuckets measure wall-clock seconds
+//     and must end in _seconds; obs.CycleBuckets histograms measure
+//     simulated cycles and must end in _cycles;
+//   - gauges must not end in _total (that suffix promises monotonicity);
+//   - no two call sites in the repository may register the same name — the
+//     registry would silently fold them into one series (or panic on a kind
+//     mismatch) at runtime.
+var ObsNames = &Analyzer{
+	Name: "obsnames",
+	Doc:  "require literal, Prometheus-convention metric names at obs registration sites, unique across the repo",
+	Run:  runObsNames,
+}
+
+func runObsNames(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, name, ok := obsRegistration(pass.Info, call)
+			if !ok {
+				return true
+			}
+			if name == nil {
+				pass.Reportf(call.Pos(), "metric name must be a compile-time string constant so the catalog stays auditable")
+				return true
+			}
+			checkMetricName(pass, call, kind, *name)
+			return true
+		})
+	}
+	return nil
+}
+
+// obsRegistration matches a call to one of the obs.Registry constructors,
+// returning the metric kind and the constant name (nil when the name
+// argument is not constant). ok is false for unrelated calls.
+func obsRegistration(info *types.Info, call *ast.CallExpr) (kind string, name *string, ok bool) {
+	f := funcObj(info, call)
+	if f == nil || f.Pkg() == nil || !hasPathSuffix(f.Pkg().Path(), "internal/obs") {
+		return "", nil, false
+	}
+	sig := f.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil {
+		return "", nil, false
+	}
+	rt := recv.Type()
+	if p, isPtr := rt.(*types.Pointer); isPtr {
+		rt = p.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed || named.Obj().Name() != "Registry" {
+		return "", nil, false
+	}
+	kind, isCtor := obsConstructors[f.Name()]
+	if !isCtor || len(call.Args) == 0 {
+		return "", nil, false
+	}
+	tv, has := info.Types[call.Args[0]]
+	if !has || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return kind, nil, true
+	}
+	s := constant.StringVal(tv.Value)
+	return kind, &s, true
+}
+
+// checkMetricName applies the naming rules and the repo-wide duplicate check.
+func checkMetricName(pass *Pass, call *ast.CallExpr, kind, name string) {
+	if !metricNameRE.MatchString(name) || strings.Contains(name, "__") {
+		pass.Reportf(call.Pos(), "metric name %q must match [a-z][a-z0-9_]* without doubled underscores", name)
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(call.Pos(), "counter %q must end in _total (Prometheus counter convention)", name)
+		}
+	case "gauge":
+		if strings.HasSuffix(name, "_total") {
+			pass.Reportf(call.Pos(), "gauge %q must not end in _total — that suffix promises a monotonic counter", name)
+		}
+	case "histogram":
+		switch bucketsKind(pass.Info, call) {
+		case "LatencyBuckets":
+			if !strings.HasSuffix(name, "_seconds") {
+				pass.Reportf(call.Pos(), "histogram %q uses obs.LatencyBuckets (wall-clock seconds) and must end in _seconds", name)
+			}
+		case "CycleBuckets":
+			if !strings.HasSuffix(name, "_cycles") {
+				pass.Reportf(call.Pos(), "histogram %q uses obs.CycleBuckets (simulated cycles) and must end in _cycles", name)
+			}
+		}
+	}
+	if pass.metricNames != nil {
+		pos := pass.Fset.Position(call.Pos())
+		at := pos.Filename + ":" + strconv.Itoa(pos.Line)
+		if first, dup := pass.metricNames[name]; dup {
+			pass.Reportf(call.Pos(), "metric %q is already registered at %s; two call sites must not share a name", name, first)
+		} else {
+			pass.metricNames[name] = at
+		}
+	}
+}
+
+// bucketsKind identifies a histogram registration's bucket argument when it
+// is one of the well-known obs bucket shapes ("" otherwise). The buckets
+// parameter is the third argument of Histogram and HistogramVec.
+func bucketsKind(info *types.Info, call *ast.CallExpr) string {
+	if len(call.Args) < 3 {
+		return ""
+	}
+	obj := exprObj(info, call.Args[2])
+	if obj == nil || obj.Pkg() == nil || !hasPathSuffix(obj.Pkg().Path(), "internal/obs") {
+		return ""
+	}
+	switch obj.Name() {
+	case "LatencyBuckets", "CycleBuckets":
+		return obj.Name()
+	}
+	return ""
+}

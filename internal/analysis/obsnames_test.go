@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestObsNames(t *testing.T) {
+	RunTest(t, ObsNames, "obsnames/metrics")
+}

@@ -1,0 +1,35 @@
+// Package service is an apienvelope fixture. Its import path ends in
+// internal/service, so the envelope scope applies.
+package service
+
+import "net/http"
+
+// handler writes error responses rawly instead of through the helper.
+func handler(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "nope", http.StatusBadRequest)  // want `raw http\.Error bypasses the error envelope`
+	w.WriteHeader(http.StatusInternalServerError) // want `WriteHeader\(500\) outside the envelope helper`
+	w.WriteHeader(http.StatusOK)                  // 2xx statuses may be written anywhere
+}
+
+// forward has a non-constant status, which the analyzer leaves to the helper
+// rule rather than guessing at runtime values.
+func forward(w http.ResponseWriter, status int) {
+	w.WriteHeader(status)
+}
+
+// httpError is the designated helper: raw writes inside it are the point.
+func httpError(w http.ResponseWriter, status int, msg string) {
+	http.Error(w, msg, status)
+}
+
+// teapot carries a reasoned allow, so nothing is reported.
+func teapot(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusTeapot) //simlint:allow apienvelope — fixture: a reasoned suppression is honored
+}
+
+// badAllow's suppression has no reason: rejected, and the finding stays.
+func badAllow(w http.ResponseWriter) {
+	// want+1 `simlint:allow needs a non-empty reason`
+	//simlint:allow apienvelope
+	http.Error(w, "still flagged", http.StatusNotFound) // want `raw http\.Error bypasses the error envelope`
+}

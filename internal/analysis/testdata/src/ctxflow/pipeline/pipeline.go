@@ -1,0 +1,53 @@
+// Package pipeline is a ctxflow fixture: exported context-accepting
+// functions must call the Context variants of their blocking siblings.
+package pipeline
+
+import "context"
+
+// Run blocks without cancellation.
+func Run() {}
+
+// RunContext is Run's cancellable sibling.
+func RunContext(ctx context.Context) {}
+
+// Good forwards its context to the Context variant.
+func Good(ctx context.Context) {
+	RunContext(ctx)
+}
+
+// Bad drops its context on the floor.
+func Bad(ctx context.Context) {
+	Run() // want `Bad accepts a context\.Context but calls pipeline\.Run; call RunContext`
+}
+
+// Engine has a blocking method pair.
+type Engine struct{}
+
+// Exec blocks without cancellation.
+func (e *Engine) Exec() {}
+
+// ExecContext is Exec's cancellable sibling.
+func (e *Engine) ExecContext(ctx context.Context) {}
+
+// BadMethodCall calls the non-context method variant.
+func BadMethodCall(ctx context.Context, e *Engine) {
+	e.Exec() // want `BadMethodCall accepts a context\.Context but calls pipeline\.Exec; call ExecContext`
+}
+
+// unexported helpers are outside the analyzer's contract: only the exported
+// API promises context propagation.
+func unexported(ctx context.Context) {
+	Run()
+}
+
+// Allowed carries a reasoned allow, so nothing is reported.
+func Allowed(ctx context.Context) {
+	Run() //simlint:allow ctxflow — fixture: a reasoned suppression is honored
+}
+
+// AllowedEmpty's suppression lacks a reason: rejected, and the finding stays.
+func AllowedEmpty(ctx context.Context) {
+	// want+1 `simlint:allow needs a non-empty reason`
+	//simlint:allow ctxflow
+	Run() // want `AllowedEmpty accepts a context\.Context`
+}

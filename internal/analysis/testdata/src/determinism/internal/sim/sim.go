@@ -1,0 +1,85 @@
+// Package sim is a determinism-analyzer fixture. Its import path ends in
+// internal/sim, so the sim-path scope applies to everything here.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// WallClock reads the host clock from a sim-path package.
+func WallClock() int64 {
+	return time.Now().UnixNano() // want `sim-path package calls time\.Now`
+}
+
+// Elapsed uses time.Since, which reads the same clock.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `sim-path package calls time\.Since`
+}
+
+// GlobalRand draws from the process-global, unseeded source.
+func GlobalRand() int {
+	return rand.Intn(8) // want `rand\.Intn, which draws from the global unseeded source`
+}
+
+// SeededRand threads a seeded source, which is the sanctioned pattern.
+func SeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+// Keys builds ordered output in map-iteration order.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over a map builds a slice that is not sorted afterwards`
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys sorts right after the loop, which erases the order dependence.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drain sends in map order; no later sort can repair that.
+func Drain(m map[string]int, ch chan<- string) {
+	for k := range m { // want `range over a map sends on a channel`
+		ch <- k
+	}
+}
+
+// Dump writes in map order through fmt.Fprintf.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `range over a map calls fmt\.Fprintf`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Suppressed carries a reasoned allow, so nothing is reported.
+func Suppressed() int64 {
+	return time.Now().Unix() //simlint:allow determinism — fixture: a reasoned suppression is honored
+}
+
+// EmptyReason's allow has no reason: the marker is rejected as a finding of
+// its own AND does not suppress the wall-clock read below it.
+func EmptyReason() int64 {
+	// want+1 `simlint:allow needs a non-empty reason`
+	//simlint:allow determinism
+	return time.Now().Unix() // want `sim-path package calls time\.Now`
+}
+
+// UnknownAnalyzer names a check that does not exist: rejected, non-suppressing.
+func UnknownAnalyzer() int64 {
+	// want+1 `unknown analyzer "notananalyzer"`
+	//simlint:allow notananalyzer — no such check exists
+	return time.Now().Unix() // want `sim-path package calls time\.Now`
+}

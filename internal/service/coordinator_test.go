@@ -93,13 +93,13 @@ func TestShardedSweepCompletes(t *testing.T) {
 	srv.RegisterWorker("http://worker-a", wa, 2)
 	srv.RegisterWorker("http://worker-b", wb, 2)
 
-	resp := postJSON(t, ts.URL+"/sweeps", shardGridBody)
+	resp := postJSON(t, ts.URL+"/v1/sweeps", shardGridBody)
 	sub := decode[SubmitResponse](t, resp.Body)
 	resp.Body.Close()
 	if sub.Jobs != 8 {
 		t.Fatalf("grid expanded to %d jobs, want 8", sub.Jobs)
 	}
-	st := waitState(t, ts.URL+"/sweeps/"+sub.ID)
+	st := waitState(t, ts.URL+"/v1/sweeps/"+sub.ID)
 	if st.State != StateDone || st.Completed != 8 || st.Failed != 0 {
 		t.Fatalf("sharded sweep = %+v", st)
 	}
@@ -119,7 +119,7 @@ func TestShardedSweepCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	points := streamPoints(t, ts.URL+"/sweeps/"+sub.ID+"/stream")
+	points := streamPoints(t, ts.URL+"/v1/sweeps/"+sub.ID+"/stream")
 	if len(points) != 8 {
 		t.Fatalf("stream replayed %d points, want 8", len(points))
 	}
@@ -162,10 +162,10 @@ func TestWorkerDeathRequeues(t *testing.T) {
 	srv.RegisterWorker("http://dying", dying, 2)
 	srv.RegisterWorker("http://healthy", healthy, 2)
 
-	resp := postJSON(t, ts.URL+"/sweeps", shardGridBody)
+	resp := postJSON(t, ts.URL+"/v1/sweeps", shardGridBody)
 	sub := decode[SubmitResponse](t, resp.Body)
 	resp.Body.Close()
-	st := waitState(t, ts.URL+"/sweeps/"+sub.ID)
+	st := waitState(t, ts.URL+"/v1/sweeps/"+sub.ID)
 	if st.State != StateDone || st.Completed != 8 || st.Failed != 0 {
 		t.Fatalf("sweep with a dying worker = %+v", st)
 	}
@@ -195,10 +195,10 @@ func TestAllWorkersDeadFallsBackLocal(t *testing.T) {
 	srv.RegisterWorker("http://dead-a", wa, 2)
 	srv.RegisterWorker("http://dead-b", wb, 2)
 
-	resp := postJSON(t, ts.URL+"/sweeps", `{"benchmarks":["histogram"],"runtimes":["software","tdm"]}`)
+	resp := postJSON(t, ts.URL+"/v1/sweeps", `{"benchmarks":["histogram"],"runtimes":["software","tdm"]}`)
 	sub := decode[SubmitResponse](t, resp.Body)
 	resp.Body.Close()
-	st := waitState(t, ts.URL+"/sweeps/"+sub.ID)
+	st := waitState(t, ts.URL+"/v1/sweeps/"+sub.ID)
 	if st.State != StateDone || st.Completed != 2 || st.Failed != 0 {
 		t.Fatalf("sweep over a dead fleet = %+v", st)
 	}
@@ -221,10 +221,10 @@ func TestShardedPermanentFailureNoRequeue(t *testing.T) {
 	})
 	srv.RegisterWorker("http://broken-sim", broken, 1)
 
-	resp := postJSON(t, ts.URL+"/sweeps", `{"benchmarks":["histogram"],"runtimes":["software"]}`)
+	resp := postJSON(t, ts.URL+"/v1/sweeps", `{"benchmarks":["histogram"],"runtimes":["software"]}`)
 	sub := decode[SubmitResponse](t, resp.Body)
 	resp.Body.Close()
-	st := waitState(t, ts.URL+"/sweeps/"+sub.ID)
+	st := waitState(t, ts.URL+"/v1/sweeps/"+sub.ID)
 	if st.State != StateDone || st.Failed != 1 {
 		t.Fatalf("sweep with a broken point = %+v", st)
 	}
@@ -251,12 +251,12 @@ func TestCancelShardedSweep(t *testing.T) {
 	slow := &fakeWorker{base: base, dieAfter: -1, delay: 50 * time.Millisecond}
 	srv.RegisterWorker("http://slow", slow, 1)
 
-	resp := postJSON(t, ts.URL+"/sweeps", bigGridBody)
+	resp := postJSON(t, ts.URL+"/v1/sweeps", bigGridBody)
 	sub := decode[SubmitResponse](t, resp.Body)
 	resp.Body.Close()
-	resp = postJSON(t, ts.URL+"/sweeps/"+sub.ID+"/cancel", "")
+	resp = postJSON(t, ts.URL+"/v1/sweeps/"+sub.ID+"/cancel", "")
 	resp.Body.Close()
-	st := waitState(t, ts.URL+"/sweeps/"+sub.ID)
+	st := waitState(t, ts.URL+"/v1/sweeps/"+sub.ID)
 	if st.State != StateCancelled {
 		t.Fatalf("state after cancel = %s", st.State)
 	}
@@ -273,7 +273,7 @@ func TestWorkerRegistrationEndpoint(t *testing.T) {
 	srv, ts := testServer(t, nil)
 
 	put := func(body string) *http.Response {
-		req, err := http.NewRequest(http.MethodPut, ts.URL+"/workers", strings.NewReader(body))
+		req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/workers", strings.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -327,7 +327,7 @@ func TestWorkerRegistrationEndpoint(t *testing.T) {
 	resp = put(`{"url":"http://w1:8080","slots":5}`)
 	resp.Body.Close()
 
-	resp, err := http.Get(ts.URL + "/workers")
+	resp, err := http.Get(ts.URL + "/v1/workers")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,10 +349,10 @@ func TestShardedWarmKeysNotDispatched(t *testing.T) {
 	srv.RegisterWorker("http://w", w, 2)
 
 	body := `{"benchmarks":["histogram"],"runtimes":["software","tdm"]}`
-	resp := postJSON(t, ts.URL+"/sweeps", body)
+	resp := postJSON(t, ts.URL+"/v1/sweeps", body)
 	sub := decode[SubmitResponse](t, resp.Body)
 	resp.Body.Close()
-	if st := waitState(t, ts.URL+"/sweeps/"+sub.ID); st.Completed != 2 {
+	if st := waitState(t, ts.URL+"/v1/sweeps/"+sub.ID); st.Completed != 2 {
 		t.Fatalf("first sweep = %+v", st)
 	}
 	if w.count() != 2 {
@@ -361,10 +361,10 @@ func TestShardedWarmKeysNotDispatched(t *testing.T) {
 
 	// The identical grid again: every key is warm on the coordinator, so
 	// the fleet sees nothing.
-	resp = postJSON(t, ts.URL+"/sweeps", body)
+	resp = postJSON(t, ts.URL+"/v1/sweeps", body)
 	sub = decode[SubmitResponse](t, resp.Body)
 	resp.Body.Close()
-	if st := waitState(t, ts.URL+"/sweeps/"+sub.ID); st.Completed != 2 {
+	if st := waitState(t, ts.URL+"/v1/sweeps/"+sub.ID); st.Completed != 2 {
 		t.Fatalf("second sweep = %+v", st)
 	}
 	if w.count() != 2 {

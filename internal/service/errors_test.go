@@ -188,10 +188,18 @@ func TestListPaging(t *testing.T) {
 	if len(tail) != 2 {
 		t.Errorf("tail after %s returned %d sweeps, want 2", ids[n-3], len(tail))
 	}
-	// Paging works identically on the legacy unprefixed route.
+	// The legacy unprefixed route is gone: it 404s with the standard
+	// envelope (and a detail pointing at /v1) like any other unknown path.
 	resp := do(t, "GET", ts.URL+"/sweeps?limit=2", "")
 	defer resp.Body.Close()
-	if got := decode[[]Status](t, resp.Body); len(got) != 2 {
-		t.Errorf("legacy route limit=2 returned %d sweeps", len(got))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("legacy route status = %d, want 404", resp.StatusCode)
+	}
+	got := decode[ErrorResponse](t, resp.Body)
+	if got.Code != CodeNotFound {
+		t.Errorf("legacy route code = %q, want %q", got.Code, CodeNotFound)
+	}
+	if !strings.Contains(got.Detail, "/v1") {
+		t.Errorf("legacy route detail %q does not point at /v1", got.Detail)
 	}
 }

@@ -6,21 +6,23 @@
 // through the content-addressed store — and streams per-point results back as
 // NDJSON while the sweep runs.
 //
-// Endpoints (see cmd/sweepd for the daemon wrapping this package):
+// Endpoints (see cmd/sweepd for the daemon wrapping this package). The API
+// is versioned under /v1; only /healthz, /metrics and /debug/pprof are
+// unversioned, and every other path 404s with the standard error envelope:
 //
-//	POST /sweeps            submit a grid; ?stream=1 streams results on the
-//	                        same connection and cancels the sweep when the
-//	                        client disconnects
-//	GET  /sweeps            list sweep statuses
-//	GET  /sweeps/{id}        status and progress counters
-//	GET  /sweeps/{id}/stream replay + follow the sweep's results as NDJSON
-//	POST /sweeps/{id}/cancel stop the sweep's in-flight points
-//	PUT  /workers           register a remote execution worker
-//	GET  /workers           list the worker fleet and its health
-//	GET  /tenants           list tenants, their weights, quotas and load
-//	PUT  /tenants/{id}       configure a tenant (weight, quotas; may preempt)
-//	GET  /results/{key}      serve a cached result from the local store tiers
-//	GET  /healthz           liveness and drain state
+//	POST /v1/sweeps            submit a grid; ?stream=1 streams results on
+//	                           the same connection and cancels the sweep
+//	                           when the client disconnects
+//	GET  /v1/sweeps            list sweep statuses (paged)
+//	GET  /v1/sweeps/{id}        status and progress counters
+//	GET  /v1/sweeps/{id}/stream replay + follow the sweep's results as NDJSON
+//	POST /v1/sweeps/{id}/cancel stop the sweep's in-flight points
+//	PUT  /v1/workers           register a remote execution worker
+//	GET  /v1/workers           list the worker fleet and its health
+//	GET  /v1/tenants           list tenants, their weights, quotas and load
+//	PUT  /v1/tenants/{id}       configure a tenant (weight, quotas; may preempt)
+//	GET  /v1/results/{key}      serve a cached result from the local store tiers
+//	GET  /healthz              liveness and drain state
 //
 // With workers registered (PUT /workers, or sweepd's -peers flag) the
 // service becomes a coordinator: submitted grids are sharded across the
@@ -156,13 +158,14 @@ func New(engine *runner.Engine, workers int) *Server {
 	}
 	s.baseCtx, s.cancelBase = context.WithCancelCause(context.Background())
 	mux := http.NewServeMux()
-	// The API surface is versioned under /v1; the unprefixed routes remain
-	// as deprecated aliases for one release. /healthz, /metrics and
-	// /debug/pprof are operational endpoints and stay unversioned.
+	// The API surface is versioned under /v1. The unprefixed aliases of the
+	// v1 routes were deprecated for one release and are gone: they now 404
+	// with the standard envelope like any other unknown path. /healthz,
+	// /metrics and /debug/pprof are operational endpoints and stay
+	// unversioned.
 	apiRoute := func(pattern string, h http.HandlerFunc) {
 		method, path, _ := strings.Cut(pattern, " ")
 		mux.HandleFunc(method+" /v1"+path, h)
-		mux.HandleFunc(pattern, h)
 	}
 	apiRoute("POST /sweeps", s.handleSubmit)
 	apiRoute("GET /sweeps", s.handleList)
@@ -174,6 +177,9 @@ func New(engine *runner.Engine, workers int) *Server {
 	apiRoute("GET /tenants", s.handleListTenants)
 	apiRoute("PUT /tenants/{id}", s.handleConfigureTenant)
 	apiRoute("GET /results/{key}", s.handleResult)
+	// Everything else — including the removed unprefixed aliases — gets the
+	// enveloped 404 instead of the mux's plain-text one.
+	mux.HandleFunc("/", s.handleNotFound)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /metrics", obs.Handler(s.reg))
 	// pprof routes the named profiles itself under Index; cmdline, profile,
@@ -756,6 +762,17 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, res)
 }
 
+// handleNotFound serves every path outside the registered API surface with
+// the standard error envelope. The pre-/v1 unprefixed routes land here too;
+// the detail points migrating clients at the versioned prefix.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	s.httpError(w, r, http.StatusNotFound, &apiError{
+		code:   CodeNotFound,
+		detail: "the API is served under /v1 (e.g. /v1/sweeps); /healthz and /metrics are unversioned",
+		err:    fmt.Errorf("no route for %s %s", r.Method, r.URL.Path),
+	})
+}
+
 // handleHealth serves GET /healthz. The response schema:
 //
 //	{
@@ -775,7 +792,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	if draining {
-		w.WriteHeader(http.StatusServiceUnavailable)
+		// The healthz body is its own documented schema, not the API error
+		// envelope: probes read {"ok":false}, not a catalog code.
+		w.WriteHeader(http.StatusServiceUnavailable) //simlint:allow apienvelope — healthz serves its documented schema, not the error envelope
 	}
 	writeJSON(w, map[string]any{
 		"ok":            !draining,

@@ -74,7 +74,7 @@ func waitState(t *testing.T, url string) Status {
 func TestSubmitStatusStream(t *testing.T) {
 	_, ts := testServer(t, nil)
 
-	resp := postJSON(t, ts.URL+"/sweeps", `{
+	resp := postJSON(t, ts.URL+"/v1/sweeps", `{
 		"benchmarks": ["synth:chain:width=4,depth=4,mean=5", "histogram"],
 		"runtimes": ["software", "tdm"],
 		"schedulers": ["fifo"]
@@ -88,7 +88,7 @@ func TestSubmitStatusStream(t *testing.T) {
 		t.Fatalf("grid expanded to %d jobs, want 4", sub.Jobs)
 	}
 
-	st := waitState(t, ts.URL+"/sweeps/"+sub.ID)
+	st := waitState(t, ts.URL+"/v1/sweeps/"+sub.ID)
 	if st.State != StateDone || st.Completed != 4 || st.Failed != 0 {
 		t.Fatalf("terminal status = %+v", st)
 	}
@@ -97,7 +97,7 @@ func TestSubmitStatusStream(t *testing.T) {
 	}
 
 	// The stream replays every point as one JSON object per line.
-	resp, err := http.Get(ts.URL + "/sweeps/" + sub.ID + "/stream")
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + sub.ID + "/stream")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestSubmitStatusStream(t *testing.T) {
 	}
 
 	// The listing shows the sweep.
-	resp, err = http.Get(ts.URL + "/sweeps")
+	resp, err = http.Get(ts.URL + "/v1/sweeps")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,13 +152,13 @@ func TestSubmitValidation(t *testing.T) {
 		`{"bogus_field": 1}`,
 		`not json`,
 	} {
-		resp := postJSON(t, ts.URL+"/sweeps", body)
+		resp := postJSON(t, ts.URL+"/v1/sweeps", body)
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("submit(%s) status = %d, want 400", body, resp.StatusCode)
 		}
 		resp.Body.Close()
 	}
-	resp, err := http.Get(ts.URL + "/sweeps/s9999")
+	resp, err := http.Get(ts.URL + "/v1/sweeps/s9999")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,20 +179,20 @@ const bigGridBody = `{
 
 func TestCancelEndpointStopsSweep(t *testing.T) {
 	_, ts := testServer(t, nil)
-	resp := postJSON(t, ts.URL+"/sweeps", bigGridBody)
+	resp := postJSON(t, ts.URL+"/v1/sweeps", bigGridBody)
 	sub := decode[SubmitResponse](t, resp.Body)
 	resp.Body.Close()
 	if sub.Jobs != 30 {
 		t.Fatalf("grid expanded to %d jobs, want 30", sub.Jobs)
 	}
 
-	resp = postJSON(t, ts.URL+"/sweeps/"+sub.ID+"/cancel", "")
+	resp = postJSON(t, ts.URL+"/v1/sweeps/"+sub.ID+"/cancel", "")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("cancel status = %d", resp.StatusCode)
 	}
 	resp.Body.Close()
 
-	st := waitState(t, ts.URL+"/sweeps/"+sub.ID)
+	st := waitState(t, ts.URL+"/v1/sweeps/"+sub.ID)
 	if st.State != StateCancelled {
 		t.Fatalf("state after cancel = %s", st.State)
 	}
@@ -210,7 +210,7 @@ func TestStreamSubmitCancelsOnDisconnect(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		ts.URL+"/sweeps?stream=1", strings.NewReader(bigGridBody))
+		ts.URL+"/v1/sweeps?stream=1", strings.NewReader(bigGridBody))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +234,7 @@ func TestStreamSubmitCancelsOnDisconnect(t *testing.T) {
 	srv.mu.Lock()
 	id := srv.order[0]
 	srv.mu.Unlock()
-	st := waitState(t, ts.URL+"/sweeps/"+id)
+	st := waitState(t, ts.URL+"/v1/sweeps/"+id)
 	if st.State != StateCancelled {
 		t.Fatalf("state after client disconnect = %s", st.State)
 	}
@@ -245,7 +245,7 @@ func TestStreamSubmitCancelsOnDisconnect(t *testing.T) {
 
 func TestDrainRejectsAndCancels(t *testing.T) {
 	srv, ts := testServer(t, nil)
-	resp := postJSON(t, ts.URL+"/sweeps", bigGridBody)
+	resp := postJSON(t, ts.URL+"/v1/sweeps", bigGridBody)
 	sub := decode[SubmitResponse](t, resp.Body)
 	resp.Body.Close()
 
@@ -262,7 +262,7 @@ func TestDrainRejectsAndCancels(t *testing.T) {
 
 	// The sweep was cancelled mid-run and its state settled before Drain
 	// returned — the daemon can exit without losing the final state.
-	resp, err := http.Get(ts.URL + "/sweeps/" + sub.ID)
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + sub.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +280,7 @@ func TestDrainRejectsAndCancels(t *testing.T) {
 	}
 
 	// New submissions are rejected while draining.
-	resp = postJSON(t, ts.URL+"/sweeps", `{"benchmarks":["histogram"],"runtimes":["software"]}`)
+	resp = postJSON(t, ts.URL+"/v1/sweeps", `{"benchmarks":["histogram"],"runtimes":["software"]}`)
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("submit while draining = %d, want 503", resp.StatusCode)
 	}
@@ -307,10 +307,10 @@ func TestSweepsShareDiskStore(t *testing.T) {
 	_, ts := testServer(t, store)
 	body := `{"benchmarks":["histogram"],"runtimes":["software","tdm"]}`
 
-	resp := postJSON(t, ts.URL+"/sweeps", body)
+	resp := postJSON(t, ts.URL+"/v1/sweeps", body)
 	sub := decode[SubmitResponse](t, resp.Body)
 	resp.Body.Close()
-	first := waitState(t, ts.URL+"/sweeps/"+sub.ID)
+	first := waitState(t, ts.URL+"/v1/sweeps/"+sub.ID)
 	if first.State != StateDone || first.Completed != 2 {
 		t.Fatalf("first sweep = %+v", first)
 	}
@@ -327,10 +327,10 @@ func TestSweepsShareDiskStore(t *testing.T) {
 	srv2 := New(&runner.Engine{Base: base, Store: resumed, Log: &log}, 2)
 	ts2 := httptest.NewServer(srv2.Handler())
 	defer ts2.Close()
-	resp = postJSON(t, ts2.URL+"/sweeps", body)
+	resp = postJSON(t, ts2.URL+"/v1/sweeps", body)
 	sub2 := decode[SubmitResponse](t, resp.Body)
 	resp.Body.Close()
-	second := waitState(t, ts2.URL+"/sweeps/"+sub2.ID)
+	second := waitState(t, ts2.URL+"/v1/sweeps/"+sub2.ID)
 	if second.State != StateDone || second.Completed != 2 {
 		t.Fatalf("resumed sweep = %+v", second)
 	}
@@ -344,14 +344,14 @@ func TestSweepsShareDiskStore(t *testing.T) {
 func TestStreamFalseSubmitsAsync(t *testing.T) {
 	_, ts := testServer(t, nil)
 	for _, q := range []string{"?stream=0", "?stream=false", ""} {
-		resp := postJSON(t, ts.URL+"/sweeps"+q, `{"benchmarks":["histogram"],"runtimes":["software"]}`)
+		resp := postJSON(t, ts.URL+"/v1/sweeps"+q, `{"benchmarks":["histogram"],"runtimes":["software"]}`)
 		if resp.StatusCode != http.StatusAccepted {
 			t.Errorf("submit with %q status = %d, want 202", q, resp.StatusCode)
 		}
 		sub := decode[SubmitResponse](t, resp.Body)
 		resp.Body.Close()
 		// Closing the submission response must not cancel the sweep.
-		if st := waitState(t, ts.URL+"/sweeps/"+sub.ID); st.State != StateDone {
+		if st := waitState(t, ts.URL+"/v1/sweeps/"+sub.ID); st.State != StateDone {
 			t.Errorf("async submission with %q ended %s, want done", q, st.State)
 		}
 	}
@@ -365,10 +365,10 @@ func TestFinishedSweepEviction(t *testing.T) {
 	body := `{"benchmarks":["synth:chain:width=2,depth=2,mean=5"],"runtimes":["software"]}`
 	var ids []string
 	for i := 0; i < 3; i++ {
-		resp := postJSON(t, ts.URL+"/sweeps", body)
+		resp := postJSON(t, ts.URL+"/v1/sweeps", body)
 		sub := decode[SubmitResponse](t, resp.Body)
 		resp.Body.Close()
-		waitState(t, ts.URL+"/sweeps/"+sub.ID)
+		waitState(t, ts.URL+"/v1/sweeps/"+sub.ID)
 		ids = append(ids, sub.ID)
 	}
 	// Eviction runs as the sweep goroutine settles; give the last one a
@@ -387,7 +387,7 @@ func TestFinishedSweepEviction(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	// The newest sweep survives; the oldest is gone.
-	resp, err := http.Get(ts.URL + "/sweeps/" + ids[0])
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + ids[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -403,7 +403,7 @@ func TestSubmitBodyTooLarge(t *testing.T) {
 	srv, ts := testServer(t, nil)
 	srv.MaxBodyBytes = 256
 	body := `{"benchmarks":["histogram"],"schedulers":["fifo","` + strings.Repeat("x", 512) + `"]}`
-	resp := postJSON(t, ts.URL+"/sweeps", body)
+	resp := postJSON(t, ts.URL+"/v1/sweeps", body)
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized submission = %d, want 413", resp.StatusCode)
@@ -420,7 +420,7 @@ func TestSubmitBodyTooLarge(t *testing.T) {
 func TestSubmitTooManyPoints(t *testing.T) {
 	srv, ts := testServer(t, nil)
 	srv.MaxPoints = 10
-	resp := postJSON(t, ts.URL+"/sweeps", `{
+	resp := postJSON(t, ts.URL+"/v1/sweeps", `{
 		"benchmarks": ["histogram", "cholesky"],
 		"runtimes": ["software", "tdm"],
 		"schedulers": ["fifo", "lifo"],
@@ -451,7 +451,7 @@ func TestSubmitTooManyPoints(t *testing.T) {
 func TestStreamParamMalformed(t *testing.T) {
 	srv, ts := testServer(t, nil)
 	for _, q := range []string{"?stream=yes", "?stream=y", "?stream=on", "?stream=2"} {
-		resp := postJSON(t, ts.URL+"/sweeps"+q, `{"benchmarks":["histogram"],"runtimes":["software"]}`)
+		resp := postJSON(t, ts.URL+"/v1/sweeps"+q, `{"benchmarks":["histogram"],"runtimes":["software"]}`)
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("submit with %q status = %d, want 400", q, resp.StatusCode)
 		}
@@ -469,17 +469,17 @@ func TestStreamParamMalformed(t *testing.T) {
 // the full point log and terminates immediately instead of hanging.
 func TestStreamFinishedSweep(t *testing.T) {
 	_, ts := testServer(t, nil)
-	resp := postJSON(t, ts.URL+"/sweeps", `{"benchmarks":["histogram"],"runtimes":["software","tdm"]}`)
+	resp := postJSON(t, ts.URL+"/v1/sweeps", `{"benchmarks":["histogram"],"runtimes":["software","tdm"]}`)
 	sub := decode[SubmitResponse](t, resp.Body)
 	resp.Body.Close()
-	if st := waitState(t, ts.URL+"/sweeps/"+sub.ID); st.State != StateDone {
+	if st := waitState(t, ts.URL+"/v1/sweeps/"+sub.ID); st.State != StateDone {
 		t.Fatalf("sweep ended %s", st.State)
 	}
 
 	// The sweep is terminal; the stream must replay everything and close on
 	// its own, well before the watchdog.
 	done := make(chan []Point, 1)
-	go func() { done <- streamPoints(t, ts.URL+"/sweeps/"+sub.ID+"/stream") }()
+	go func() { done <- streamPoints(t, ts.URL+"/v1/sweeps/"+sub.ID+"/stream") }()
 	select {
 	case points := <-done:
 		if len(points) != 2 {
@@ -572,7 +572,7 @@ func TestHealthz(t *testing.T) {
 func TestMetricsEndpoint(t *testing.T) {
 	_, ts := testServer(t, nil)
 	// A finished sweep populates the service counters before the scrape.
-	resp := postJSON(t, ts.URL+"/sweeps?stream=1", `{"benchmarks":["synth:blockdense:width=2,mean=200"],"runtimes":["tdm"]}`)
+	resp := postJSON(t, ts.URL+"/v1/sweeps?stream=1", `{"benchmarks":["synth:blockdense:width=2,mean=200"],"runtimes":["tdm"]}`)
 	defer resp.Body.Close()
 	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
 		t.Fatal(err)

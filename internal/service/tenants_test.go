@@ -205,7 +205,7 @@ func gatedServer(t *testing.T) (*Server, *gateExec, string) {
 // submissions do not collapse in the store.
 func submitTenant(t *testing.T, url, tenant, bench string) *http.Response {
 	t.Helper()
-	return postJSON(t, url+"/sweeps",
+	return postJSON(t, url+"/v1/sweeps",
 		`{"benchmarks": ["`+bench+`"], "runtimes": ["software"], "tenant": "`+tenant+`"}`)
 }
 
@@ -252,7 +252,7 @@ func TestTenantQuotaMaxQueuedSweeps(t *testing.T) {
 
 	// Quota is load, not history: once the sweep finishes, acme submits again.
 	close(gate.release)
-	waitState(t, url+"/sweeps/"+first.ID)
+	waitState(t, url+"/v1/sweeps/"+first.ID)
 	resp = submitTenant(t, url, "acme", "cholesky")
 	if resp.StatusCode != http.StatusAccepted {
 		t.Errorf("post-completion submission status = %d, want 202", resp.StatusCode)
@@ -270,7 +270,7 @@ func TestTenantQuotaMaxActivePoints(t *testing.T) {
 	}
 
 	// A single grid bigger than the budget is rejected outright.
-	resp := postJSON(t, url+"/sweeps",
+	resp := postJSON(t, url+"/v1/sweeps",
 		`{"benchmarks": ["histogram"], "runtimes": ["software"], "cores": [8, 16, 32, 64, 128], "tenant": "bulk"}`)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("oversized grid status = %d, want 429", resp.StatusCode)
@@ -282,13 +282,13 @@ func TestTenantQuotaMaxActivePoints(t *testing.T) {
 	}
 
 	// 3 points fit; 3 more would make 6 > 4.
-	resp = postJSON(t, url+"/sweeps",
+	resp = postJSON(t, url+"/v1/sweeps",
 		`{"benchmarks": ["histogram"], "runtimes": ["software"], "cores": [8, 16, 32], "tenant": "bulk"}`)
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("within-quota grid status = %d", resp.StatusCode)
 	}
 	resp.Body.Close()
-	resp = postJSON(t, url+"/sweeps",
+	resp = postJSON(t, url+"/v1/sweeps",
 		`{"benchmarks": ["cholesky"], "runtimes": ["software"], "cores": [8, 16, 32], "tenant": "bulk"}`)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Errorf("second grid status = %d, want 429 (3 active + 3 new > 4)", resp.StatusCode)
@@ -322,13 +322,13 @@ func TestTenantPreemption(t *testing.T) {
 	if len(preempted) != 1 || preempted[0] != alphaNew {
 		t.Fatalf("preempted = %v, want [%s] (newest alpha sweep)", preempted, alphaNew)
 	}
-	st := waitState(t, url+"/sweeps/"+alphaNew)
+	st := waitState(t, url+"/v1/sweeps/"+alphaNew)
 	if st.State != StateCancelled {
 		t.Errorf("preempted sweep state = %s, want cancelled", st.State)
 	}
 	// The survivor and the other tenant keep running (points still gated).
 	for _, id := range []string{alphaOld, beta} {
-		resp, err := http.Get(url + "/sweeps/" + id)
+		resp, err := http.Get(url + "/v1/sweeps/" + id)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -344,7 +344,7 @@ func TestTenantPreemption(t *testing.T) {
 func TestTenantEndpoints(t *testing.T) {
 	_, ts := testServer(t, nil)
 
-	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/tenants/acme",
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/tenants/acme",
 		strings.NewReader(`{"weight": 2, "max_active_points": 100}`))
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
@@ -359,7 +359,7 @@ func TestTenantEndpoints(t *testing.T) {
 		t.Errorf("configured tenant = %+v", info)
 	}
 
-	resp, err = http.Get(ts.URL + "/tenants")
+	resp, err = http.Get(ts.URL + "/v1/tenants")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +378,7 @@ func TestTenantEndpoints(t *testing.T) {
 		`{"max_active_points": -5}`,
 		`{"unknown_field": 1}`,
 	} {
-		req, _ := http.NewRequest(http.MethodPut, ts.URL+"/tenants/acme", strings.NewReader(bad))
+		req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/tenants/acme", strings.NewReader(bad))
 		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			t.Fatal(err)
@@ -389,7 +389,7 @@ func TestTenantEndpoints(t *testing.T) {
 		resp.Body.Close()
 	}
 	// Invalid tenant names are rejected at submission too.
-	resp = postJSON(t, ts.URL+"/sweeps", `{"benchmarks": ["histogram"], "tenant": "no spaces!"}`)
+	resp = postJSON(t, ts.URL+"/v1/sweeps", `{"benchmarks": ["histogram"], "tenant": "no spaces!"}`)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad tenant name status = %d, want 400", resp.StatusCode)
 	}

@@ -72,7 +72,11 @@ type Engine struct {
 	poolReused  uint64 // events taken from the free list
 	poolResides int    // events currently on the free list
 
-	procs   map[*Proc]struct{}
+	// procs lists every spawned process in spawn order. A slice, not a set:
+	// Shutdown unwinds parked goroutines by iterating it, and map iteration
+	// order would make the unwind order (and any cleanup side effects in
+	// process bodies) differ run to run.
+	procs   []*Proc
 	running *Proc
 	stopped bool
 
@@ -91,7 +95,7 @@ type Engine struct {
 
 // NewEngine returns an empty engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{procs: make(map[*Proc]struct{})}
+	return &Engine{}
 }
 
 // Now returns the current simulated time.
@@ -306,8 +310,9 @@ func (e *Engine) Shutdown() {
 	e.stopped = true
 	// Every live process goroutine is quiescent in park while the engine
 	// holds control, so each can be unwound with one kill token; the
-	// handoff channel synchronizes the unwind, one process at a time.
-	for p := range e.procs {
+	// handoff channel synchronizes the unwind, one process at a time, in
+	// spawn order so shutdown side effects are reproducible.
+	for _, p := range e.procs {
 		if p.parkedNow && !p.done {
 			p.ch <- sigKill
 			<-p.ch
@@ -317,7 +322,7 @@ func (e *Engine) Shutdown() {
 
 func (e *Engine) blockedProcs() []string {
 	var out []string
-	for p := range e.procs {
+	for _, p := range e.procs {
 		if !p.done && p.parkedNow {
 			out = append(out, fmt.Sprintf("%s (waiting: %s)", p.name, p.waitReason()))
 		}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -573,5 +574,40 @@ func TestPropertyResourceSerializes(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestShutdownUnwindOrderDeterministic pins the order Engine.Shutdown unwinds
+// parked process goroutines: spawn order, every run. The engine used to keep
+// its process set in a map, so the kill order — and any cleanup side effects
+// in process bodies — was randomized per run.
+func TestShutdownUnwindOrderDeterministic(t *testing.T) {
+	const procs = 16
+	want := make([]string, procs)
+	for i := range want {
+		want[i] = fmt.Sprintf("p%02d", i)
+	}
+	for trial := 0; trial < 10; trial++ {
+		e := NewEngine()
+		var unwound []string
+		for i := 0; i < procs; i++ {
+			name := want[i]
+			e.Spawn(name, func(p *Proc) {
+				defer func() { unwound = append(unwound, name) }()
+				p.Suspend("pinned")
+			})
+		}
+		if _, err := e.Run(); err == nil {
+			t.Fatal("expected a deadlock error with every process suspended")
+		}
+		e.Shutdown()
+		if len(unwound) != procs {
+			t.Fatalf("trial %d: unwound %d of %d processes", trial, len(unwound), procs)
+		}
+		for i, name := range unwound {
+			if name != want[i] {
+				t.Fatalf("trial %d: unwind order %v, want spawn order %v", trial, unwound, want)
+			}
+		}
 	}
 }

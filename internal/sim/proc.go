@@ -70,7 +70,7 @@ func (e *Engine) SpawnAt(delay Time, name string, fn func(*Proc)) *Proc {
 		ch:   make(chan token),
 	}
 	p.resumeFn = func() { e.resumeProc(p) }
-	e.procs[p] = struct{}{}
+	e.procs = append(e.procs, p)
 	e.Schedule(delay, func() {
 		go p.run(fn)
 		<-p.ch

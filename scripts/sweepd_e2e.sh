@@ -46,16 +46,16 @@ base="http://$addr"
 curl -fsS "$base/healthz" | grep -q '"ok":true' || fail "healthz not ok"
 
 # Submit a small grid asynchronously and extract the sweep id.
-id=$(curl -fsS -X POST "$base/sweeps" \
+id=$(curl -fsS -X POST "$base/v1/sweeps" \
   -d '{"benchmarks":["synth:chain:width=4,depth=4,mean=5"],"runtimes":["software","tdm"]}' |
   sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
 [ -n "$id" ] || fail "submission returned no sweep id"
 
 # Stream the results: one NDJSON object per point, all successful.
-lines=$(curl -fsS -N "$base/sweeps/$id/stream" | tee "$workdir/stream.ndjson" | wc -l)
+lines=$(curl -fsS -N "$base/v1/sweeps/$id/stream" | tee "$workdir/stream.ndjson" | wc -l)
 [ "$lines" -eq 2 ] || fail "stream returned $lines lines, want 2"
 grep -q '"error"' "$workdir/stream.ndjson" && fail "streamed points contain errors"
-curl -fsS "$base/sweeps/$id" | grep -q '"state":"done"' || fail "sweep did not finish"
+curl -fsS "$base/v1/sweeps/$id" | grep -q '"state":"done"' || fail "sweep did not finish"
 
 # Every store file is complete JSON (atomic writes: no temp files, no
 # truncated entries).
@@ -70,7 +70,7 @@ done
 
 # Submit a sweep too large to finish, then SIGTERM mid-run: the daemon must
 # drain gracefully and exit 0.
-big=$(curl -fsS -X POST "$base/sweeps" \
+big=$(curl -fsS -X POST "$base/v1/sweeps" \
   -d '{"benchmarks":["synth:layered:width=16,depth=60,mean=20"],"runtimes":["software","tdm"],"schedulers":["fifo","lifo","locality","successor","age"],"cores":[8,16,32]}' |
   sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
 [ -n "$big" ] || fail "big submission returned no sweep id"
