@@ -1,7 +1,9 @@
 // Package analysis is the repository's static-analysis suite: a small,
 // dependency-free reimplementation of the golang.org/x/tools/go/analysis
-// shape (Analyzer, Pass, diagnostics, an analysistest-style harness) plus the
-// four repo-specific analyzers cmd/simlint runs:
+// shape (Analyzer, Pass, diagnostics, suggested fixes, an analysistest-style
+// harness) plus the eight repo-specific analyzers cmd/simlint runs.
+//
+// Four are AST-level:
 //
 //   - determinism: sim-path packages must not read wall-clock time, draw from
 //     unseeded global randomness, or feed map-iteration order into ordered
@@ -17,6 +19,26 @@
 //   - ctxflow: an exported function that accepts a context.Context must not
 //     call the non-Context variant of a function that has one — that is how
 //     cancellation plumbing regresses silently.
+//
+// Four are flow-sensitive, built on the per-function CFG/dataflow layer and
+// package-local call graph in cfg.go:
+//
+//   - locksafe: a sync.Mutex/RWMutex must not be held across a channel
+//     operation, sync.WaitGroup.Wait, or an outbound HTTP request in the
+//     fleet packages, and pairwise lock-acquisition order must be consistent
+//     package-wide.
+//   - goleak: a goroutine started in a server-side package must be
+//     cancellable — its body receives a context.Context or guards its
+//     blocking operations with a done/quit-channel select.
+//   - hotalloc: functions marked //simlint:hotpath (and everything they
+//     reach through package-local static calls) must not allocate:
+//     fmt.Sprint*, un-preallocated append growth in loops, capturing
+//     closures, and interface boxing are findings unless they sit on a
+//     panic-terminated cold path.
+//   - errclass: module-local error results must not be silently dropped, and
+//     wrapping an error with %v (or .Error()) breaks errors.Is/As — and with
+//     it runner.IsTransient classification — so it is a finding with a
+//     suggested fix rewriting the verb to %w.
 //
 // Findings are suppressed with an annotated marker comment:
 //
@@ -49,9 +71,11 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
-// All returns the full simlint suite in reporting order.
+// All returns the full simlint suite in reporting order: the four AST-level
+// analyzers from the original suite, then the four flow-sensitive ones built
+// on the CFG/dataflow layer (cfg.go).
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, ObsNames, APIEnvelope, CtxFlow}
+	return []*Analyzer{Determinism, ObsNames, APIEnvelope, CtxFlow, Locksafe, Goleak, Hotalloc, Errclass}
 }
 
 // ByName resolves analyzer names (for allow-comment validation and the
@@ -83,14 +107,20 @@ type Pass struct {
 	// names, values the rendered position of the first registration.
 	metricNames map[string]string
 
+	// facts is the package's shared flow cache (CFGs, call graph), built
+	// lazily and reused by every analyzer pass over the same package.
+	facts *pkgFacts
+
 	diags []Diagnostic
 }
 
-// Diagnostic is one finding.
+// Diagnostic is one finding. Fix, when non-nil, is a machine-applicable
+// repair: cmd/simlint -fix applies it, -fix -dry-run previews it as a diff.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Fix      *SuggestedFix
 }
 
 func (d Diagnostic) String() string {
@@ -103,6 +133,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportFix records a finding at pos carrying a suggested repair.
+func (p *Pass) ReportFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
 	})
 }
 
@@ -218,6 +258,9 @@ func RunPackages(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 			allows = append(allows, a...)
 			raw = append(raw, bad...)
 		}
+		// One flow cache per package: every analyzer pass below shares the
+		// same function CFGs and call graph instead of rebuilding them.
+		facts := newPkgFacts(pkg)
 		for _, an := range analyzers {
 			if an.Scope != nil && !an.Scope(pkg.PkgPath) {
 				continue
@@ -230,9 +273,10 @@ func RunPackages(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 				Info:        pkg.Info,
 				PkgPath:     pkg.PkgPath,
 				metricNames: shared,
+				facts:       facts,
 			}
 			if err := an.Run(pass); err != nil {
-				return nil, fmt.Errorf("analysis: %s on %s: %v", an.Name, pkg.PkgPath, err)
+				return nil, fmt.Errorf("analysis: %s on %s: %w", an.Name, pkg.PkgPath, err)
 			}
 			raw = append(raw, pass.diags...)
 		}

@@ -2,10 +2,12 @@ package analysis
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -24,9 +26,22 @@ import (
 // removed by a valid //simlint:allow comment must have no want, and
 // malformed allow comments (empty reason, unknown analyzer) surface as
 // findings of the "allow" pseudo-analyzer, matchable like any other.
+// Fixture packages share one process-wide loader: the first RunTest call
+// type-checks the stdlib (body-less) once and every later test reuses those
+// dependency packages, instead of paying a full dependency check per test.
+var (
+	testLoaderOnce sync.Once
+	testLoader     *Loader
+)
+
+func sharedTestLoader() *Loader {
+	testLoaderOnce.Do(func() { testLoader = NewLoader(".") })
+	return testLoader
+}
+
 func RunTest(t *testing.T, a *Analyzer, pkgPaths ...string) {
 	t.Helper()
-	loader := NewLoader(".")
+	loader := sharedTestLoader()
 	for _, pkgPath := range pkgPaths {
 		dir := filepath.Join("testdata", "src", filepath.FromSlash(pkgPath))
 		pkg, err := loader.CheckDir(dir, pkgPath)
@@ -39,6 +54,53 @@ func RunTest(t *testing.T, a *Analyzer, pkgPaths ...string) {
 		}
 		wants := collectWants(t, pkg)
 		matchWants(t, pkgPath, wants, diags)
+		checkGoldenFixed(t, pkg, diags)
+	}
+}
+
+// checkGoldenFixed replays the surviving findings' suggested fixes and
+// compares the result against <source>.golden.fixed files. Every source
+// file that receives an edit must have a golden (so repairs are pinned
+// byte-for-byte), and every golden must match exactly.
+func checkGoldenFixed(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	fixed, err := ApplyFixes(pkg.Fset, diags, os.ReadFile)
+	if err != nil {
+		t.Fatalf("apply fixes for %s: %v", pkg.PkgPath, err)
+	}
+	checked := make(map[string]bool)
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		golden := name + ".golden.fixed"
+		want, err := os.ReadFile(golden)
+		if os.IsNotExist(err) {
+			checked[name] = true
+			if _, hasEdits := fixed[name]; hasEdits {
+				t.Errorf("%s: fixes were applied but no %s pins them", name, filepath.Base(golden))
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("read %s: %v", golden, err)
+		}
+		checked[name] = true
+		got, hasEdits := fixed[name]
+		if !hasEdits {
+			t.Errorf("%s exists but no finding suggested an edit for %s", filepath.Base(golden), name)
+			continue
+		}
+		if string(got) != string(want) {
+			t.Errorf("fixed %s does not match %s:\n%s", name, filepath.Base(golden), UnifiedDiff(filepath.Base(golden), want, got))
+		}
+	}
+	for name := range fixed {
+		if !checked[name] {
+			// Edits may land in files the analyzer package didn't parse
+			// (should not happen for single-package fixtures).
+			if _, err := os.Stat(name + ".golden.fixed"); os.IsNotExist(err) {
+				t.Errorf("%s: fixes were applied but no golden pins them", name)
+			}
+		}
 	}
 }
 

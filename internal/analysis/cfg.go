@@ -1,0 +1,549 @@
+package analysis
+
+// This file is the intraprocedural flow layer the deep analyzers (locksafe,
+// goleak, hotalloc, errclass) build on: per-function control-flow graphs,
+// a set-union forward dataflow solver over them, and a package-local static
+// call graph. All three are computed at most once per package and shared
+// across analyzer passes through pkgFacts, so adding analyzers does not
+// multiply the flow-construction cost.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Block is one basic block: a maximal run of nodes with a single entry and
+// straight-line execution. Nodes holds statements and the condition
+// expressions of the branches that terminate the block, in execution order.
+//
+// Control headers appear as shallow nodes: a *ast.SelectStmt or
+// *ast.RangeStmt in Nodes stands for the header decision only — its body
+// statements live in successor blocks, so analyzers walking a header must
+// not descend into its Body. Function literals are likewise opaque:
+// statements inside a FuncLit execute on a different activation, so
+// collectors must skip FuncLit bodies and analyze them as separate CFGs.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	// Panics marks blocks that end by unconditionally panicking (or
+	// os.Exit/log.Fatal/runtime.Goexit). They model cold failure paths:
+	// hotalloc exempts allocations in them, and dataflow never propagates
+	// facts out of them (no successors).
+	Panics bool
+}
+
+// CFG is the control-flow graph of one function body. Entry is the first
+// executed block; Exit is a synthetic empty block every return (and the
+// fall-off-the-end path) feeds into.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// Facts is a set-valued dataflow fact: the keys present (with value true)
+// are the facts that hold. Keys may be any comparable value — analyzers use
+// types.Object identities, strings, or small structs.
+type Facts map[any]bool
+
+func cloneFacts(f Facts) Facts {
+	out := make(Facts, len(f))
+	for k, v := range f {
+		if v {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// Solve runs a forward may-analysis to fixpoint: block input facts are the
+// union of predecessor outputs (reachability join), transfer maps a block's
+// input to its output and must not need to mutate its argument (it receives
+// a private copy). The result maps each reachable block to the facts holding
+// on entry to it; unreachable blocks are absent. Facts only ever grow
+// (set-union join), so with a monotone transfer the iteration terminates;
+// a generous iteration cap guards against a non-monotone transfer.
+func (c *CFG) Solve(entry Facts, transfer func(*Block, Facts) Facts) map[*Block]Facts {
+	in := map[*Block]Facts{c.Entry: cloneFacts(entry)}
+	maxIter := 4*len(c.Blocks) + 16
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for _, blk := range c.Blocks {
+			inb, reached := in[blk]
+			if !reached {
+				continue
+			}
+			out := transfer(blk, cloneFacts(inb))
+			for _, s := range blk.Succs {
+				dst, ok := in[s]
+				if !ok {
+					dst = make(Facts)
+					in[s] = dst
+					changed = true
+				}
+				for k, v := range out {
+					if v && !dst[k] {
+						dst[k] = true
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return in
+}
+
+// ColdAt reports whether pos falls inside a node of a panicking block — the
+// cold-failure-path exemption hot-path analyzers apply.
+func (c *CFG) ColdAt(pos token.Pos) bool {
+	for _, blk := range c.Blocks {
+		if !blk.Panics {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			if n.Pos() <= pos && pos < n.End() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- CFG construction ---
+
+// buildCFG constructs the CFG of one function body. Approximations, chosen
+// to keep the builder small while staying sound for the analyzers here:
+// goto jumps are modeled as leaving the function, and expressions inside a
+// select's communication clauses are represented by the select header node
+// rather than re-walked in the clause bodies.
+func buildCFG(body *ast.BlockStmt, info *types.Info) *CFG {
+	b := &cfgBuilder{
+		c:      &CFG{},
+		info:   info,
+		labels: make(map[string]*labelTarget),
+	}
+	b.c.Entry = b.newBlock()
+	b.c.Exit = b.newBlock()
+	b.cur = b.c.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.c.Exit)
+	return b.c
+}
+
+type labelTarget struct {
+	brk  *Block
+	cont *Block
+}
+
+type cfgBuilder struct {
+	c    *CFG
+	info *types.Info
+	cur  *Block // nil after a terminator until the next block starts
+
+	brk    []*Block
+	cont   []*Block
+	labels map[string]*labelTarget
+	// pendingLabel names the label wrapping the next loop/switch/select, so
+	// labeled break/continue resolve to the right targets.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.c.Blocks)}
+	b.c.Blocks = append(b.c.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from != nil {
+		from.Succs = append(from.Succs, to)
+	}
+}
+
+// live returns the current block, starting a fresh (unreachable) one after a
+// terminator so trailing dead code is still recorded and walkable.
+func (b *cfgBuilder) live() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	blk := b.live()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the statement being built.
+func (b *cfgBuilder) takeLabel(brk, cont *Block) {
+	if b.pendingLabel == "" {
+		return
+	}
+	b.labels[b.pendingLabel] = &labelTarget{brk: brk, cont: cont}
+	b.pendingLabel = ""
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.c.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			b.edge(b.cur, b.branchTarget(s, true))
+		case token.CONTINUE:
+			b.edge(b.cur, b.branchTarget(s, false))
+		case token.GOTO:
+			// Approximation: goto leaves the function.
+			b.edge(b.cur, b.c.Exit)
+		case token.FALLTHROUGH:
+			// The switch builder adds the edge to the next case body.
+		}
+		b.cur = nil
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		contTo := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			contTo = post
+		}
+		b.takeLabel(after, contTo)
+		b.brk = append(b.brk, after)
+		b.cont = append(b.cont, contTo)
+		b.cur = body
+		b.stmt(s.Body)
+		if post != nil {
+			b.edge(b.cur, post)
+			b.cur = post
+			b.stmt(s.Post)
+		}
+		b.edge(b.cur, head)
+		b.brk = b.brk[:len(b.brk)-1]
+		b.cont = b.cont[:len(b.cont)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		b.add(s) // shallow header node: X (and key/value binding), not Body
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after)
+		b.takeLabel(after, head)
+		b.brk = append(b.brk, after)
+		b.cont = append(b.cont, head)
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, head)
+		b.brk = b.brk[:len(b.brk)-1]
+		b.cont = b.cont[:len(b.cont)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(s.Body.List)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(s.Body.List)
+
+	case *ast.SelectStmt:
+		b.add(s) // shallow header node: analyzers inspect comm clauses via it
+		head := b.live()
+		after := b.newBlock()
+		b.takeLabel(after, nil)
+		b.brk = append(b.brk, after)
+		for _, cc := range s.Body.List {
+			clause := cc.(*ast.CommClause)
+			bodyB := b.newBlock()
+			b.edge(head, bodyB)
+			b.cur = bodyB
+			b.stmtList(clause.Body)
+			b.edge(b.cur, after)
+		}
+		b.brk = b.brk[:len(b.brk)-1]
+		// A select with no clauses blocks forever: head keeps no successors.
+		b.cur = after
+
+	default:
+		b.add(s)
+		if terminalStmt(b.info, s) {
+			b.live().Panics = true
+			b.cur = nil
+		}
+	}
+}
+
+// caseClauses builds the shared body structure of switch and type switch.
+func (b *cfgBuilder) caseClauses(clauses []ast.Stmt) {
+	head := b.live()
+	after := b.newBlock()
+	b.takeLabel(after, nil)
+	b.brk = append(b.brk, after)
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		bodies[i] = b.newBlock()
+		b.edge(head, bodies[i])
+		if cc.(*ast.CaseClause).List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	for i, cc := range clauses {
+		clause := cc.(*ast.CaseClause)
+		b.cur = bodies[i]
+		for _, e := range clause.List {
+			b.add(e)
+		}
+		b.stmtList(clause.Body)
+		if n := len(clause.Body); n > 0 {
+			if br, ok := clause.Body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(bodies) {
+				b.edge(b.cur, bodies[i+1])
+				b.cur = nil
+			}
+		}
+		b.edge(b.cur, after)
+	}
+	b.brk = b.brk[:len(b.brk)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) branchTarget(s *ast.BranchStmt, isBreak bool) *Block {
+	if s.Label != nil {
+		if t := b.labels[s.Label.Name]; t != nil {
+			if isBreak {
+				return t.brk
+			}
+			if t.cont != nil {
+				return t.cont
+			}
+		}
+		return b.c.Exit
+	}
+	stack := b.brk
+	if !isBreak {
+		stack = b.cont
+	}
+	if len(stack) == 0 {
+		return b.c.Exit
+	}
+	return stack[len(stack)-1]
+}
+
+// terminalStmt reports whether s unconditionally stops this function's
+// forward flow by panicking or exiting the program.
+func terminalStmt(info *types.Info, s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if bi, ok := info.Uses[id].(*types.Builtin); ok && bi.Name() == "panic" {
+			return true
+		}
+	}
+	if f := funcObj(info, call); f != nil && f.Pkg() != nil {
+		switch f.Pkg().Path() {
+		case "os":
+			return f.Name() == "Exit"
+		case "runtime":
+			return f.Name() == "Goexit"
+		case "log":
+			return strings.HasPrefix(f.Name(), "Fatal")
+		}
+	}
+	return false
+}
+
+// --- package-local call graph ---
+
+// callGraph is the lightweight call-graph approximation over one package:
+// edges exist only for static calls (identifier or selector resolving to a
+// *types.Func declared in this package); calls through function values,
+// interfaces, and other packages are out of scope. Calls made inside a
+// function literal are attributed to the declaring function — for marker
+// propagation that is the conservative direction.
+type callGraph struct {
+	decls   map[*types.Func]*ast.FuncDecl
+	callees map[*types.Func][]*types.Func
+}
+
+func buildCallGraph(files []*ast.File, info *types.Info, pkg *types.Package) *callGraph {
+	g := &callGraph{
+		decls:   make(map[*types.Func]*ast.FuncDecl),
+		callees: make(map[*types.Func][]*types.Func),
+	}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.decls[fn] = fd
+			seen := make(map[*types.Func]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := funcObj(info, call)
+				if callee != nil && callee.Pkg() == pkg && !seen[callee] {
+					seen[callee] = true
+					g.callees[fn] = append(g.callees[fn], callee)
+				}
+				return true
+			})
+		}
+	}
+	return g
+}
+
+// reachableFrom computes the transitive closure of the call graph from the
+// given roots (roots included).
+func (g *callGraph) reachableFrom(roots []*types.Func) map[*types.Func]bool {
+	out := make(map[*types.Func]bool)
+	work := append([]*types.Func(nil), roots...)
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		if out[fn] {
+			continue
+		}
+		out[fn] = true
+		work = append(work, g.callees[fn]...)
+	}
+	return out
+}
+
+// --- per-package shared flow cache ---
+
+// pkgFacts caches the flow artifacts of one package across analyzer passes:
+// each function body's CFG and the package call graph are built on first
+// request and reused by every later pass over the same package. cfgBuilds
+// and cgBuilds count constructions so tests can pin the sharing.
+type pkgFacts struct {
+	files []*ast.File
+	info  *types.Info
+	pkg   *types.Package
+
+	cfgs      map[*ast.BlockStmt]*CFG
+	cg        *callGraph
+	cfgBuilds int
+	cgBuilds  int
+}
+
+func newPkgFacts(pkg *Package) *pkgFacts {
+	return &pkgFacts{
+		files: pkg.Files,
+		info:  pkg.Info,
+		pkg:   pkg.Types,
+		cfgs:  make(map[*ast.BlockStmt]*CFG),
+	}
+}
+
+// FuncCFG returns the (cached) CFG for a function body — a FuncDecl.Body or
+// FuncLit.Body from this pass's package.
+func (p *Pass) FuncCFG(body *ast.BlockStmt) *CFG {
+	f := p.facts
+	if c, ok := f.cfgs[body]; ok {
+		return c
+	}
+	c := buildCFG(body, f.info)
+	f.cfgs[body] = c
+	f.cfgBuilds++
+	return c
+}
+
+// CallGraph returns the (cached) package-local call graph.
+func (p *Pass) CallGraph() *callGraph {
+	f := p.facts
+	if f.cg == nil {
+		f.cg = buildCallGraph(f.files, f.info, f.pkg)
+		f.cgBuilds++
+	}
+	return f.cg
+}

@@ -1,0 +1,318 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// checkSnippet type-checks a self-contained (import-free) source snippet and
+// returns the artifacts the CFG layer consumes.
+func checkSnippet(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Info, *types.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "snippet.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse snippet: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check snippet: %v", err)
+	}
+	return fset, f, info, pkg
+}
+
+func funcBody(t *testing.T, f *ast.File, name string) *ast.BlockStmt {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd.Body
+		}
+	}
+	t.Fatalf("no function %q in snippet", name)
+	return nil
+}
+
+// blockCalling finds the block holding a call statement to the named
+// function, so tests can anchor assertions without depending on block
+// numbering.
+func blockCalling(t *testing.T, cfg *CFG, name string) *Block {
+	t.Helper()
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			found := false
+			ast.Inspect(n, func(c ast.Node) bool {
+				// Respect the shallow-header contract: a SelectStmt node
+				// stands for the header only, its clause bodies live in
+				// successor blocks.
+				if _, isSel := c.(*ast.SelectStmt); isSel {
+					return false
+				}
+				if call, ok := c.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				return blk
+			}
+		}
+	}
+	t.Fatalf("no block calls %q", name)
+	return nil
+}
+
+// TestSolveBranchJoin: a fact set on one arm of a branch survives the join
+// (may-analysis union), and a kill on that same arm does not erase the other
+// arm's contribution.
+func TestSolveBranchJoin(t *testing.T) {
+	_, f, info, _ := checkSnippet(t, `package p
+func acquire() {}
+func release() {}
+func use()     {}
+func f(b bool) {
+	acquire()
+	if b {
+		release()
+	}
+	use()
+}
+`)
+	cfg := buildCFG(funcBody(t, f, "f"), info)
+	const held = "held"
+	in := cfg.Solve(nil, func(blk *Block, facts Facts) Facts {
+		for _, n := range blk.Nodes {
+			ast.Inspect(n, func(c ast.Node) bool {
+				call, ok := c.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					switch id.Name {
+					case "acquire":
+						facts[held] = true
+					case "release":
+						delete(facts, held)
+					}
+				}
+				return true
+			})
+		}
+		return facts
+	})
+	useBlk := blockCalling(t, cfg, "use")
+	facts, reached := in[useBlk]
+	if !reached {
+		t.Fatal("block calling use() is unreachable in the solution")
+	}
+	if !facts[held] {
+		t.Error("fact killed on one branch must survive the join from the other (may-analysis)")
+	}
+	relBlk := blockCalling(t, cfg, "release")
+	if relFacts := in[relBlk]; !relFacts[held] {
+		t.Error("fact set before the branch must reach the branch arm")
+	}
+}
+
+// TestCFGPanicBlocks: a panic terminates its block, marks it cold, and cuts
+// the flow — facts inside the panic arm never reach the rest of the function.
+func TestCFGPanicBlocks(t *testing.T) {
+	fset, f, info, _ := checkSnippet(t, `package p
+func format() string { return "" }
+func f(i int) int {
+	if i < 0 {
+		panic(format())
+	}
+	return i
+}
+`)
+	cfg := buildCFG(funcBody(t, f, "f"), info)
+	panicBlk := blockCalling(t, cfg, "format")
+	if !panicBlk.Panics {
+		t.Error("block ending in panic must be marked Panics")
+	}
+	if len(panicBlk.Succs) != 0 {
+		t.Errorf("panicking block has %d successors, want 0", len(panicBlk.Succs))
+	}
+	var formatPos, returnPos token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "format" {
+				formatPos = n.Pos()
+			}
+		case *ast.ReturnStmt:
+			if fset.Position(n.Pos()).Line == 7 {
+				returnPos = n.Pos()
+			}
+		}
+		return true
+	})
+	if !cfg.ColdAt(formatPos) {
+		t.Error("ColdAt must exempt the panic argument")
+	}
+	if cfg.ColdAt(returnPos) {
+		t.Error("ColdAt must not exempt the live return")
+	}
+}
+
+// TestCFGUnreachableAfterForever: code after `for {}` (and after an empty
+// select) is absent from the solution — the solver only visits blocks some
+// path reaches.
+func TestCFGUnreachableAfterForever(t *testing.T) {
+	_, f, info, _ := checkSnippet(t, `package p
+func spin() {}
+func dead() {}
+func f() {
+	for {
+		spin()
+	}
+	dead()
+}
+`)
+	cfg := buildCFG(funcBody(t, f, "f"), info)
+	in := cfg.Solve(nil, func(_ *Block, facts Facts) Facts { return facts })
+	if _, reached := in[blockCalling(t, cfg, "spin")]; !reached {
+		t.Error("loop body must be reachable")
+	}
+	if _, reached := in[blockCalling(t, cfg, "dead")]; reached {
+		t.Error("statement after an infinite loop must be unreachable")
+	}
+	if _, reached := in[cfg.Exit]; reached {
+		t.Error("exit must be unreachable when no path leaves the loop")
+	}
+}
+
+// TestCallGraph: static package-local edges, function-literal calls
+// attributed to the declaring function, and closure over reachableFrom.
+func TestCallGraph(t *testing.T) {
+	_, f, info, pkg := checkSnippet(t, `package p
+func a() { b() }
+func b() {
+	fn := func() { c() }
+	fn()
+}
+func c() {}
+func d() { c() }
+`)
+	g := buildCallGraph([]*ast.File{f}, info, pkg)
+	lookup := func(name string) *types.Func {
+		t.Helper()
+		fn, _ := pkg.Scope().Lookup(name).(*types.Func)
+		if fn == nil {
+			t.Fatalf("no function %q", name)
+		}
+		return fn
+	}
+	a, b, c, d := lookup("a"), lookup("b"), lookup("c"), lookup("d")
+	if g.decls[a] == nil || g.decls[d] == nil {
+		t.Fatal("call graph must record every declared function")
+	}
+	reach := g.reachableFrom([]*types.Func{a})
+	for fn, want := range map[*types.Func]bool{a: true, b: true, c: true, d: false} {
+		if reach[fn] != want {
+			t.Errorf("reachableFrom(a)[%s] = %v, want %v", fn.Name(), reach[fn], want)
+		}
+	}
+	// c is reached only through the literal inside b: the edge must be b→c.
+	foundC := false
+	for _, callee := range g.callees[b] {
+		if callee == c {
+			foundC = true
+		}
+	}
+	if !foundC {
+		t.Error("call inside a function literal must be attributed to the declaring function")
+	}
+}
+
+// TestPkgFactsSharing: CFGs and the call graph are built once per package no
+// matter how many passes ask for them — the satellite-2 sharing invariant.
+func TestPkgFactsSharing(t *testing.T) {
+	_, f, info, tpkg := checkSnippet(t, `package p
+func a() { b() }
+func b() {}
+`)
+	pf := newPkgFacts(&Package{Files: []*ast.File{f}, Info: info, Types: tpkg})
+	body := funcBody(t, f, "a")
+	p1 := &Pass{facts: pf}
+	p2 := &Pass{facts: pf}
+	c1 := p1.FuncCFG(body)
+	c2 := p2.FuncCFG(body)
+	if c1 != c2 {
+		t.Error("two passes over one package must share the same CFG object")
+	}
+	if pf.cfgBuilds != 1 {
+		t.Errorf("cfgBuilds = %d after two FuncCFG calls on one body, want 1", pf.cfgBuilds)
+	}
+	g1 := p1.CallGraph()
+	g2 := p2.CallGraph()
+	if g1 != g2 || pf.cgBuilds != 1 {
+		t.Errorf("call graph must be built once and shared (builds=%d)", pf.cgBuilds)
+	}
+}
+
+// TestCFGSelectShape: the select header is a shallow node — its comm
+// statements are not replayed in any block — and clause bodies get blocks of
+// their own; an empty select keeps no successors.
+func TestCFGSelectShape(t *testing.T) {
+	_, f, info, _ := checkSnippet(t, `package p
+func handle() {}
+func f(ch chan int, done chan struct{}) {
+	select {
+	case <-done:
+		return
+	case v := <-ch:
+		_ = v
+		handle()
+	}
+}
+func g() {
+	select {}
+}
+`)
+	cfg := buildCFG(funcBody(t, f, "f"), info)
+	var header *Block
+	sends := 0
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.SelectStmt); ok {
+				header = blk
+			}
+			if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				sends++
+			}
+		}
+	}
+	if header == nil {
+		t.Fatal("select header must appear as a block node")
+	}
+	if sends != 0 {
+		t.Errorf("comm-clause receives appear in %d block nodes; they must live only behind the header", sends)
+	}
+	if len(header.Succs) != 2 {
+		t.Errorf("select header has %d successors, want one per clause (2)", len(header.Succs))
+	}
+	if blockCalling(t, cfg, "handle") == header {
+		t.Error("clause body must be in its own block, not the header's")
+	}
+
+	empty := buildCFG(funcBody(t, f, "g"), info)
+	for _, blk := range empty.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.SelectStmt); ok && len(blk.Succs) != 0 {
+				t.Error("select{} blocks forever: its header must keep no successors")
+			}
+		}
+	}
+}

@@ -1,34 +1,55 @@
 package analysis
 
 import (
-	"os/exec"
-	"strings"
+	"os"
 	"testing"
 )
 
-// TestSimlintClean runs the full simlint suite over the whole module — the
-// same invocation CI's lint job performs — and fails on any unannotated
-// finding. Every intentional exception in the tree must carry a reasoned
-// //simlint:allow marker, so a clean run here is the invariant this PR
-// establishes and every later PR must preserve.
+// TestSimlintClean runs the full eight-analyzer simlint suite over the whole
+// module — the same invocation CI's lint job performs — and fails on any
+// unannotated finding. Every intentional exception in the tree must carry a
+// reasoned //simlint:allow marker, so a clean run here is the invariant this
+// PR establishes and every later PR must preserve. The suite must also
+// propose zero fixes: `simlint -fix -dry-run ./...` (the nightly drift gate)
+// exits 0 exactly when this holds.
 func TestSimlintClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module")
 	}
-	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
-	if err != nil {
-		t.Fatalf("locate module root: %v", err)
+	suite := All()
+	if len(suite) != 8 {
+		t.Fatalf("All() returns %d analyzers, want the full eight-analyzer suite", len(suite))
 	}
-	root := strings.TrimSpace(string(out))
-	pkgs, err := NewLoader(root).Load("./...")
+	names := make(map[string]bool, len(suite))
+	for _, a := range suite {
+		names[a.Name] = true
+	}
+	for _, want := range []string{"determinism", "obsnames", "apienvelope", "ctxflow", "locksafe", "goleak", "hotalloc", "errclass"} {
+		if !names[want] {
+			t.Errorf("All() is missing analyzer %q", want)
+		}
+	}
+
+	root := moduleRoot(t)
+	loader := NewLoader(root)
+	pkgs, err := loader.Load("./...")
 	if err != nil {
 		t.Fatalf("load module: %v", err)
 	}
-	diags, err := RunPackages(All(), pkgs)
+	diags, err := RunPackages(suite, pkgs)
 	if err != nil {
 		t.Fatalf("run suite: %v", err)
 	}
 	if len(diags) > 0 {
 		t.Errorf("simlint is not clean over ./... — fix or annotate:\n%s", FormatDiags(diags))
+	}
+	fixed, err := ApplyFixes(loader.Fset, diags, os.ReadFile)
+	if err != nil {
+		t.Fatalf("apply fixes: %v", err)
+	}
+	if len(fixed) > 0 {
+		for name := range fixed {
+			t.Errorf("suite proposes fixes for %s; `go run ./cmd/simlint -fix ./...` would rewrite it", name)
+		}
 	}
 }

@@ -1,0 +1,59 @@
+package analysis
+
+import "testing"
+
+func TestErrclass(t *testing.T) {
+	RunTest(t, Errclass, "errclass/internal/runner")
+}
+
+// TestErrclassUnscoped: the error-classification chain matters everywhere,
+// so errclass is the one deep analyzer with no package scope.
+func TestErrclassUnscoped(t *testing.T) {
+	if Errclass.Scope != nil {
+		t.Error("errclass must run repo-wide (nil Scope)")
+	}
+}
+
+// TestParseFmtVerbs pins the offset arithmetic the one-byte %v→%w edit
+// depends on, and the bail-outs for formats we refuse to rewrite.
+func TestParseFmtVerbs(t *testing.T) {
+	cases := []struct {
+		raw       string
+		parseable bool
+		verbs     []fmtVerb
+	}{
+		{`"x %v"`, true, []fmtVerb{{argIdx: 0, verb: 'v', off: 4}}},
+		{`"%d then %s"`, true, []fmtVerb{{argIdx: 0, verb: 'd', off: 2}, {argIdx: 1, verb: 's', off: 10}}},
+		{`"100%% sure: %v"`, true, []fmtVerb{{argIdx: 0, verb: 'v', off: 14}}},
+		{`"%+v"`, true, []fmtVerb{{argIdx: 0, verb: 'v', off: 3}}},
+		{`"%8.3f"`, true, []fmtVerb{{argIdx: 0, verb: 'f', off: 5}}},
+		{`"no verbs"`, true, nil},
+		{`"%[1]v"`, false, nil},
+		{`"%*d"`, false, nil},
+		{`"%.*f"`, false, nil},
+	}
+	for _, c := range cases {
+		verbs, parseable := parseFmtVerbs(c.raw)
+		if parseable != c.parseable {
+			t.Errorf("parseFmtVerbs(%s): parseable = %v, want %v", c.raw, parseable, c.parseable)
+			continue
+		}
+		if !parseable {
+			continue
+		}
+		if len(verbs) != len(c.verbs) {
+			t.Errorf("parseFmtVerbs(%s) = %+v, want %+v", c.raw, verbs, c.verbs)
+			continue
+		}
+		for i := range verbs {
+			if verbs[i] != c.verbs[i] {
+				t.Errorf("parseFmtVerbs(%s)[%d] = %+v, want %+v", c.raw, i, verbs[i], c.verbs[i])
+			}
+		}
+		for _, v := range verbs {
+			if c.raw[v.off] != v.verb {
+				t.Errorf("parseFmtVerbs(%s): off %d points at %q, not verb %q", c.raw, v.off, c.raw[v.off], v.verb)
+			}
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package analysis
+
+// Suggested fixes: machine-applicable text edits attached to diagnostics.
+// cmd/simlint -fix resolves them to byte offsets, checks for overlaps,
+// and rewrites the files atomically; -fix -dry-run renders a unified diff
+// instead, and the analysistest harness replays them against .golden.fixed
+// files so every fix-emitting analyzer's repairs are pinned byte-for-byte.
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// TextEdit replaces the source range [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// SuggestedFix is one machine-applicable repair for a diagnostic. Edits must
+// be within a single file (the diagnostic's) and non-overlapping.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// rawEdit is a TextEdit resolved to byte offsets within one file.
+type rawEdit struct {
+	off, end int
+	newText  string
+}
+
+// ApplyFixes resolves every diagnostic's suggested fix against the file
+// contents read through readFile and returns the rewritten contents, keyed
+// by filename, for files with at least one edit. Identical duplicate edits
+// collapse; genuinely overlapping edits are an error naming both positions,
+// so a bad fix can never half-apply.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic, readFile func(string) ([]byte, error)) (map[string][]byte, error) {
+	perFile := make(map[string][]rawEdit)
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			pos := fset.Position(e.Pos)
+			end := fset.Position(e.End)
+			if pos.Filename == "" || pos.Filename != end.Filename || end.Offset < pos.Offset {
+				return nil, fmt.Errorf("analysis: invalid fix edit for %s at %s", d.Analyzer, pos)
+			}
+			perFile[pos.Filename] = append(perFile[pos.Filename], rawEdit{off: pos.Offset, end: end.Offset, newText: e.NewText})
+		}
+	}
+	out := make(map[string][]byte, len(perFile))
+	for name, edits := range perFile {
+		src, err := readFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: apply fixes: %w", err)
+		}
+		fixed, err := applyEdits(name, src, edits)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = fixed
+	}
+	return out, nil
+}
+
+func applyEdits(name string, src []byte, edits []rawEdit) ([]byte, error) {
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].off != edits[j].off {
+			return edits[i].off < edits[j].off
+		}
+		return edits[i].end < edits[j].end
+	})
+	var b strings.Builder
+	last := 0
+	prev := rawEdit{off: -1}
+	for _, e := range edits {
+		if e == prev {
+			continue // the same fix reported twice
+		}
+		if e.off < last {
+			return nil, fmt.Errorf("analysis: overlapping fix edits in %s at offsets %d and %d", name, prev.off, e.off)
+		}
+		if e.end > len(src) {
+			return nil, fmt.Errorf("analysis: fix edit past end of %s (offset %d, size %d)", name, e.end, len(src))
+		}
+		b.Write(src[last:e.off])
+		b.WriteString(e.newText)
+		last = e.end
+		prev = e
+	}
+	b.Write(src[last:])
+	return []byte(b.String()), nil
+}
+
+// WriteFixes writes the rewritten contents from ApplyFixes back to disk
+// atomically: each file is written to a temp sibling and renamed over the
+// original, so a crash mid-fix never leaves a truncated source file.
+func WriteFixes(contents map[string][]byte) error {
+	names := make([]string, 0, len(contents))
+	for name := range contents {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mode := os.FileMode(0o644)
+		if st, err := os.Stat(name); err == nil {
+			mode = st.Mode().Perm()
+		}
+		tmp, err := os.CreateTemp(filepath.Dir(name), filepath.Base(name)+".simlint-*")
+		if err != nil {
+			return fmt.Errorf("analysis: write fixes: %w", err)
+		}
+		_, werr := tmp.Write(contents[name])
+		cerr := tmp.Close()
+		if werr == nil {
+			werr = cerr
+		}
+		if werr == nil {
+			werr = os.Chmod(tmp.Name(), mode)
+		}
+		if werr == nil {
+			werr = os.Rename(tmp.Name(), name)
+		}
+		if werr != nil {
+			os.Remove(tmp.Name()) // best-effort cleanup on the error path
+			return fmt.Errorf("analysis: write fixes: %w", werr)
+		}
+	}
+	return nil
+}
+
+// UnifiedDiff renders a unified diff (3 lines of context) between the old
+// and new contents of one file — the -fix -dry-run preview format.
+func UnifiedDiff(name string, oldSrc, newSrc []byte) string {
+	if string(oldSrc) == string(newSrc) {
+		return ""
+	}
+	a := splitLines(string(oldSrc))
+	b := splitLines(string(newSrc))
+	ops := diffOps(a, b)
+
+	var out strings.Builder
+	fmt.Fprintf(&out, "--- a/%s\n+++ b/%s\n", name, name)
+	const ctx = 3
+	for i := 0; i < len(ops); {
+		if ops[i].kind == opEqual {
+			i++
+			continue
+		}
+		// Expand a hunk around this run of changes.
+		start := i
+		end := i
+		for j := i; j < len(ops); j++ {
+			if ops[j].kind != opEqual {
+				end = j
+			} else if j-end > 2*ctx {
+				break
+			}
+		}
+		hunkLo := start
+		for hunkLo > 0 && start-hunkLo < ctx && ops[hunkLo-1].kind == opEqual {
+			hunkLo--
+		}
+		hunkHi := end + 1
+		for hunkHi < len(ops) && hunkHi-end-1 < ctx && ops[hunkHi].kind == opEqual {
+			hunkHi++
+		}
+		aLo, bLo := ops[hunkLo].aLine, ops[hunkLo].bLine
+		var aN, bN int
+		var body strings.Builder
+		for _, op := range ops[hunkLo:hunkHi] {
+			switch op.kind {
+			case opEqual:
+				body.WriteString(" " + op.text)
+				aN++
+				bN++
+			case opDelete:
+				body.WriteString("-" + op.text)
+				aN++
+			case opInsert:
+				body.WriteString("+" + op.text)
+				bN++
+			}
+		}
+		fmt.Fprintf(&out, "@@ -%d,%d +%d,%d @@\n%s", aLo+1, aN, bLo+1, bN, body.String())
+		i = hunkHi
+	}
+	return out.String()
+}
+
+// splitLines splits s after every newline, normalizing a missing final
+// newline so diff lines always end in one.
+func splitLines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	lines := strings.SplitAfter(s, "\n")
+	if lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	} else {
+		lines[len(lines)-1] += "\n"
+	}
+	return lines
+}
+
+type diffOpKind int
+
+const (
+	opEqual diffOpKind = iota
+	opDelete
+	opInsert
+)
+
+type diffOp struct {
+	kind         diffOpKind
+	text         string
+	aLine, bLine int // 0-based line numbers at which this op starts
+}
+
+// diffOps computes a line-level edit script via a classic LCS table. The
+// quadratic table is fine at source-file sizes.
+func diffOps(a, b []string) []diffOp {
+	n, m := len(a), len(b)
+	lcs := make([][]int32, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int32, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []diffOp
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			ops = append(ops, diffOp{opEqual, a[i], i, j})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, diffOp{opDelete, a[i], i, j})
+			i++
+		default:
+			ops = append(ops, diffOp{opInsert, b[j], i, j})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, diffOp{opDelete, a[i], i, j})
+	}
+	for ; j < m; j++ {
+		ops = append(ops, diffOp{opInsert, b[j], i, j})
+	}
+	return ops
+}

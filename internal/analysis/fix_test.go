@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixFixture builds a FileSet containing one synthetic file plus a helper
+// that turns byte offsets into token.Pos for edits.
+func fixFixture(name, src string) (*token.FileSet, func(off int) token.Pos) {
+	fset := token.NewFileSet()
+	tf := fset.AddFile(name, -1, len(src))
+	tf.SetLinesForContent([]byte(src))
+	return fset, tf.Pos
+}
+
+func fixDiag(fset *token.FileSet, edits ...TextEdit) Diagnostic {
+	return Diagnostic{
+		Pos:      fset.Position(edits[0].Pos),
+		Analyzer: "test",
+		Message:  "m",
+		Fix:      &SuggestedFix{Message: "fix", Edits: edits},
+	}
+}
+
+func readerFor(name, src string) func(string) ([]byte, error) {
+	return func(n string) ([]byte, error) {
+		if n != name {
+			return nil, fmt.Errorf("unexpected read of %s", n)
+		}
+		return []byte(src), nil
+	}
+}
+
+func TestApplyFixesReplaceAndInsert(t *testing.T) {
+	const src = "abcdef"
+	fset, pos := fixFixture("a.go", src)
+	diags := []Diagnostic{
+		fixDiag(fset, TextEdit{Pos: pos(1), End: pos(3), NewText: "XY"}), // bc -> XY
+		fixDiag(fset, TextEdit{Pos: pos(5), End: pos(5), NewText: "!"}),  // insert before f
+	}
+	out, err := ApplyFixes(fset, diags, readerFor("a.go", src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(out["a.go"]); got != "aXYde!f" {
+		t.Errorf("fixed = %q, want %q", got, "aXYde!f")
+	}
+}
+
+func TestApplyFixesDedupsIdenticalEdits(t *testing.T) {
+	const src = "abcdef"
+	fset, pos := fixFixture("a.go", src)
+	edit := TextEdit{Pos: pos(0), End: pos(1), NewText: "Z"}
+	// The same finding reported twice (e.g. two analyzers or two passes)
+	// must apply once, not corrupt the file.
+	diags := []Diagnostic{fixDiag(fset, edit), fixDiag(fset, edit)}
+	out, err := ApplyFixes(fset, diags, readerFor("a.go", src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(out["a.go"]); got != "Zbcdef" {
+		t.Errorf("fixed = %q, want %q", got, "Zbcdef")
+	}
+}
+
+func TestApplyFixesRejectsOverlap(t *testing.T) {
+	const src = "abcdef"
+	fset, pos := fixFixture("a.go", src)
+	diags := []Diagnostic{
+		fixDiag(fset, TextEdit{Pos: pos(1), End: pos(4), NewText: "X"}),
+		fixDiag(fset, TextEdit{Pos: pos(3), End: pos(5), NewText: "Y"}),
+	}
+	_, err := ApplyFixes(fset, diags, readerFor("a.go", src))
+	if err == nil || !strings.Contains(err.Error(), "overlapping") {
+		t.Errorf("overlapping edits must fail loudly, got %v", err)
+	}
+}
+
+func TestApplyFixesSkipsFixlessDiags(t *testing.T) {
+	fset, _ := fixFixture("a.go", "x")
+	out, err := ApplyFixes(fset, []Diagnostic{{Analyzer: "test", Message: "no fix"}}, readerFor("a.go", "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("diagnostics without fixes must produce no rewrites, got %d files", len(out))
+	}
+}
+
+func TestWriteFixesAtomicAndPermPreserving(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "f.go")
+	if err := os.WriteFile(name, []byte("old"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFixes(map[string][]byte{name: []byte("new contents\n")}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new contents\n" {
+		t.Errorf("content = %q", got)
+	}
+	st, err := os.Stat(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode().Perm() != 0o600 {
+		t.Errorf("permissions = %v, want 0600 preserved across the rename", st.Mode().Perm())
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries after WriteFixes, want 1", len(entries))
+	}
+}
+
+func TestUnifiedDiff(t *testing.T) {
+	if d := UnifiedDiff("x.go", []byte("same\n"), []byte("same\n")); d != "" {
+		t.Errorf("identical contents must diff empty, got %q", d)
+	}
+	oldSrc := "a\nb\nc\nd\ne\nf\ng\n"
+	newSrc := "a\nb\nc\nD\ne\nf\ng\n"
+	d := UnifiedDiff("x.go", []byte(oldSrc), []byte(newSrc))
+	for _, want := range []string{"--- a/x.go\n", "+++ b/x.go\n", "-d\n", "+D\n", "@@ -1,7 +1,7 @@\n"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diff missing %q:\n%s", want, d)
+		}
+	}
+	if strings.Contains(d, " a\n") && !strings.Contains(d, " c\n") {
+		t.Errorf("diff must carry context lines:\n%s", d)
+	}
+	// A final line without trailing newline still diffs cleanly.
+	if d := UnifiedDiff("y.go", []byte("p\nq"), []byte("p\nQ")); !strings.Contains(d, "-q\n") || !strings.Contains(d, "+Q\n") {
+		t.Errorf("missing-final-newline diff wrong:\n%s", d)
+	}
+}

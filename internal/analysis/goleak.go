@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// Goleak reports goroutines started in server-side packages
+// (internal/service, internal/remote, internal/runner) that have no
+// cancellation story: the spawned body neither receives a context.Context
+// (as a parameter or a captured value) nor guards its blocking operations
+// with a done/quit-channel select. Such a goroutine outlives every request
+// and shutdown path — the fleet's slow-leak failure mode.
+//
+// The guard requirement is path-sensitive via the CFG: a blocking operation
+// is a finding only if some path from the goroutine's entry reaches it
+// without first passing a select that includes a done-like case (or a
+// direct receive from a done-like channel). Dynamic calls and callees
+// outside the package are not analyzed — the analyzer only claims what it
+// can see.
+var Goleak = &Analyzer{
+	Name: "goleak",
+	Doc:  "goroutine with no context and no done-channel guard on its blocking operations",
+	Scope: func(pkgPath string) bool {
+		return hasPathSuffix(pkgPath, "internal/service", "internal/remote", "internal/runner")
+	},
+	Run: runGoleak,
+}
+
+func runGoleak(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				checkGoStmt(pass, g)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGoStmt(pass *Pass, g *ast.GoStmt) {
+	var body *ast.BlockStmt
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		body = lit.Body
+	} else {
+		f := funcObj(pass.Info, g.Call)
+		if f == nil {
+			return // dynamic call: nothing to analyze
+		}
+		if sigHasContext(f) {
+			return
+		}
+		decl := pass.CallGraph().decls[f]
+		if decl == nil || decl.Body == nil {
+			return // callee outside the package: not analyzable
+		}
+		body = decl.Body
+	}
+	if referencesContext(pass.Info, body) {
+		return
+	}
+	if pos, desc, ok := firstUnguardedBlock(pass, body); ok {
+		opAt := pass.Fset.Position(pos)
+		pass.Reportf(g.Pos(), "goroutine has no cancellation: it blocks on %s (%s:%d) without receiving a context.Context or selecting on a done/quit channel", desc, opAt.Filename, opAt.Line)
+	}
+}
+
+// sigHasContext reports whether any parameter of f is a context.Context.
+func sigHasContext(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// referencesContext reports whether the body mentions any context.Context
+// value (parameter, captured variable, struct field). A goroutine that can
+// see a context is assumed to consult it — the analyzer stays out of the
+// business of judging how.
+func referencesContext(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if v, ok := obj.(*types.Var); ok && isContextType(v.Type()) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// goleakEvent is either a guard point (a done-like select or receive) or a
+// blocking operation, in block execution order.
+type goleakEvent struct {
+	guard bool
+	pos   token.Pos
+	desc  string
+}
+
+// firstUnguardedBlock runs the unguarded-path dataflow over the goroutine
+// body: the fact "an unguarded path from entry reaches here" starts true
+// and is cleared by guard points; a blocking operation observed while the
+// fact holds is a finding. The earliest such operation is returned.
+func firstUnguardedBlock(pass *Pass, body *ast.BlockStmt) (token.Pos, string, bool) {
+	cfg := pass.FuncCFG(body)
+	events := make(map[*Block][]goleakEvent)
+	anyBlocking := false
+	for _, blk := range cfg.Blocks {
+		evs := collectGoleakEvents(pass.Info, blk)
+		if len(evs) > 0 {
+			events[blk] = evs
+		}
+		for _, ev := range evs {
+			if !ev.guard {
+				anyBlocking = true
+			}
+		}
+	}
+	if !anyBlocking {
+		return token.NoPos, "", false
+	}
+	const unguarded = "goleak:unguarded"
+	in := cfg.Solve(Facts{unguarded: true}, func(blk *Block, facts Facts) Facts {
+		for _, ev := range events[blk] {
+			if ev.guard {
+				delete(facts, unguarded)
+			}
+		}
+		return facts
+	})
+	best := token.NoPos
+	bestDesc := ""
+	for _, blk := range cfg.Blocks {
+		facts, reached := in[blk]
+		if !reached {
+			continue
+		}
+		open := facts[unguarded]
+		for _, ev := range events[blk] {
+			if ev.guard {
+				open = false
+				continue
+			}
+			if open && (best == token.NoPos || ev.pos < best) {
+				best = ev.pos
+				bestDesc = ev.desc
+			}
+		}
+	}
+	return best, bestDesc, best != token.NoPos
+}
+
+func collectGoleakEvents(info *types.Info, blk *Block) []goleakEvent {
+	var evs []goleakEvent
+	for _, node := range blk.Nodes {
+		shallowInspect(node, func(n ast.Node) {
+			switch n := n.(type) {
+			case *ast.SelectStmt:
+				switch {
+				case selectHasDoneCase(n):
+					evs = append(evs, goleakEvent{guard: true, pos: n.Pos()})
+				case !selectHasDefault(n):
+					evs = append(evs, goleakEvent{pos: n.Pos(), desc: "a select with no cancellation case"})
+				}
+			case *ast.RangeStmt:
+				if isChanType(info.Types[n.X].Type) {
+					if doneLikeExpr(n.X) {
+						evs = append(evs, goleakEvent{guard: true, pos: n.Pos()})
+					} else {
+						evs = append(evs, goleakEvent{pos: n.Pos(), desc: "a range over a channel"})
+					}
+				}
+			case *ast.SendStmt:
+				evs = append(evs, goleakEvent{pos: n.Pos(), desc: "a channel send"})
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					if doneLikeExpr(n.X) {
+						evs = append(evs, goleakEvent{guard: true, pos: n.Pos()})
+					} else {
+						evs = append(evs, goleakEvent{pos: n.Pos(), desc: "a channel receive"})
+					}
+				}
+			case *ast.CallExpr:
+				if desc, ok := blockingCall(funcObj(info, n)); ok {
+					evs = append(evs, goleakEvent{pos: n.Pos(), desc: desc})
+				}
+			}
+		})
+	}
+	sortEventsByPos(evs)
+	return evs
+}
+
+func sortEventsByPos(evs []goleakEvent) {
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j].pos < evs[j-1].pos; j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+}
+
+// selectHasDoneCase reports whether any communication case receives from a
+// done-like channel (ctx.Done(), a stop/quit channel, …).
+func selectHasDoneCase(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		var x ast.Expr
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := comm.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				x = u.X
+			}
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				if u, ok := comm.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					x = u.X
+				}
+			}
+		}
+		if x != nil && doneLikeExpr(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// doneNameRE matches the names rendezvous channels conventionally carry.
+var doneNameRE = regexp.MustCompile(`(?i)(done|quit|stop|abort|exit|clos(e|ed|ing)|cancel)`)
+
+// doneLikeExpr reports whether the channel expression looks like a
+// cancellation signal: a call to a Done()-style accessor or a variable or
+// field with a done-like name. Purely lexical — the repo's convention, not
+// a semantic proof.
+func doneLikeExpr(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		return doneNameRE.MatchString(lastFunName(call.Fun))
+	}
+	return doneNameRE.MatchString(lastFunName(e))
+}
+
+func lastFunName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}

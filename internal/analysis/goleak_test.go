@@ -1,0 +1,20 @@
+package analysis
+
+import "testing"
+
+func TestGoleak(t *testing.T) {
+	RunTest(t, Goleak, "goleak/internal/service")
+}
+
+// TestGoleakScope: goroutine hygiene is a server-side concern; test helpers
+// and the sim core are out of scope.
+func TestGoleakScope(t *testing.T) {
+	for _, p := range []string{"repro/internal/service", "repro/internal/remote", "repro/internal/runner"} {
+		if !Goleak.Scope(p) {
+			t.Errorf("%s must be inside the goleak scope", p)
+		}
+	}
+	if Goleak.Scope("repro/internal/sim") {
+		t.Error("repro/internal/sim must be outside the goleak scope")
+	}
+}

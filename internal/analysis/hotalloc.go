@@ -1,0 +1,331 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Hotalloc enforces the zero-allocation contract on declared hot paths in
+// the simulation packages (internal/sim, internal/dmu, internal/taskrt).
+// A function is hot if it carries a //simlint:hotpath marker (in its doc
+// comment's last line, on its own line directly above the declaration, or
+// trailing on the func line) or is reachable from a marked function through
+// package-local static calls — so marking Proc.Wait covers the whole event
+// cycle it drives.
+//
+// Inside a hot function these allocate and are findings:
+//
+//   - fmt.Sprint/Sprintf/Sprintln/Errorf/Appendf and errors.New calls
+//   - append growing a local slice inside a loop with no capacity-bearing
+//     make (or x[:0] reuse) in sight
+//   - function literals that capture enclosing variables (the environment
+//     is heap-allocated per closure)
+//   - boxing a concrete value into an interface parameter or conversion
+//
+// Blocks that terminate in panic/os.Exit are cold failure paths and exempt:
+// a Sprintf building a panic message costs nothing on the cycle that
+// matters.
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "allocation-introducing construct inside a //simlint:hotpath function",
+	Scope: func(pkgPath string) bool {
+		return hasPathSuffix(pkgPath, "internal/sim", "internal/dmu", "internal/taskrt")
+	},
+	Run: runHotalloc,
+}
+
+const hotpathPrefix = "//simlint:hotpath"
+
+func runHotalloc(pass *Pass) error {
+	roots := hotpathRoots(pass)
+	if len(roots) == 0 {
+		return nil
+	}
+	rootSet := make(map[*types.Func]bool, len(roots))
+	for _, r := range roots {
+		rootSet[r] = true
+	}
+	hot := pass.CallGraph().reachableFrom(roots)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil || !hot[fn] {
+				continue
+			}
+			where := fmt.Sprintf("%s (marked //simlint:hotpath)", fd.Name.Name)
+			if !rootSet[fn] {
+				where = fmt.Sprintf("%s (reached from a //simlint:hotpath function)", fd.Name.Name)
+			}
+			checkHotFunc(pass, fd, where)
+		}
+	}
+	return nil
+}
+
+// hotpathRoots collects the marked functions, reporting markers that attach
+// to nothing so a typo'd or drifted marker cannot silently unprotect a path.
+func hotpathRoots(pass *Pass) []*types.Func {
+	var roots []*types.Func
+	for _, file := range pass.Files {
+		declAt := make(map[int]*ast.FuncDecl)
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				declAt[pass.Fset.Position(fd.Pos()).Line] = fd
+			}
+		}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !isHotpathMarker(c.Text) {
+					continue
+				}
+				line := pass.Fset.Position(c.Pos()).Line
+				fd := declAt[line]
+				if fd == nil {
+					fd = declAt[line+1]
+				}
+				if fd == nil {
+					pass.Reportf(c.Pos(), "simlint:hotpath marker is not attached to a function declaration (put it directly above or on the func line)")
+					continue
+				}
+				if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					roots = append(roots, fn)
+				}
+			}
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Pos() < roots[j].Pos() })
+	return roots
+}
+
+func isHotpathMarker(text string) bool {
+	if !strings.HasPrefix(text, hotpathPrefix) {
+		return false
+	}
+	rest := text[len(hotpathPrefix):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl, where string) {
+	cfg := pass.FuncCFG(fd.Body)
+	loops := loopBodySpans(fd.Body)
+	prealloc := preallocatedObjects(pass.Info, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if !cfg.ColdAt(n.Pos()) {
+				if caps := closureCaptures(pass.Info, fd, n); len(caps) > 0 {
+					pass.Reportf(n.Pos(), "function literal in hot path %s captures %s; a capturing closure allocates its environment on every evaluation", where, strings.Join(caps, ", "))
+				}
+			}
+			return false // the literal runs on its own activation
+		case *ast.CallExpr:
+			if cfg.ColdAt(n.Pos()) {
+				return true
+			}
+			checkHotCall(pass, n, where, loops, prealloc)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr, where string, loops []span, prealloc map[types.Object]bool) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if bi, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			if bi.Name() == "append" && len(call.Args) > 0 && inSpan(loops, call.Pos()) {
+				obj := exprObj(pass.Info, call.Args[0])
+				if v, isVar := obj.(*types.Var); isVar && !v.IsField() && !prealloc[obj] {
+					pass.Reportf(call.Pos(), "append grows %s inside a loop in hot path %s with no capacity-bearing make in the function; preallocate or reuse with [:0]", v.Name(), where)
+				}
+			}
+			return
+		}
+	}
+	f := funcObj(pass.Info, call)
+	if f != nil && f.Pkg() != nil {
+		switch f.Pkg().Path() {
+		case "fmt":
+			switch f.Name() {
+			case "Sprint", "Sprintf", "Sprintln", "Errorf", "Appendf":
+				pass.Reportf(call.Pos(), "fmt.%s allocates in hot path %s; precompute the string or move the formatting to a cold accessor", f.Name(), where)
+				return
+			}
+		case "errors":
+			if f.Name() == "New" {
+				pass.Reportf(call.Pos(), "errors.New allocates in hot path %s; hoist the error to a package-level var", where)
+				return
+			}
+		}
+	}
+	checkBoxing(pass, call, where)
+}
+
+// checkBoxing reports concrete values passed into interface-typed parameters
+// (including variadic ...any) and explicit conversions to interface types —
+// each boxes its operand onto the heap.
+func checkBoxing(pass *Pass, call *ast.CallExpr, where string) {
+	tv := pass.Info.Types[ast.Unparen(call.Fun)]
+	if tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && boxableValue(pass.Info, call.Args[0]) {
+			pass.Reportf(call.Pos(), "conversion to %s in hot path %s boxes a concrete %s onto the heap", tv.Type.String(), where, pass.Info.Types[call.Args[0]].Type.String())
+		}
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // spreading an existing slice: no per-arg boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if boxableValue(pass.Info, arg) {
+			pass.Reportf(arg.Pos(), "argument boxes a concrete %s into an interface in hot path %s", pass.Info.Types[arg].Type.String(), where)
+		}
+	}
+}
+
+// boxableValue reports whether the expression is a run-time concrete value:
+// interfaces don't re-box, nil is free, and untyped constants usually fold
+// into static data rather than allocate.
+func boxableValue(info *types.Info, e ast.Expr) bool {
+	tv := info.Types[e]
+	if tv.Type == nil || tv.IsNil() || tv.Value != nil {
+		return false
+	}
+	return !types.IsInterface(tv.Type)
+}
+
+type span struct{ pos, end token.Pos }
+
+func inSpan(spans []span, pos token.Pos) bool {
+	for _, s := range spans {
+		if s.pos <= pos && pos < s.end {
+			return true
+		}
+	}
+	return false
+}
+
+// loopBodySpans returns the source ranges of every for/range body in the
+// function, so "inside a loop" is a position check.
+func loopBodySpans(body *ast.BlockStmt) []span {
+	var spans []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			spans = append(spans, span{n.Body.Pos(), n.Body.End()})
+		case *ast.RangeStmt:
+			spans = append(spans, span{n.Body.Pos(), n.Body.End()})
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+	return spans
+}
+
+// preallocatedObjects collects slice variables the function demonstrably
+// sizes up front: assigned a three-argument make, or resliced to [:0] for
+// reuse. Appending to those in a loop is amortized-free and not a finding.
+func preallocatedObjects(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	record := func(lhs, rhs ast.Expr) {
+		obj := exprObj(info, lhs)
+		if obj == nil {
+			// `out := make(...)` and `var out = make(...)` define the
+			// identifier rather than use it.
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				obj = info.Defs[id]
+			}
+		}
+		if obj == nil {
+			return
+		}
+		switch r := ast.Unparen(rhs).(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(r.Fun).(*ast.Ident); ok {
+				if bi, isB := info.Uses[id].(*types.Builtin); isB && bi.Name() == "make" && len(r.Args) == 3 {
+					out[obj] = true
+				}
+			}
+		case *ast.SliceExpr:
+			if isZeroLit(r.High) && r.Low == nil && !r.Slice3 {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isZeroLit(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "0"
+}
+
+// closureCaptures lists (up to three of) the enclosing function's variables
+// a literal captures: identifiers resolving to variables declared inside the
+// enclosing declaration but before/outside the literal.
+func closureCaptures(info *types.Info, encl *ast.FuncDecl, lit *ast.FuncLit) []string {
+	seen := make(map[types.Object]bool)
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		v, isVar := obj.(*types.Var)
+		if !isVar || v.IsField() || seen[obj] {
+			return true
+		}
+		if v.Pos() >= encl.Pos() && v.Pos() < lit.Pos() {
+			seen[obj] = true
+			names = append(names, v.Name())
+		}
+		return true
+	})
+	sort.Strings(names)
+	if len(names) > 3 {
+		names = append(names[:3], "…")
+	}
+	return names
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import "testing"
+
+func TestHotalloc(t *testing.T) {
+	RunTest(t, Hotalloc, "hotalloc/internal/sim")
+}
+
+// TestHotallocScope: the zero-allocation contract lives in the simulation
+// packages; fleet code allocates freely.
+func TestHotallocScope(t *testing.T) {
+	for _, p := range []string{"repro/internal/sim", "repro/internal/dmu", "repro/internal/taskrt"} {
+		if !Hotalloc.Scope(p) {
+			t.Errorf("%s must be inside the hotalloc scope", p)
+		}
+	}
+	if Hotalloc.Scope("repro/internal/service") {
+		t.Error("repro/internal/service must be outside the hotalloc scope")
+	}
+}
+
+// TestHotallocPinsWaitCycle loads the real internal/sim package and asserts
+// that the zero-alloc Wait cycle is actually marked — the acceptance
+// invariant of this analyzer. If someone deletes the markers, this fails
+// before a regression can allocate unobserved; if someone adds an
+// allocation under them, TestSimlintClean fails.
+func TestHotallocPinsWaitCycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks internal/sim and its dependencies")
+	}
+	pkgs, err := sharedTestLoader().Load("repro/internal/sim")
+	if err != nil {
+		t.Fatalf("load internal/sim: %v", err)
+	}
+	diags, err := RunPackages([]*Analyzer{Hotalloc}, pkgs)
+	if err != nil {
+		t.Fatalf("run hotalloc: %v", err)
+	}
+	if len(diags) > 0 {
+		t.Errorf("the marked Wait cycle in internal/sim allocates:\n%s", FormatDiags(diags))
+	}
+	// The clean result above is only meaningful if the markers exist: a
+	// markerless package is vacuously clean.
+	marked := 0
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if isHotpathMarker(c.Text) {
+						marked++
+					}
+				}
+			}
+		}
+	}
+	if marked < 4 {
+		t.Errorf("internal/sim carries %d //simlint:hotpath markers, want at least 4 (Wait, park, Schedule, resumeProc)", marked)
+	}
+}

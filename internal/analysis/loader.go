@@ -38,6 +38,26 @@ type Loader struct {
 	// Fullness is decided before any checking so every package is checked
 	// exactly once and type identities stay consistent across importers.
 	full map[string]bool
+
+	stats LoaderStats
+}
+
+// LoaderStats counts the loader's expensive operations, so callers (-v
+// output, the caching regression tests) can see that dependency packages are
+// type-checked once per loader, not once per analyzer run or test.
+type LoaderStats struct {
+	// TypeChecks is the number of go/types Check invocations (dependency
+	// and target packages alike).
+	TypeChecks int
+	// ParsedFiles is the number of source files parsed.
+	ParsedFiles int
+}
+
+// Stats returns a snapshot of the loader's operation counters.
+func (l *Loader) Stats() LoaderStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
 }
 
 // Package is one type-checked package ready for analysis.
@@ -121,7 +141,7 @@ func (l *Loader) listLocked(patterns []string) ([]string, error) {
 	cmd.Stdout = &stdout
 	cmd.Stderr = &stderr
 	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
 	}
 	var roots []string
 	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
@@ -154,7 +174,7 @@ func (l *Loader) runList(extra []string) error {
 		if err := dec.Decode(&p); err == io.EOF {
 			break
 		} else if err != nil {
-			return fmt.Errorf("go list: decode: %v", err)
+			return fmt.Errorf("go list: decode: %w", err)
 		}
 		if _, ok := l.meta[p.ImportPath]; !ok {
 			cp := p
@@ -162,7 +182,7 @@ func (l *Loader) runList(extra []string) error {
 		}
 	}
 	if err := cmd.Wait(); err != nil {
-		return fmt.Errorf("go list %s: %v\n%s", strings.Join(extra, " "), err, stderr.String())
+		return fmt.Errorf("go list %s: %w\n%s", strings.Join(extra, " "), err, stderr.String())
 	}
 	return nil
 }
@@ -203,8 +223,9 @@ func (l *Loader) checkLocked(path string) (*Package, error) {
 	for _, name := range meta.GoFiles {
 		f, err := parser.ParseFile(l.Fset, filepath.Join(meta.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, fmt.Errorf("analysis: parse %s: %v", name, err)
+			return nil, fmt.Errorf("analysis: parse %s: %w", name, err)
 		}
+		l.stats.ParsedFiles++
 		files = append(files, f)
 	}
 	info := &types.Info{
@@ -221,9 +242,10 @@ func (l *Loader) checkLocked(path string) (*Package, error) {
 		// below through the returned error.
 		Error: func(error) {},
 	}
+	l.stats.TypeChecks++
 	tpkg, err := cfg.Check(path, l.Fset, files, info)
 	if full && err != nil {
-		return nil, fmt.Errorf("analysis: type-check %s: %v", path, err)
+		return nil, fmt.Errorf("analysis: type-check %s: %w", path, err)
 	}
 	pkg := &Package{
 		PkgPath: path,
@@ -275,8 +297,9 @@ func (l *Loader) CheckDir(dir, pkgPath string) (*Package, error) {
 		}
 		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, fmt.Errorf("analysis: parse %s: %v", name, err)
+			return nil, fmt.Errorf("analysis: parse %s: %w", name, err)
 		}
+		l.stats.ParsedFiles++
 		files = append(files, f)
 	}
 	if len(files) == 0 {
@@ -292,9 +315,10 @@ func (l *Loader) CheckDir(dir, pkgPath string) (*Package, error) {
 		Importer: importerFunc(func(imp string) (*types.Package, error) { return l.importLocked(imp) }),
 		Error:    func(error) {},
 	}
+	l.stats.TypeChecks++
 	tpkg, err := cfg.Check(pkgPath, l.Fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("analysis: type-check %s: %v", pkgPath, err)
+		return nil, fmt.Errorf("analysis: type-check %s: %w", pkgPath, err)
 	}
 	return &Package{
 		PkgPath: pkgPath,

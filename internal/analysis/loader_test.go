@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("locate module root: %v", err)
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// TestLoaderSharesDependencyChecks pins the satellite caching invariant: one
+// loader type-checks each dependency package once, no matter how many Load
+// calls (or analyzer runs) follow. Loading a second target package must cost
+// strictly less than a cold loader pays for it, because the stdlib
+// dependencies are already checked.
+func TestLoaderSharesDependencyChecks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks real packages")
+	}
+	root := moduleRoot(t)
+
+	shared := NewLoader(root)
+	if _, err := shared.Load("./internal/sim"); err != nil {
+		t.Fatalf("load internal/sim: %v", err)
+	}
+	afterFirst := shared.Stats()
+	if afterFirst.TypeChecks == 0 || afterFirst.ParsedFiles == 0 {
+		t.Fatalf("stats did not count the first load: %+v", afterFirst)
+	}
+
+	// Re-loading the same pattern is a pure cache hit.
+	if _, err := shared.Load("./internal/sim"); err != nil {
+		t.Fatalf("reload internal/sim: %v", err)
+	}
+	if again := shared.Stats(); again != afterFirst {
+		t.Errorf("reloading a cached package re-checked: %+v -> %+v", afterFirst, again)
+	}
+
+	// A second target with overlapping dependencies only pays for what is new.
+	if _, err := shared.Load("./internal/core"); err != nil {
+		t.Fatalf("load internal/core: %v", err)
+	}
+	sharedDelta := shared.Stats().TypeChecks - afterFirst.TypeChecks
+
+	cold := NewLoader(root)
+	if _, err := cold.Load("./internal/core"); err != nil {
+		t.Fatalf("cold load internal/core: %v", err)
+	}
+	coldCost := cold.Stats().TypeChecks
+
+	if sharedDelta >= coldCost {
+		t.Errorf("warm load of internal/core cost %d type-checks, cold loader cost %d — dependencies are not being shared", sharedDelta, coldCost)
+	}
+}

@@ -1,0 +1,385 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Locksafe reports two classes of deadlock risk in the fleet packages
+// (internal/service, internal/runner, internal/remote):
+//
+//  1. A sync.Mutex or sync.RWMutex held across a potentially-blocking
+//     operation — a channel send/receive, a default-less select, a range
+//     over a channel, sync.WaitGroup.Wait, sync.Cond.Wait, or an outbound
+//     HTTP request. Whether the lock is held at the operation is decided by
+//     forward dataflow over the function's CFG, so early Unlock calls on
+//     some paths are understood (the operation is flagged if ANY path
+//     reaches it with the lock held; `defer mu.Unlock()` keeps the lock
+//     held to function end by design).
+//  2. Inconsistent pairwise lock-acquisition order across the package:
+//     if one function acquires B while holding A and another acquires A
+//     while holding B, both sites are a deadlock waiting for contention.
+var Locksafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "mutex held across a blocking operation, or inconsistent pairwise lock order",
+	Scope: func(pkgPath string) bool {
+		return hasPathSuffix(pkgPath, "internal/service", "internal/runner", "internal/remote")
+	},
+	Run: runLocksafe,
+}
+
+// lockEvent is one lock-relevant occurrence inside a basic block, in
+// execution order: an acquisition, a release, or a blocking operation.
+type lockEvent struct {
+	kind    int // evAcquire, evRelease, evBlock
+	lock    any // types.Object of the mutex, or a rendered-source string key
+	display string
+	pos     token.Pos
+	desc    string // for evBlock: what blocks
+}
+
+const (
+	evAcquire = iota
+	evRelease
+	evBlock
+)
+
+// orderSite records "second acquired while first was held" at pos.
+type orderSite struct {
+	first, second   any
+	firstN, secondN string
+	pos             token.Pos
+}
+
+func runLocksafe(pass *Pass) error {
+	var orders []orderSite
+	for _, file := range pass.Files {
+		for _, body := range funcBodies(file) {
+			lockCheckBody(pass, body, &orders)
+		}
+	}
+	reportLockOrder(pass, orders)
+	return nil
+}
+
+// funcBodies yields every function body in the file in source order: each
+// declaration and each function literal, analyzed as separate functions (a
+// goroutine or callback body has its own lock discipline).
+func funcBodies(file *ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				bodies = append(bodies, n.Body)
+			}
+		case *ast.FuncLit:
+			bodies = append(bodies, n.Body)
+		}
+		return true
+	})
+	return bodies
+}
+
+func lockCheckBody(pass *Pass, body *ast.BlockStmt, orders *[]orderSite) {
+	cfg := pass.FuncCFG(body)
+	events := make(map[*Block][]lockEvent)
+	hasEvents := false
+	for _, blk := range cfg.Blocks {
+		evs := collectLockEvents(pass.Info, blk)
+		if len(evs) > 0 {
+			events[blk] = evs
+			hasEvents = true
+		}
+	}
+	if !hasEvents {
+		return
+	}
+	in := cfg.Solve(nil, func(blk *Block, facts Facts) Facts {
+		for _, ev := range events[blk] {
+			switch ev.kind {
+			case evAcquire:
+				facts[ev.lock] = true
+			case evRelease:
+				delete(facts, ev.lock)
+			}
+		}
+		return facts
+	})
+	// Reporting pass over the solved entry facts, deduplicated: the same
+	// operation is reported once per held lock no matter how many paths
+	// reach it.
+	type reportKey struct {
+		lock any
+		pos  token.Pos
+	}
+	reported := make(map[reportKey]bool)
+	display := make(map[any]string)
+	for _, blk := range cfg.Blocks {
+		held, reached := in[blk]
+		if !reached {
+			continue
+		}
+		held = cloneFacts(held)
+		for _, ev := range events[blk] {
+			switch ev.kind {
+			case evAcquire:
+				display[ev.lock] = ev.display
+				for l := range held {
+					if l != ev.lock {
+						*orders = append(*orders, orderSite{
+							first: l, second: ev.lock,
+							firstN: display[l], secondN: ev.display,
+							pos: ev.pos,
+						})
+					}
+				}
+				held[ev.lock] = true
+			case evRelease:
+				delete(held, ev.lock)
+			case evBlock:
+				for l := range held {
+					k := reportKey{l, ev.pos}
+					if reported[k] {
+						continue
+					}
+					reported[k] = true
+					name := display[l]
+					if name == "" {
+						name = "a mutex"
+					}
+					pass.Reportf(ev.pos, "%s is held across %s; a blocked operation under the lock stalls every other acquirer — release first or hand the operation off", name, ev.desc)
+				}
+			}
+		}
+	}
+}
+
+// collectLockEvents walks one basic block's nodes shallowly (no FuncLit
+// bodies, no select/range bodies — those are separate blocks or headers)
+// and returns the lock-relevant events in source order.
+func collectLockEvents(info *types.Info, blk *Block) []lockEvent {
+	var evs []lockEvent
+	for _, node := range blk.Nodes {
+		shallowInspect(node, func(n ast.Node) {
+			switch n := n.(type) {
+			case *ast.SelectStmt:
+				if !selectHasDefault(n) {
+					evs = append(evs, lockEvent{kind: evBlock, pos: n.Pos(), desc: "a select with no default case"})
+				}
+			case *ast.RangeStmt:
+				if isChanType(info.Types[n.X].Type) {
+					evs = append(evs, lockEvent{kind: evBlock, pos: n.Pos(), desc: "a range over a channel"})
+				}
+			case *ast.SendStmt:
+				evs = append(evs, lockEvent{kind: evBlock, pos: n.Pos(), desc: "a channel send"})
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					evs = append(evs, lockEvent{kind: evBlock, pos: n.Pos(), desc: "a channel receive"})
+				}
+			case *ast.CallExpr:
+				f := funcObj(info, n)
+				if lock, display, acquire, ok := mutexOp(info, n, f); ok {
+					kind := evRelease
+					if acquire {
+						kind = evAcquire
+					}
+					evs = append(evs, lockEvent{kind: kind, lock: lock, display: display, pos: n.Pos()})
+					return
+				}
+				if desc, ok := blockingCall(f); ok {
+					evs = append(evs, lockEvent{kind: evBlock, pos: n.Pos(), desc: desc})
+				}
+			}
+		})
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+	return evs
+}
+
+// shallowInspect visits n and its children but never descends into function
+// literal bodies (different activation), go/defer call bodies beyond their
+// arguments, or the bodies hanging off control headers that the CFG already
+// split into separate blocks (select and range).
+func shallowInspect(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case nil:
+			return false
+		case *ast.FuncLit:
+			visit(n)
+			return false
+		case *ast.SelectStmt:
+			visit(n)
+			return false
+		case *ast.RangeStmt:
+			visit(n)
+			if root == ast.Node(n) {
+				// Header node: the range expression is part of this block.
+				ast.Inspect(n.X, func(c ast.Node) bool {
+					if c != nil {
+						visit(c)
+					}
+					return true
+				})
+			}
+			return false
+		case *ast.GoStmt:
+			visit(n)
+			// The spawned call runs elsewhere; its arguments evaluate here.
+			for _, a := range n.Call.Args {
+				shallowInspect(a, visit)
+			}
+			return false
+		case *ast.DeferStmt:
+			visit(n)
+			for _, a := range n.Call.Args {
+				shallowInspect(a, visit)
+			}
+			return false
+		}
+		visit(n)
+		return true
+	})
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// mutexOp classifies a call as Lock/RLock (acquire=true) or Unlock/RUnlock
+// (acquire=false) on a sync.Mutex/RWMutex, returning the lock's identity —
+// the types.Object of the mutex variable or field when resolvable, else the
+// rendered receiver source — plus a display name. Deferred unlocks never
+// reach here (the CFG collector skips deferred call bodies), so a
+// `defer mu.Unlock()` correctly leaves the lock held for the rest of the
+// function.
+func mutexOp(info *types.Info, call *ast.CallExpr, f *types.Func) (lock any, display string, acquire, ok bool) {
+	if f == nil {
+		return nil, "", false, false
+	}
+	switch f.Name() {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return nil, "", false, false
+	}
+	if !isMethodOf(f, "sync", "Mutex") && !isMethodOf(f, "sync", "RWMutex") {
+		return nil, "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false, false
+	}
+	display = renderExpr(sel.X)
+	if obj := exprObj(info, sel.X); obj != nil {
+		return obj, display, acquire, true
+	}
+	return "lockexpr:" + display, display, acquire, true
+}
+
+// isMethodOf reports whether f is a method whose receiver's (possibly
+// pointer-stripped) named type is pkgPath.typeName. The receiver may also be
+// an embedding of that type — go/types resolves promoted methods to the
+// embedded field's type, which is what we want.
+func isMethodOf(f *types.Func, pkgPath, typeName string) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == typeName
+}
+
+// blockingCall classifies calls that block on external progress: WaitGroup
+// and Cond waits, and the outbound HTTP entry points.
+func blockingCall(f *types.Func) (string, bool) {
+	if f == nil {
+		return "", false
+	}
+	switch {
+	case isMethodOf(f, "sync", "WaitGroup") && f.Name() == "Wait":
+		return "sync.WaitGroup.Wait", true
+	case isMethodOf(f, "sync", "Cond") && f.Name() == "Wait":
+		return "sync.Cond.Wait", true
+	case isMethodOf(f, "net/http", "Client") && f.Name() == "Do":
+		return "an outbound HTTP request", true
+	case f.Pkg() != nil && f.Pkg().Path() == "net/http" && f.Type().(*types.Signature).Recv() == nil:
+		switch f.Name() {
+		case "Get", "Post", "PostForm", "Head":
+			return "an outbound HTTP request", true
+		}
+	}
+	return "", false
+}
+
+func renderExpr(e ast.Expr) string {
+	var b bytes.Buffer
+	if err := printer.Fprint(&b, token.NewFileSet(), e); err != nil {
+		return "<expr>"
+	}
+	return b.String()
+}
+
+// reportLockOrder reports pairwise lock-order inversions package-wide: the
+// orientation whose display name sorts later is reported at each of its
+// sites, naming one witness site of the opposite order.
+func reportLockOrder(pass *Pass, orders []orderSite) {
+	type pairKey struct{ first, second any }
+	sites := make(map[pairKey][]orderSite)
+	for _, o := range orders {
+		k := pairKey{o.first, o.second}
+		sites[k] = append(sites[k], o)
+	}
+	reported := make(map[token.Pos]bool)
+	for k, list := range sites {
+		revList, hasRev := sites[pairKey{first: k.second, second: k.first}]
+		if !hasRev {
+			continue
+		}
+		// Report only the orientation sorting second, so each inverted pair
+		// yields findings at one orientation's sites (the other orientation's
+		// sites are the quoted witnesses).
+		a, b := list[0], revList[0]
+		if a.firstN+"\x00"+a.secondN <= b.firstN+"\x00"+b.secondN {
+			continue
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].pos < list[j].pos })
+		sort.Slice(revList, func(i, j int) bool { return revList[i].pos < revList[j].pos })
+		witness := pass.Fset.Position(revList[0].pos)
+		for _, o := range list {
+			if reported[o.pos] {
+				continue
+			}
+			reported[o.pos] = true
+			pass.Reportf(o.pos, "lock order inversion: %s acquired while holding %s, but %s acquires them in the opposite order — pick one global order", o.secondN, o.firstN, witness)
+		}
+	}
+}

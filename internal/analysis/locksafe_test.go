@@ -1,0 +1,22 @@
+package analysis
+
+import "testing"
+
+func TestLocksafe(t *testing.T) {
+	RunTest(t, Locksafe, "locksafe/internal/service")
+}
+
+// TestLocksafeScope: the analyzer watches the fleet packages only — the sim
+// core synchronizes through the event loop, not mutexes.
+func TestLocksafeScope(t *testing.T) {
+	for _, p := range []string{"repro/internal/service", "repro/internal/runner", "repro/internal/remote"} {
+		if !Locksafe.Scope(p) {
+			t.Errorf("%s must be inside the locksafe scope", p)
+		}
+	}
+	for _, p := range []string{"repro/internal/sim", "repro/internal/analysis"} {
+		if Locksafe.Scope(p) {
+			t.Errorf("%s must be outside the locksafe scope", p)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Package service is a goleak-analyzer fixture. Its import path ends in
+// internal/service, so the server-side scope applies to everything here.
+package service
+
+import "context"
+
+// LeakyPump spawns a goroutine that blocks forever with no way to stop it.
+func LeakyPump(ch chan int) {
+	go func() { // want `goroutine has no cancellation: it blocks on a channel receive`
+		for {
+			v := <-ch
+			_ = v
+		}
+	}()
+}
+
+// GuardedWorker selects on a done channel alongside the work channel, so
+// every blocking point has a cancellation case.
+func GuardedWorker(ch chan int, done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Run receives a context as a parameter; spawning it is fine.
+func Run(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-ch:
+			_ = v
+		}
+	}
+}
+
+// SpawnRun passes its context into the goroutine's signature.
+func SpawnRun(ctx context.Context, ch chan int) {
+	go Run(ctx, ch)
+}
+
+// SpawnWithCtx captures a context in the closure, which counts as having a
+// cancellation story even before the analyzer looks at the guard structure.
+func SpawnWithCtx(ctx context.Context, ch chan int) {
+	go func() {
+		<-ctx.Done()
+		close(ch)
+	}()
+}
+
+// pump blocks on the range with no context and no done channel.
+func pump(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+}
+
+// SpawnPump leaks through a named package-local callee: the analyzer follows
+// the static call and finds the unguarded range inside pump.
+func SpawnPump(ch chan int) {
+	go pump(ch) // want `goroutine has no cancellation: it blocks on a range over a channel`
+}
+
+// DrainAfterStop blocks only after the stop channel fires: every path to the
+// range passes the done-like receive first, so the drain is guarded.
+func DrainAfterStop(ch chan int, stop chan struct{}) {
+	go func() {
+		<-stop
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// SuppressedLeak carries a reasoned allow on the go statement's line.
+func SuppressedLeak(ch chan int) {
+	go func() { //simlint:allow goleak — fixture: process-lifetime pump, reaped by os.Exit
+		for {
+			ch <- 1
+		}
+	}()
+}

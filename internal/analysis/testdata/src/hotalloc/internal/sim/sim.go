@@ -1,0 +1,108 @@
+// Package sim is a hotalloc-analyzer fixture. Its import path ends in
+// internal/sim, so the hot-path scope applies; only functions marked
+// //simlint:hotpath (or reached from one) are checked.
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Tick formats on the hot path itself.
+//
+//simlint:hotpath
+func Tick(n int) string {
+	return fmt.Sprintf("tick %d", n) // want `fmt\.Sprintf allocates in hot path Tick \(marked //simlint:hotpath\)`
+}
+
+// Step is clean itself but calls advance, which the marker must cover too.
+//
+//simlint:hotpath
+func Step() {
+	advance()
+}
+
+func advance() {
+	_ = errors.New("boom") // want `errors\.New allocates in hot path advance \(reached from a //simlint:hotpath function\)`
+}
+
+// Collect grows a slice in a loop with no capacity anywhere in sight.
+//
+//simlint:hotpath
+func Collect(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append grows out inside a loop in hot path Collect`
+	}
+	return out
+}
+
+// CollectSized preallocates, so the appends are amortized-free.
+//
+//simlint:hotpath
+func CollectSized(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Engine exists so a closure has something to capture and a callee to reach.
+type Engine struct {
+	now int
+	fns []func()
+}
+
+func (e *Engine) schedule(fn func()) {
+	e.fns = append(e.fns, fn)
+}
+
+// Park hands a capturing closure to the scheduler on every call.
+//
+//simlint:hotpath
+func Park(e *Engine, at int) {
+	e.schedule(func() { // want `function literal in hot path Park \(marked //simlint:hotpath\) captures at, e`
+		e.now = at
+	})
+}
+
+// Sink is an interface parameter target for the boxing case.
+type Sink interface {
+	Put(v any)
+}
+
+// Record boxes its concrete int into Sink's interface parameter.
+//
+//simlint:hotpath
+func Record(s Sink, v int) {
+	s.Put(v) // want `argument boxes a concrete int into an interface in hot path Record`
+}
+
+// MustIndex formats only on the panic path, which is cold and exempt.
+//
+//simlint:hotpath
+func MustIndex(i, n int) int {
+	if i >= n {
+		panic(fmt.Sprintf("index %d out of range %d", i, n))
+	}
+	return i
+}
+
+// Cold is unmarked and unreachable from any marker: not checked at all.
+func Cold(n int) string {
+	return fmt.Sprintf("cold %d", n)
+}
+
+// Trace carries a reasoned allow on its formatting line.
+//
+//simlint:hotpath
+func Trace(n int) string {
+	return fmt.Sprintf("trace %d", n) //simlint:allow hotalloc — fixture: tracing knob, disabled in production runs
+}
+
+// want+1 `simlint:hotpath marker is not attached to a function declaration`
+//simlint:hotpath
+
+// Unattached is what the stray marker above fails to protect.
+var Unattached = 0

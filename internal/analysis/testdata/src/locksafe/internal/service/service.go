@@ -1,0 +1,102 @@
+// Package service is a locksafe-analyzer fixture. Its import path ends in
+// internal/service, so the fleet-package scope applies to everything here.
+package service
+
+import (
+	"net/http"
+	"sync"
+)
+
+// HeldAcrossSend blocks on a channel send with the mutex held.
+func HeldAcrossSend(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	ch <- 1 // want `mu is held across a channel send`
+	mu.Unlock()
+}
+
+// ReleasedFirst unlocks before the send; no path holds the lock there.
+func ReleasedFirst(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	mu.Unlock()
+	ch <- 1
+}
+
+// OnePathHolds releases only on the true branch: the send is reachable with
+// the lock held, which is what the CFG dataflow (not a lexical scan) sees.
+func OnePathHolds(mu *sync.Mutex, ch chan int, b bool) {
+	mu.Lock()
+	if b {
+		mu.Unlock()
+	}
+	ch <- 1 // want `mu is held across a channel send`
+	if !b {
+		mu.Unlock()
+	}
+}
+
+// DeferredUnlock holds the lock until function exit by design, so the Wait
+// underneath it stalls every other acquirer.
+func DeferredUnlock(mu *sync.Mutex, wg *sync.WaitGroup) {
+	mu.Lock()
+	defer mu.Unlock()
+	wg.Wait() // want `mu is held across sync\.WaitGroup\.Wait`
+}
+
+// HeldAcrossHTTP performs an outbound request under an RWMutex read lock.
+func HeldAcrossHTTP(mu *sync.RWMutex, c *http.Client, req *http.Request) error {
+	mu.RLock()
+	defer mu.RUnlock()
+	resp, err := c.Do(req) // want `mu is held across an outbound HTTP request`
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// NonBlockingSelect cannot stall: the select has a default case.
+func NonBlockingSelect(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	select {
+	case ch <- 1:
+	default:
+	}
+	mu.Unlock()
+}
+
+// LockInCallback: the literal runs on its own activation with its own lock
+// discipline, so neither the outer body nor the literal is a finding.
+func LockInCallback(mu *sync.Mutex, ch chan int) {
+	fn := func() {
+		ch <- 1
+	}
+	mu.Lock()
+	fn()
+	mu.Unlock()
+}
+
+// pair is the lock-order fixture: lockAB and lockBA acquire the same two
+// mutexes in opposite orders, a deadlock waiting for contention.
+type pair struct {
+	a, b sync.Mutex
+}
+
+func (p *pair) lockAB() {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) lockBA() {
+	p.b.Lock()
+	p.a.Lock() // want `lock order inversion: p\.a acquired while holding p\.b`
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// Suppressed carries a reasoned allow, so nothing is reported.
+func Suppressed(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	ch <- 1 //simlint:allow locksafe — fixture: startup handshake, no other acquirers exist yet
+	mu.Unlock()
+}

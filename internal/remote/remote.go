@@ -284,10 +284,14 @@ func (e *Executor) execute(ctx context.Context, j runner.Job) (*core.Result, err
 	switch resp.StatusCode {
 	case http.StatusOK:
 		var res core.Result
-		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil || res.Result == nil || res.Program == nil {
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
 			// A truncated or foreign response is a channel failure, not a
-			// verdict on the point.
-			return nil, runner.Transient(fmt.Errorf("remote: worker %s returned an unparsable result (%v)", e.URL, err))
+			// verdict on the point. Wrapping with %w keeps the decode error
+			// visible to errors.Is/As through the Transient classification.
+			return nil, runner.Transient(fmt.Errorf("remote: worker %s returned an unparsable result: %w", e.URL, err))
+		}
+		if res.Result == nil || res.Program == nil {
+			return nil, runner.Transient(fmt.Errorf("remote: worker %s returned an incomplete result", e.URL))
 		}
 		return &res, nil
 	case http.StatusUnprocessableEntity:

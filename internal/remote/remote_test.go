@@ -2,6 +2,7 @@ package remote
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -171,6 +172,38 @@ func TestExecutorErrorClassification(t *testing.T) {
 	})
 	if !errors.Is(err, cause) || runner.IsTransient(err) {
 		t.Errorf("cancelled dispatch returned %v, want the cancellation cause, non-transient", err)
+	}
+}
+
+// TestExecutorResultFailuresKeepCause: a 200 with an unparsable body wraps
+// the decode error with %w — errors.As must see the cause through the
+// Transient classification — and a 200 with a well-formed but incomplete
+// result is transient too. (Regression: the unparsable-result path once
+// flattened the decode error through %v, hiding it from errors.Is/As.)
+func TestExecutorResultFailuresKeepCause(t *testing.T) {
+	job := runner.Job{Benchmark: "histogram", Runtime: taskrt.Software, Scheduler: sched.FIFO}
+
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("<html>proxy error</html>"))
+	}))
+	defer garbage.Close()
+	_, err := NewExecutor(garbage.URL).Execute(context.Background(), job)
+	if !runner.IsTransient(err) {
+		t.Errorf("unparsable result returned %v, want a transient error", err)
+	}
+	var syntaxErr *json.SyntaxError
+	if !errors.As(err, &syntaxErr) {
+		t.Errorf("decode cause is not visible through errors.As: %v", err)
+	}
+
+	incomplete := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte("{}"))
+	}))
+	defer incomplete.Close()
+	_, err = NewExecutor(incomplete.URL).Execute(context.Background(), job)
+	if !runner.IsTransient(err) || err == nil || !strings.Contains(err.Error(), "incomplete") {
+		t.Errorf("incomplete result returned %v, want a transient incomplete-result error", err)
 	}
 }
 

@@ -111,6 +111,8 @@ func (e *Engine) Pending() int { return len(e.events) }
 // called both from outside the simulation (before Run) and from event
 // callbacks or processes during the simulation. A negative delay is a bug in
 // the caller — it would have to run in the simulated past — and panics.
+//
+//simlint:hotpath
 func (e *Engine) Schedule(delay Time, fn func()) {
 	if fn == nil {
 		panic("sim: Schedule called with nil function")

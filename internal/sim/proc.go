@@ -97,6 +97,8 @@ func (p *Proc) run(fn func(*Proc)) {
 
 // park hands control back to the engine and blocks until the engine resumes
 // this process. reason is reported in deadlock diagnostics.
+//
+//simlint:hotpath
 func (p *Proc) park(reason string) {
 	p.waitingOn = reason
 	p.parkedNow = true
@@ -120,6 +122,8 @@ func (p *Proc) waitReason() string {
 
 // resumeProc wakes a parked process and blocks until it parks again or
 // finishes. It must only be called from event callbacks.
+//
+//simlint:hotpath
 func (e *Engine) resumeProc(p *Proc) {
 	if p.done {
 		return
@@ -151,6 +155,11 @@ func (p *Proc) Suspend(reason string) {
 
 // Wait blocks the process for d cycles of simulated time. A non-positive
 // duration still yields to other events scheduled at the current time.
+// Wait is the inner loop of every simulated process: it must stay
+// allocation-free (the resume closure is precomputed at spawn), which
+// hotalloc enforces over Wait and everything it reaches.
+//
+//simlint:hotpath
 func (p *Proc) Wait(d Time) {
 	if d < 0 {
 		d = 0
